@@ -1,0 +1,183 @@
+// distda-repro regenerates every table and figure of the paper's evaluation
+// (§VI) from the simulator. Each figure prints as an aligned text table with
+// the paper's target numbers noted alongside.
+//
+// Usage:
+//
+//	distda-repro -all                 # everything (default scale: bench)
+//	distda-repro -fig 7 -fig 11b     # specific figures
+//	distda-repro -tab 6 -scale test  # Table VI at CI scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"distda/internal/exp"
+	"distda/internal/workloads"
+)
+
+type figList []string
+
+func (f *figList) String() string { return fmt.Sprint(*f) }
+func (f *figList) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+func main() {
+	var figs, tabs figList
+	scaleName := flag.String("scale", "bench", "input scale: test, bench, paper")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	headline := flag.Bool("headline", false, "print the abstract's headline geomeans")
+	ablations := flag.Bool("ablations", false, "run the DESIGN.md ablation benches")
+	sens := flag.Bool("sens", false, "working-set sensitivity")
+	params := flag.Bool("params", false, "print Table III parameters")
+	area := flag.Bool("area", false, "print the area model")
+	offchip := flag.Bool("offchip", false, "evaluate the §VII off-chip placement extension")
+	flag.Var(&figs, "fig", "figure to regenerate (7, 8, 9, 10, 11a, 11b, 12a, 12b, 13, 14); repeatable")
+	flag.Var(&tabs, "tab", "table to regenerate (3, 4, 5, 6); repeatable")
+	flag.Parse()
+
+	scale, err := parseScale(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	if *all {
+		figs = figList{"7", "8", "9", "10", "11a", "11b", "12a", "12b", "13", "14"}
+		tabs = figList{"3", "4", "5", "6"}
+		*headline = true
+		*sens = true
+		*area = true
+		*ablations = true
+		*offchip = true
+	}
+	if len(figs) == 0 && len(tabs) == 0 && !*headline && !*ablations && !*sens && !*params && !*area && !*offchip {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var matrix *exp.Matrix
+	needMatrix := func() *exp.Matrix {
+		if matrix == nil {
+			fmt.Fprintf(os.Stderr, "building %s-scale workload x configuration matrix (12 x 6 runs)...\n", scale)
+			m, err := exp.BuildMatrix(scale)
+			if err != nil {
+				fatal(err)
+			}
+			matrix = m
+		}
+		return matrix
+	}
+
+	if *params {
+		fmt.Println(exp.Tab3Params().Render())
+	}
+	for _, tab := range tabs {
+		switch tab {
+		case "3":
+			fmt.Println(exp.Tab3Params().Render())
+		case "4":
+			fmt.Println(needMatrix().Tab4Workloads().Render())
+		case "5":
+			fmt.Println(needMatrix().Tab5MechanismCoverage().Render())
+		case "6":
+			t, err := needMatrix().Tab6OffloadCharacteristics()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(t.Render())
+		default:
+			fatal(fmt.Errorf("unknown table %q", tab))
+		}
+	}
+	for _, fig := range figs {
+		switch fig {
+		case "7":
+			fmt.Println(needMatrix().Fig7EnergyEfficiency().Render())
+		case "8":
+			fmt.Println(needMatrix().Fig8CacheAccesses().Render())
+		case "9":
+			fmt.Println(needMatrix().Fig9AccessDistribution().Render())
+		case "10":
+			fmt.Println(needMatrix().Fig10NoCTraffic().Render())
+		case "11a":
+			fmt.Println(needMatrix().Fig11aIPC().Render())
+		case "11b":
+			fmt.Println(needMatrix().Fig11bSpeedup().Render())
+		case "12a":
+			t, err := exp.Fig12aCaseStudies(scale)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(t.Render())
+		case "12b":
+			t, err := exp.Fig12bMultithread(scale)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(t.Render())
+		case "13":
+			t, err := exp.Fig13Clocking(scale)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(t.Render())
+		case "14":
+			t, err := exp.Fig14SoftwareOpt(scale)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(t.Render())
+		default:
+			fatal(fmt.Errorf("unknown figure %q", fig))
+		}
+	}
+	if *headline {
+		fmt.Println(needMatrix().Headline().Render())
+		fmt.Println(needMatrix().DataMovement().Render())
+	}
+	if *sens {
+		t, err := exp.SensWorkingSet(scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t.Render())
+	}
+	if *area {
+		fmt.Println(exp.Tab3Area().Render())
+	}
+	if *offchip {
+		t, err := exp.OffChipExtension(scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t.Render())
+	}
+	if *ablations {
+		t, err := exp.Ablations(scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t.Render())
+	}
+}
+
+func parseScale(name string) (workloads.Scale, error) {
+	switch name {
+	case "test":
+		return workloads.ScaleTest, nil
+	case "bench":
+		return workloads.ScaleBench, nil
+	case "paper":
+		return workloads.ScalePaper, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q (want test, bench or paper)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "distda-repro:", err)
+	os.Exit(1)
+}

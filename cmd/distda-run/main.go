@@ -1,0 +1,145 @@
+// distda-run executes one workload under one configuration and prints the
+// collected result: cycles, energy breakdown, traffic categories, interface
+// mechanism usage and validation status.
+//
+// Usage:
+//
+//	distda-run -w fdtd-2d -c Dist-DA-F -scale bench
+//	distda-run -w bfs -c OoO
+//	distda-run -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"distda/internal/core"
+	"distda/internal/sim"
+	"distda/internal/workloads"
+)
+
+func main() {
+	name := flag.String("w", "", "workload name (see -list)")
+	cfgName := flag.String("c", "Dist-DA-F", "configuration: OoO, Mono-CA, Mono-DA-IO, Mono-DA-F, Dist-DA-IO, Dist-DA-F")
+	scaleName := flag.String("scale", "bench", "input scale: test, bench, paper")
+	ghz := flag.Int("ghz", 0, "override accelerator clock (1, 2, 3)")
+	threads := flag.Int("threads", 1, "software threads for parallel-annotated loops")
+	list := flag.Bool("list", false, "list workloads and exit")
+	flag.Parse()
+
+	scale, err := parseScale(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	if *list {
+		for _, w := range workloads.All(scale) {
+			fmt.Printf("%-14s %s\n", w.Name, w.Desc)
+		}
+		fmt.Printf("%-14s %s (case study)\n", "spmv", workloads.SpMV(scale).Desc)
+		fmt.Printf("%-14s %s (multithreaded)\n", "bfs-mt", workloads.BFSMT(scale).Desc)
+		fmt.Printf("%-14s %s (multithreaded)\n", "pathfinder-mt", workloads.PathfinderMT(scale).Desc)
+		return
+	}
+	if *name == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	w, err := lookup(*name, scale)
+	if err != nil {
+		fatal(err)
+	}
+	cfg, err := lookupConfig(*cfgName)
+	if err != nil {
+		fatal(err)
+	}
+	if *ghz != 0 {
+		cfg = cfg.WithClock(*ghz)
+	}
+	res, err := sim.RunThreads(w.Kernel, w.Params, w.NewData(), cfg, *threads)
+	if err != nil {
+		fatal(err)
+	}
+	print(res)
+}
+
+func lookup(name string, scale workloads.Scale) (*workloads.Workload, error) {
+	switch name {
+	case "spmv":
+		return workloads.SpMV(scale), nil
+	case "bfs-mt":
+		return workloads.BFSMT(scale), nil
+	case "pathfinder-mt":
+		return workloads.PathfinderMT(scale), nil
+	default:
+		return workloads.ByName(name, scale)
+	}
+}
+
+func lookupConfig(name string) (sim.Config, error) {
+	for _, c := range sim.AllPaperConfigs() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	switch name {
+	case "Dist-DA-IO+SW":
+		return sim.DistDAIOSW(), nil
+	case "Dist-DA-F+A":
+		return sim.DistDAFA(), nil
+	}
+	return sim.Config{}, fmt.Errorf("unknown configuration %q", name)
+}
+
+func print(r *sim.Result) {
+	fmt.Printf("workload      %s\n", r.Workload)
+	fmt.Printf("config        %s\n", r.Config)
+	fmt.Printf("validated     %v\n", r.Validated)
+	fmt.Printf("cycles        %d (2 GHz host clock)\n", r.Cycles)
+	fmt.Printf("instructions  %d host + %d accel, IPC %.2f\n", r.HostInstr, r.AccelOps, r.IPC())
+	fmt.Printf("mem ops       %d (%.3f per cycle)\n", r.MemOps, r.MemOpRate())
+	fmt.Printf("energy        %.3f uJ\n", r.EnergyPJ/1e6)
+	cats := make([]string, 0, len(r.EnergyByCat))
+	for c := range r.EnergyByCat {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	for _, c := range cats {
+		fmt.Printf("  %-10s  %10.3f uJ\n", c, r.EnergyByCat[c]/1e6)
+	}
+	fmt.Printf("cache acc     L1 %d, L2 %d, L3 %d, DRAM %d\n", r.CacheL1, r.CacheL2, r.CacheL3, r.DRAM)
+	fmt.Printf("data moved    %d bytes\n", r.DataMovedBytes)
+	fmt.Printf("accel traffic intra %d, D-A %d, A-A %d bytes\n", r.IntraBytes, r.DABytes, r.AABytes)
+	fmt.Printf("NoC bytes     ctrl %d, data %d, acc_ctrl %d, acc_data %d\n",
+		r.NoCBytes["ctrl"], r.NoCBytes["data"], r.NoCBytes["acc_ctrl"], r.NoCBytes["acc_data"])
+	if r.Launches > 0 {
+		fmt.Printf("offloads      %d launches, %.1f buffers avg, %%init %.2f\n",
+			r.Launches, r.AvgBuffers, r.InitOverheadPct())
+		fmt.Printf("mechanisms   ")
+		for _, in := range core.Intrinsics() {
+			if r.MMIO.Used(in) {
+				fmt.Printf(" %s", in)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func parseScale(name string) (workloads.Scale, error) {
+	switch name {
+	case "test":
+		return workloads.ScaleTest, nil
+	case "bench":
+		return workloads.ScaleBench, nil
+	case "paper":
+		return workloads.ScalePaper, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "distda-run:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,13 @@
+// Package distda is a from-scratch Go reproduction of "An architecture
+// interface and offload model for low-overhead, near-data, distributed
+// accelerators" (MICRO 2022): the Dist-DA offload interface (Table II
+// MMIO intrinsics), the compiler flow that partitions innermost loops into
+// distributed accelerator definitions, and the simulated system — OoO
+// host, cache hierarchy, mesh NoC, access units, in-order cores and CGRA
+// fabrics — that the paper evaluates on.
+//
+// The library lives under internal/; the runnable surfaces are the three
+// commands under cmd/, the examples/ programs, and the benchmark harness in
+// bench_test.go which regenerates every table and figure of the paper's
+// evaluation section. See README.md and DESIGN.md.
+package distda

@@ -1,0 +1,3 @@
+module distda
+
+go 1.22

@@ -1,0 +1,125 @@
+// Package accessunit implements the Fig. 2c access unit: SRAM window
+// buffers with per-consumer read pointers, the strided fill/drain FSM, and
+// the NoC link that realizes decoupled producer→consumer channels (Fig. 4).
+package accessunit
+
+import (
+	"fmt"
+
+	"distda/internal/energy"
+)
+
+// Buffer is a bounded stream window held in the access unit's SRAM. A
+// single writer appends a monotonically numbered element sequence; multiple
+// readers (combined accessors, Fig. 2d) each hold an independent read
+// pointer. An element's storage is reclaimed once every reader has passed
+// it, which is what lets a stencil's A[i], A[i+1], A[i+2] accessors share
+// one fetched window.
+type Buffer struct {
+	cap     int
+	data    []float64
+	wseq    int64
+	readers []int64
+	closed  bool
+	meter   *energy.Meter
+
+	Pushes int64
+	Pops   int64
+}
+
+// NewBuffer creates a buffer holding capElems elements, metering SRAM
+// energy into m (may be nil).
+func NewBuffer(capElems int, m *energy.Meter) (*Buffer, error) {
+	if capElems <= 0 {
+		return nil, fmt.Errorf("accessunit: buffer capacity %d", capElems)
+	}
+	return &Buffer{cap: capElems, data: make([]float64, capElems), meter: m}, nil
+}
+
+// Cap returns the capacity in elements.
+func (b *Buffer) Cap() int { return b.cap }
+
+// AttachReader registers a consumer starting at sequence startSeq (a
+// combined accessor with +k element offset starts at seq k) and returns its
+// reader handle.
+func (b *Buffer) AttachReader(startSeq int64) int {
+	b.readers = append(b.readers, startSeq)
+	return len(b.readers) - 1
+}
+
+func (b *Buffer) minReader() int64 {
+	if len(b.readers) == 0 {
+		return 0 // no consumers wired yet: nothing is reclaimable
+	}
+	m := b.readers[0]
+	for _, r := range b.readers[1:] {
+		if r < m {
+			m = r
+		}
+	}
+	return m
+}
+
+// CanPush reports whether one more element fits.
+func (b *Buffer) CanPush() bool {
+	return !b.closed && b.wseq-b.minReader() < int64(b.cap)
+}
+
+// Push appends an element. The caller must check CanPush.
+func (b *Buffer) Push(v float64) {
+	if !b.CanPush() {
+		panic("accessunit: Push on full or closed buffer")
+	}
+	b.data[b.wseq%int64(b.cap)] = v
+	b.wseq++
+	b.Pushes++
+	if b.meter != nil {
+		b.meter.Add(energy.CatBuffer, b.meter.Table.BufferPJ)
+	}
+}
+
+// CanPop reports whether reader r has an element available.
+func (b *Buffer) CanPop(r int) bool { return b.readers[r] < b.wseq }
+
+// Pop returns the next element for reader r. The caller must check CanPop.
+func (b *Buffer) Pop(r int) float64 {
+	if !b.CanPop(r) {
+		panic("accessunit: Pop on empty buffer")
+	}
+	seq := b.readers[r]
+	if b.wseq-seq > int64(b.cap) {
+		panic("accessunit: reader fell out of the window")
+	}
+	v := b.data[seq%int64(b.cap)]
+	b.readers[r]++
+	b.Pops++
+	if b.meter != nil {
+		b.meter.Add(energy.CatBuffer, b.meter.Table.BufferPJ)
+	}
+	return v
+}
+
+// Skip advances reader r by n elements without reading them (cp_step).
+func (b *Buffer) Skip(r int, n int64) {
+	if b.readers[r]+n > b.wseq {
+		panic("accessunit: Skip past write pointer")
+	}
+	b.readers[r] += n
+}
+
+// Close marks end-of-stream: no further pushes. Readers may drain what
+// remains.
+func (b *Buffer) Close() { b.closed = true }
+
+// Closed reports whether the writer closed the stream.
+func (b *Buffer) Closed() bool { return b.closed }
+
+// Drained reports end-of-stream for reader r: closed and fully consumed.
+func (b *Buffer) Drained(r int) bool { return b.closed && b.readers[r] >= b.wseq }
+
+// Level returns how many elements reader r still has buffered.
+func (b *Buffer) Level(r int) int64 { return b.wseq - b.readers[r] }
+
+// Occupancy returns the elements currently held (window between the write
+// pointer and the slowest reader).
+func (b *Buffer) Occupancy() int64 { return b.wseq - b.minReader() }

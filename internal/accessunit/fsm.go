@@ -1,0 +1,278 @@
+package accessunit
+
+import (
+	"fmt"
+
+	"distda/internal/energy"
+)
+
+// Stats aggregates the Fig. 9 traffic categories for one simulated run.
+type Stats struct {
+	// DABytes: external traffic between accelerators and the cache
+	// hierarchy (line fills, drains, random accesses).
+	DABytes int64
+	// AABytes: external traffic between an accelerator and a remote
+	// accelerator (operand forwarding over the NoC).
+	AABytes int64
+	// IntraBytes: traffic internal to an accelerator's local buffers.
+	IntraBytes int64
+}
+
+// Total returns all accelerator-side bytes moved.
+func (s *Stats) Total() int64 { return s.DABytes + s.AABytes + s.IntraBytes }
+
+// Memory provides functional element access to the named memory objects.
+// The simulator implements it over the slab-allocated backing arrays.
+type Memory interface {
+	Read(obj string, idx int64) (float64, error)
+	Write(obj string, idx int64, v float64) error
+	AddrOf(obj string, idx int64) (int64, error)
+	ElemBytes(obj string) (int, error)
+}
+
+// Fetcher models the timing and traffic of moving data between an access
+// unit at an L3 cluster and the cache hierarchy. bytes is the payload
+// returned to (or sent from) the requester. The returned latency is in
+// engine base cycles.
+type Fetcher interface {
+	Access(cluster int, addr int64, write bool, bytes int) (latency int)
+	LineBytes() int
+}
+
+// pendingLine is one in-flight line fetch: values already read functionally,
+// delivered into the buffer at arrival time in issue order.
+type pendingLine struct {
+	arrival int64
+	vals    []float64
+}
+
+// maxInflight is the access unit's outstanding line-fetch capacity (its
+// MSHR analog): enough to cover L3 latency at one element per cycle.
+const maxInflight = 4
+
+// pushesPerCycle bounds SRAM write ports.
+const pushesPerCycle = 2
+
+// StreamIn is the fill FSM: it walks the configured stride pattern,
+// fetching lines from the cluster's cache hierarchy and pushing elements
+// into the buffer ahead of the consumer (§IV-C component 4).
+type StreamIn struct {
+	buf     *Buffer
+	mem     Memory
+	fetch   Fetcher
+	cluster int
+	obj     string
+
+	start, stride, length int64 // elements
+	elemBytes             int64
+
+	issued   int64 // elements whose fetch was issued
+	pending  []pendingLine
+	lastLine int64
+	closed   bool
+	stats    *Stats
+	meter    *energy.Meter
+}
+
+// NewStreamIn builds a fill FSM. length may be zero (the buffer closes
+// immediately).
+func NewStreamIn(buf *Buffer, mem Memory, fetch Fetcher, cluster int, obj string,
+	start, stride, length int64, stats *Stats, meter *energy.Meter) (*StreamIn, error) {
+	eb, err := mem.ElemBytes(obj)
+	if err != nil {
+		return nil, err
+	}
+	if stride == 0 && length > 1 {
+		return nil, fmt.Errorf("accessunit: zero stride stream of length %d on %q", length, obj)
+	}
+	return &StreamIn{
+		buf: buf, mem: mem, fetch: fetch, cluster: cluster, obj: obj,
+		start: start, stride: stride, length: length, elemBytes: int64(eb),
+		lastLine: -1, stats: stats, meter: meter,
+	}, nil
+}
+
+// Done reports stream completion (all elements delivered, buffer closed).
+func (f *StreamIn) Done() bool { return f.closed }
+
+// Step advances one access-unit clock.
+func (f *StreamIn) Step(now int64) bool {
+	progress := false
+	// Deliver arrived lines in issue order.
+	pushed := 0
+	for len(f.pending) > 0 && f.pending[0].arrival <= now && pushed < pushesPerCycle {
+		head := &f.pending[0]
+		for len(head.vals) > 0 && f.buf.CanPush() && pushed < pushesPerCycle {
+			f.buf.Push(head.vals[0])
+			head.vals = head.vals[1:]
+			pushed++
+			progress = true
+		}
+		if len(head.vals) == 0 {
+			f.pending = f.pending[1:]
+		} else {
+			break
+		}
+	}
+	// Anything still in flight counts as progress (a timer is running).
+	if len(f.pending) > 0 && f.pending[0].arrival > now {
+		progress = true
+	}
+	// Issue the next line fetch when there is buffer headroom.
+	if f.issued < f.length && len(f.pending) < maxInflight && f.headroom() > 0 {
+		if f.issueLine(now) {
+			progress = true
+		}
+	}
+	// Close at end of stream.
+	if !f.closed && f.issued >= f.length && len(f.pending) == 0 {
+		f.buf.Close()
+		f.closed = true
+		progress = true
+	}
+	return progress
+}
+
+// headroom estimates free buffer space beyond in-flight elements so the
+// fill FSM throttles on back-pressure (§V-B).
+func (f *StreamIn) headroom() int64 {
+	inflight := int64(0)
+	for _, p := range f.pending {
+		inflight += int64(len(p.vals))
+	}
+	return int64(f.buf.Cap()) - f.buf.Occupancy() - inflight
+}
+
+// issueLine reads the next run of elements sharing one cache line and
+// issues its fetch. Elements whose line was just fetched are intra-buffer
+// reuse; new lines cost a D-A line transfer.
+func (f *StreamIn) issueLine(now int64) bool {
+	lineBytes := int64(f.fetch.LineBytes())
+	var vals []float64
+	var issueLat int
+	newLine := false
+	for f.issued < f.length {
+		idx := f.start + f.issued*f.stride
+		addr, err := f.mem.AddrOf(f.obj, idx)
+		if err != nil {
+			panic(fmt.Sprintf("accessunit: stream %q: %v", f.obj, err))
+		}
+		line := addr / lineBytes
+		if len(vals) > 0 && line != f.lastLine {
+			break // next element starts a new line; fetch it next issue
+		}
+		if line != f.lastLine {
+			issueLat = f.fetch.Access(f.cluster, addr, false, int(lineBytes))
+			f.stats.DABytes += lineBytes
+			f.lastLine = line
+			newLine = true
+		} else if len(vals) == 0 && !newLine {
+			// Element served from the already-fetched line: pure reuse
+			// (buffer-internal traffic is accounted at the buffer).
+			issueLat = 1
+		}
+		v, err := f.mem.Read(f.obj, idx)
+		if err != nil {
+			panic(fmt.Sprintf("accessunit: stream %q: %v", f.obj, err))
+		}
+		vals = append(vals, v)
+		f.issued++
+		if f.stride*f.elemBytes >= lineBytes || f.stride < 0 {
+			break // each element on its own line (or reverse: keep simple)
+		}
+	}
+	if len(vals) == 0 {
+		return false
+	}
+	if f.meter != nil {
+		f.meter.Add(energy.CatAccel, f.meter.Table.TranslatePJ)
+	}
+	f.pending = append(f.pending, pendingLine{arrival: now + int64(issueLat), vals: vals})
+	return true
+}
+
+// StreamOut is the drain FSM: it pops produced elements from the buffer and
+// writes them back through the cluster's cache hierarchy following the
+// configured stride.
+type StreamOut struct {
+	buf     *Buffer
+	reader  int
+	mem     Memory
+	fetch   Fetcher
+	cluster int
+	obj     string
+
+	start, stride int64
+	elemBytes     int64
+
+	drained   int64
+	lastLine  int64
+	busyUntil int64
+	closed    bool
+	stats     *Stats
+	meter     *energy.Meter
+}
+
+// NewStreamOut builds a drain FSM reading from buf via its own reader.
+func NewStreamOut(buf *Buffer, mem Memory, fetch Fetcher, cluster int, obj string,
+	start, stride int64, stats *Stats, meter *energy.Meter) (*StreamOut, error) {
+	eb, err := mem.ElemBytes(obj)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamOut{
+		buf: buf, reader: buf.AttachReader(0), mem: mem, fetch: fetch,
+		cluster: cluster, obj: obj, start: start, stride: stride,
+		elemBytes: int64(eb), lastLine: -1, stats: stats, meter: meter,
+	}, nil
+}
+
+// Done reports that the producer closed the stream and everything drained.
+func (f *StreamOut) Done() bool { return f.closed }
+
+// Step advances one access-unit clock.
+func (f *StreamOut) Step(now int64) bool {
+	if f.closed {
+		return false
+	}
+	if now < f.busyUntil {
+		return true // write port busy: timer counts down
+	}
+	if f.buf.Drained(f.reader) {
+		f.closed = true
+		return true
+	}
+	if !f.buf.CanPop(f.reader) {
+		return false // waiting on producer
+	}
+	v := f.buf.Pop(f.reader)
+	idx := f.start + f.drained*f.stride
+	if err := f.mem.Write(f.obj, idx, v); err != nil {
+		panic(fmt.Sprintf("accessunit: drain %q: %v", f.obj, err))
+	}
+	addr, err := f.mem.AddrOf(f.obj, idx)
+	if err != nil {
+		panic(fmt.Sprintf("accessunit: drain %q: %v", f.obj, err))
+	}
+	lineBytes := int64(f.fetch.LineBytes())
+	line := addr / lineBytes
+	if line != f.lastLine {
+		lat := f.fetch.Access(f.cluster, addr, true, int(lineBytes))
+		f.stats.DABytes += lineBytes
+		f.lastLine = line
+		// Posted write: occupy the port briefly, don't wait for the ack.
+		f.busyUntil = now + int64(min(lat, 4))
+		if f.meter != nil {
+			f.meter.Add(energy.CatAccel, f.meter.Table.TranslatePJ)
+		}
+	}
+	f.drained++
+	return true
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

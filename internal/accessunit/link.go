@@ -1,0 +1,88 @@
+package accessunit
+
+import "distda/internal/noc"
+
+// Link realizes one producer→consumer channel across access units (Fig. 4):
+// the producer's cp_produce lands in its local buffer; the link moves
+// elements over the NoC into the consumer-side buffer, respecting consumer
+// space (credit-based back-pressure); cp_consume pops locally. Co-located
+// endpoints still pay local buffer traffic but no NoC energy.
+type Link struct {
+	src       *Buffer
+	srcReader int
+	dst       *Buffer
+	mesh      *noc.Mesh
+	srcNode   int
+	dstNode   int
+	elemBytes int
+
+	pending []arrival
+	sent    int64
+	closed  bool
+	stats   *Stats
+}
+
+type arrival struct {
+	t int64
+	v float64
+}
+
+// linkInflight bounds elements in flight (credit window).
+const linkInflight = 8
+
+// creditBatch: one 8-byte credit-return control message per this many
+// delivered elements.
+const creditBatch = 8
+
+// NewLink wires src (producer-side buffer) to dst (consumer-side buffer).
+func NewLink(src, dst *Buffer, mesh *noc.Mesh, srcNode, dstNode, elemBytes int, stats *Stats) *Link {
+	return &Link{
+		src: src, srcReader: src.AttachReader(0), dst: dst,
+		mesh: mesh, srcNode: srcNode, dstNode: dstNode,
+		elemBytes: elemBytes, stats: stats,
+	}
+}
+
+// Done reports that the producer closed and everything was delivered.
+func (l *Link) Done() bool { return l.closed }
+
+// Step advances one uncore clock.
+func (l *Link) Step(now int64) bool {
+	if l.closed {
+		return false
+	}
+	progress := false
+	remote := l.mesh != nil && l.srcNode != l.dstNode
+	// Deliver arrivals.
+	for len(l.pending) > 0 && l.pending[0].t <= now && l.dst.CanPush() {
+		l.dst.Push(l.pending[0].v)
+		l.pending = l.pending[1:]
+		progress = true
+		if l.sent%creditBatch == 0 && remote {
+			l.mesh.Transfer(l.dstNode, l.srcNode, 8, noc.AccCtrl)
+		}
+	}
+	if len(l.pending) > 0 && l.pending[0].t > now {
+		progress = true // in-flight timer
+	}
+	// Inject new elements while credits allow.
+	for len(l.pending) < linkInflight && l.src.CanPop(l.srcReader) &&
+		l.dst.Occupancy()+int64(len(l.pending)) < int64(l.dst.Cap()) {
+		v := l.src.Pop(l.srcReader)
+		lat := 1
+		if remote {
+			lat = l.mesh.Transfer(l.srcNode, l.dstNode, l.elemBytes, noc.AccData)
+			l.stats.AABytes += int64(l.elemBytes)
+		}
+		l.sent++
+		l.pending = append(l.pending, arrival{t: now + int64(lat), v: v})
+		progress = true
+	}
+	// Propagate end-of-stream.
+	if l.src.Drained(l.srcReader) && len(l.pending) == 0 {
+		l.dst.Close()
+		l.closed = true
+		progress = true
+	}
+	return progress
+}

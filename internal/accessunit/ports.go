@@ -1,0 +1,19 @@
+package accessunit
+
+// InPort is a consuming endpoint over a buffer: an accelerator's view of a
+// cp_consume-able access-id.
+type InPort struct {
+	Buf    *Buffer
+	Reader int
+}
+
+// NewInPort attaches a reader starting at startSeq and returns the port.
+func NewInPort(b *Buffer, startSeq int64) *InPort {
+	return &InPort{Buf: b, Reader: b.AttachReader(startSeq)}
+}
+
+// OutPort is a producing endpoint over a buffer: an accelerator's view of a
+// cp_produce-able access-id.
+type OutPort struct {
+	Buf *Buffer
+}

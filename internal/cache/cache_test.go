@@ -1,0 +1,289 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"distda/internal/dram"
+	"distda/internal/energy"
+	"distda/internal/noc"
+)
+
+func smallLevel(t *testing.T) *Level {
+	t.Helper()
+	l, err := NewLevel(LevelConfig{
+		Name: "t", SizeBytes: 1024, Ways: 2, LineBytes: 64,
+		Latency: 2, EnergyPJ: 10, EnergyCat: energy.CatL1,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestLevelGeometryValidation(t *testing.T) {
+	if _, err := NewLevel(LevelConfig{SizeBytes: 0, Ways: 2, LineBytes: 64}, nil); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	// 3 sets: not a power of two.
+	if _, err := NewLevel(LevelConfig{SizeBytes: 3 * 2 * 64, Ways: 2, LineBytes: 64}, nil); err == nil {
+		t.Fatal("non-power-of-two sets accepted")
+	}
+}
+
+func TestLevelHitMiss(t *testing.T) {
+	l := smallLevel(t) // 8 sets x 2 ways
+	if l.Access(0, false) {
+		t.Fatal("cold access hit")
+	}
+	l.Insert(0, false)
+	if !l.Access(0, false) {
+		t.Fatal("inserted line missed")
+	}
+	if !l.Access(63, false) {
+		t.Fatal("same-line offset missed")
+	}
+	if l.Access(64, false) {
+		t.Fatal("next line hit without insert")
+	}
+	if l.Accesses != 4 || l.Hits != 2 || l.Misses != 2 {
+		t.Fatalf("counters = %d/%d/%d", l.Accesses, l.Hits, l.Misses)
+	}
+}
+
+func TestLevelLRUEviction(t *testing.T) {
+	l := smallLevel(t)                           // 8 sets, 2 ways; set stride = 8*64 = 512B
+	a, b, c := int64(0), int64(512), int64(1024) // all map to set 0
+	l.Insert(a, false)
+	l.Insert(b, false)
+	l.Access(a, false) // a most recent
+	ev, dirty, ok := l.Insert(c, false)
+	if !ok || dirty || ev != b {
+		t.Fatalf("evicted %#x dirty=%v ok=%v, want b=%#x clean", ev, dirty, ok, b)
+	}
+	if !l.Lookup(a) || !l.Lookup(c) || l.Lookup(b) {
+		t.Fatal("post-eviction residency wrong")
+	}
+}
+
+func TestLevelDirtyWriteback(t *testing.T) {
+	l := smallLevel(t)
+	l.Insert(0, false)
+	l.Access(0, true) // dirty it
+	l.Insert(512, false)
+	ev, dirty, ok := l.Insert(1024, false)
+	if !ok || !dirty || ev != 0 {
+		t.Fatalf("dirty eviction: ev=%#x dirty=%v ok=%v", ev, dirty, ok)
+	}
+	if l.Wbacks != 1 {
+		t.Fatalf("Wbacks = %d", l.Wbacks)
+	}
+}
+
+func TestLevelInsertExistingMergesDirty(t *testing.T) {
+	l := smallLevel(t)
+	l.Insert(0, false)
+	_, _, ok := l.Insert(0, true)
+	if ok {
+		t.Fatal("re-insert evicted")
+	}
+	l.Insert(512, false)
+	_, dirty, _ := l.Insert(1024, false) // evicts LRU; 0 was refreshed by re-insert
+	_ = dirty
+	// Directly verify dirtiness survived via invalidate.
+	_, d := l.InvalidateRange(0, 64)
+	if d != 1 && l.Lookup(0) {
+		t.Fatal("merged dirty bit lost")
+	}
+}
+
+func TestInvalidateRange(t *testing.T) {
+	l := smallLevel(t)
+	l.Insert(0, true)
+	l.Insert(64, false)
+	l.Insert(128, false)
+	dropped, dirty := l.InvalidateRange(0, 128) // lines 0 and 64
+	if dropped != 2 || dirty != 1 {
+		t.Fatalf("dropped=%d dirty=%d", dropped, dirty)
+	}
+	if l.Lookup(0) || l.Lookup(64) || !l.Lookup(128) {
+		t.Fatal("invalidate range boundaries wrong")
+	}
+}
+
+func sys(t *testing.T) (*Hierarchy, *dram.Memory, *noc.Mesh, *energy.Meter) {
+	t.Helper()
+	meter := energy.NewMeter(energy.Default32nm())
+	mem := dram.NewMemory(dram.DefaultConfig(), meter)
+	mesh := noc.New(noc.DefaultConfig(), meter)
+	h, err := New(DefaultConfig(meter.Table), mem, mesh, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, mem, mesh, meter
+}
+
+func TestHostAccessColdThenWarm(t *testing.T) {
+	h, mem, _, _ := sys(t)
+	cold := h.HostAccess(0x10000, false)
+	if mem.Accesses == 0 {
+		t.Fatal("cold access did not reach DRAM")
+	}
+	warm := h.HostAccess(0x10000, false)
+	if warm >= cold {
+		t.Fatalf("warm latency %d !< cold latency %d", warm, cold)
+	}
+	if warm != h.l1.Latency() {
+		t.Fatalf("warm latency = %d, want L1 %d", warm, h.l1.Latency())
+	}
+}
+
+func TestHomeClusterAnchoring(t *testing.T) {
+	h, _, _, _ := sys(t)
+	span := h.cfg.ClusterSpanBytes
+	if h.HomeCluster(0) != 0 || h.HomeCluster(span-1) != 0 {
+		t.Fatal("first span not cluster 0")
+	}
+	if h.HomeCluster(span) != 1 {
+		t.Fatal("second span not cluster 1")
+	}
+	if h.HomeCluster(span*int64(h.Clusters())) != 0 {
+		t.Fatal("span wrap")
+	}
+}
+
+func TestClusterAccessLocalVsRemote(t *testing.T) {
+	h, _, mesh, _ := sys(t)
+	span := h.cfg.ClusterSpanBytes
+	// Warm the line at cluster 2's home.
+	addr := span*2 + 128
+	h.ClusterAccess(2, addr, false, 64)
+	before := mesh.TotalBytes()
+	latLocal, hit := h.ClusterAccess(2, addr, false, 64)
+	if !hit {
+		t.Fatal("warm cluster access missed")
+	}
+	if mesh.TotalBytes() != before {
+		t.Fatal("local cluster access generated NoC traffic")
+	}
+	latRemote, _ := h.ClusterAccess(5, addr, false, 64)
+	if latRemote <= latLocal {
+		t.Fatalf("remote latency %d !> local %d", latRemote, latLocal)
+	}
+	if mesh.TotalBytes() == before {
+		t.Fatal("remote cluster access generated no NoC traffic")
+	}
+}
+
+func TestPrefetcherImprovesStreaming(t *testing.T) {
+	// Stream through a large array twice: once with prefetch, once without.
+	run := func(pf bool) int64 {
+		meter := energy.NewMeter(energy.Default32nm())
+		mem := dram.NewMemory(dram.DefaultConfig(), meter)
+		mesh := noc.New(noc.DefaultConfig(), meter)
+		cfg := DefaultConfig(meter.Table)
+		cfg.L2Prefetch = pf
+		h, err := New(cfg, mem, mesh, meter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		for addr := int64(0); addr < 512<<10; addr += 8 {
+			total += int64(h.HostAccess(addr, false))
+		}
+		return total
+	}
+	with, without := run(true), run(false)
+	if with >= without {
+		t.Fatalf("prefetch did not help: with=%d without=%d", with, without)
+	}
+}
+
+func TestFlushRangePushesDirtyLines(t *testing.T) {
+	h, _, _, _ := sys(t)
+	h.HostAccess(0x2000, true) // dirty in L1
+	cost := h.FlushRange(0x2000, 64)
+	if cost <= 0 {
+		t.Fatal("flush cost zero")
+	}
+	l1, _, _ := h.Levels()
+	if l1.Lookup(0x2000) {
+		t.Fatal("flushed line still in L1")
+	}
+	// Data must now hit in L3 without DRAM.
+	_, hit := h.ClusterAccess(h.HomeCluster(0x2000), 0x2000, false, 64)
+	if !hit {
+		t.Fatal("flushed dirty line not visible in L3")
+	}
+}
+
+func TestCacheAccessCounters(t *testing.T) {
+	h, _, _, _ := sys(t)
+	h.HostAccess(0, false)
+	h.HostAccess(0, false)
+	l1, l2, l3 := h.CacheAccesses()
+	if l1 != 2 || l2 != 1 || l3 != 1 {
+		t.Fatalf("accesses l1/l2/l3 = %d/%d/%d, want 2/1/1", l1, l2, l3)
+	}
+}
+
+// Property: hits + misses == accesses at every level, and warm re-access of
+// any address hits L1.
+func TestHierarchyCounterInvariant(t *testing.T) {
+	h, _, _, _ := sys(t)
+	f := func(addrs []uint32) bool {
+		for _, a := range addrs {
+			h.HostAccess(int64(a%(1<<24)), a%3 == 0)
+		}
+		l1, l2, _ := h.Levels()
+		if l1.Hits+l1.Misses != l1.Accesses {
+			return false
+		}
+		if l2.Hits+l2.Misses != l2.Accesses {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchyConfigValidation(t *testing.T) {
+	meter := energy.NewMeter(energy.Default32nm())
+	cfg := DefaultConfig(meter.Table)
+	cfg.Clusters = 0
+	if _, err := New(cfg, nil, nil, meter); err == nil {
+		t.Fatal("zero clusters accepted")
+	}
+	cfg = DefaultConfig(meter.Table)
+	cfg.Clusters = 100
+	mesh := noc.New(noc.DefaultConfig(), meter)
+	if _, err := New(cfg, nil, mesh, meter); err == nil {
+		t.Fatal("clusters > mesh nodes accepted")
+	}
+}
+
+func TestStridePrefetcherDetection(t *testing.T) {
+	p := newStridePrefetcher(4)
+	// Feed lines 0,1,2,... : stride 1 after warmup.
+	var fired bool
+	for i := int64(0); i < 6; i++ {
+		if s, ok := p.observe(i); ok {
+			if s != 1 {
+				t.Fatalf("stride = %d, want 1", s)
+			}
+			fired = true
+		}
+	}
+	if !fired {
+		t.Fatal("unit stride never detected")
+	}
+	// Random jumps across pages should not fire for a fresh detector.
+	p2 := newStridePrefetcher(4)
+	for _, l := range []int64{0, 1000, 5000, 90000, 44, 70000} {
+		if _, ok := p2.observe(l); ok {
+			t.Fatal("random pattern detected as stride")
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package cgra models the statically mapped coarse-grained reconfigurable
+// fabric of the Dist-DA-F / Mono-DA-F configurations. The mapper performs
+// modulo scheduling: the initiation interval is the larger of the resource
+// minimum (ops per functional-unit class over provisioned PEs) and the
+// recurrence minimum (the longest loop-carried dependence chain), matching
+// the way the paper provisions a 5x5 tile per L3 cluster (§VI-E).
+package cgra
+
+import (
+	"fmt"
+
+	"distda/internal/ir"
+	"distda/internal/microcode"
+)
+
+// GridConfig describes a fabric tile's provisioned resources.
+type GridConfig struct {
+	Name       string
+	IntPEs     int
+	ComplexPEs int
+	FloatPEs   int
+	MemPorts   int // consume/produce/random ports serviceable per cycle
+}
+
+// Grid5x5 is the per-cluster Dist-DA-F tile: fifteen integer, four complex
+// and four floating-point ALUs plus buffer ports (§VI-E).
+func Grid5x5() GridConfig {
+	return GridConfig{Name: "5x5", IntPEs: 15, ComplexPEs: 4, FloatPEs: 4, MemPorts: 4}
+}
+
+// Grid8x8 is the Mono-DA-F tile supporting larger monolithic offloads.
+func Grid8x8() GridConfig {
+	return GridConfig{Name: "8x8", IntPEs: 40, ComplexPEs: 12, FloatPEs: 12, MemPorts: 8}
+}
+
+// Mapping is the result of modulo-scheduling a micro-program onto a grid.
+type Mapping struct {
+	II    int // initiation interval in fabric cycles
+	Depth int // pipeline depth (iteration latency) in fabric cycles
+	Ops   int // mapped operations
+	// MemSerial marks a loop-carried dependence through a random-access
+	// load (pointer chasing): successive iterations cannot overlap because
+	// the next address needs the previous load's data.
+	MemSerial bool
+}
+
+// Map schedules prog onto g. Predicated consumes/produces are rejected: the
+// compiler keeps channel operations unconditional so input counts per
+// iteration are static.
+func Map(prog microcode.Program, g GridConfig) (Mapping, error) {
+	if len(prog) == 0 {
+		return Mapping{}, fmt.Errorf("cgra: empty program")
+	}
+	if g.IntPEs <= 0 || g.ComplexPEs <= 0 || g.FloatPEs <= 0 || g.MemPorts <= 0 {
+		return Mapping{}, fmt.Errorf("cgra: grid %q has non-positive resources", g.Name)
+	}
+	var intOps, cplxOps, fpOps, memOps int
+	for i, op := range prog {
+		switch op.Code {
+		case microcode.Consume, microcode.Produce:
+			if op.Pred >= 0 {
+				return Mapping{}, fmt.Errorf("cgra: op %d: predicated channel operation not mappable", i)
+			}
+			memOps++
+		case microcode.LoadObj, microcode.StoreObj:
+			memOps++
+		default:
+			switch op.Class() {
+			case ir.ClassInt:
+				intOps++
+			case ir.ClassComplex:
+				cplxOps++
+			case ir.ClassFloat:
+				fpOps++
+			}
+		}
+	}
+	resMII := maxInt(
+		ceilDiv(intOps, g.IntPEs),
+		ceilDiv(cplxOps, g.ComplexPEs),
+		ceilDiv(fpOps, g.FloatPEs),
+		ceilDiv(memOps, g.MemPorts),
+		1,
+	)
+	depth, recMII := analyzeDeps(prog)
+	ii := maxInt(resMII, recMII)
+	return Mapping{II: ii, Depth: depth, Ops: len(prog), MemSerial: memSerialRecurrence(prog)}, nil
+}
+
+// memSerialRecurrence reports whether a loop-carried register dependence
+// passes through a LoadObj: the recurrence latency then includes the memory
+// access and iterations serialize.
+func memSerialRecurrence(prog microcode.Program) bool {
+	n := len(prog)
+	// reach[i][j]: op j is dataflow-reachable from op i within one
+	// iteration (following register defs).
+	reach := make([][]bool, n)
+	for i := range reach {
+		reach[i] = make([]bool, n)
+	}
+	lastWriter := map[int]int{}
+	preds := make([][]int, n)
+	carried := map[int][]int{} // reg -> ops reading the carried value
+	for i, op := range prog {
+		for _, r := range readRegs(op) {
+			if w, ok := lastWriter[r]; ok {
+				preds[i] = append(preds[i], w)
+			} else {
+				carried[r] = append(carried[r], i)
+			}
+		}
+		if d, ok := writeReg(op); ok {
+			lastWriter[d] = i
+		}
+	}
+	for i := 0; i < n; i++ {
+		for _, p := range preds[i] {
+			reach[p][i] = true
+			for q := 0; q < n; q++ {
+				if reach[q][p] {
+					reach[q][i] = true
+				}
+			}
+		}
+	}
+	onPath := func(from, via, to int) bool {
+		a := from == via || reach[from][via]
+		b := via == to || reach[via][to]
+		return a && b
+	}
+	for r, readers := range carried {
+		w, written := lastWriter[r]
+		if !written {
+			continue
+		}
+		for _, rd := range readers {
+			for i, op := range prog {
+				if op.Code == microcode.LoadObj && onPath(rd, i, w) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// analyzeDeps builds the register dataflow DAG of one iteration and returns
+// (critical path length, longest loop-carried recurrence chain). Each op
+// takes one fabric cycle.
+func analyzeDeps(prog microcode.Program) (depth, recMII int) {
+	n := len(prog)
+	// lastWriter[r] = index of most recent op writing register r.
+	lastWriter := map[int]int{}
+	// carriedReaders[r] = ops reading r before any write (value from the
+	// previous iteration).
+	carriedReaders := map[int][]int{}
+	preds := make([][]int, n)
+	for i, op := range prog {
+		for _, r := range readRegs(op) {
+			if w, ok := lastWriter[r]; ok {
+				preds[i] = append(preds[i], w)
+			} else {
+				carriedReaders[r] = append(carriedReaders[r], i)
+			}
+		}
+		if d, ok := writeReg(op); ok {
+			lastWriter[d] = i
+		}
+	}
+	// Longest path to each node.
+	level := make([]int, n)
+	for i := 0; i < n; i++ {
+		level[i] = 1
+		for _, p := range preds[i] {
+			if level[p]+1 > level[i] {
+				level[i] = level[p] + 1
+			}
+		}
+		if level[i] > depth {
+			depth = level[i]
+		}
+	}
+	// Recurrence: for each register read-before-write and later written, the
+	// chain from its first carried reader to its (final) writer bounds II.
+	recMII = 1
+	for r, readers := range carriedReaders {
+		w, written := lastWriter[r]
+		if !written {
+			continue
+		}
+		for _, rd := range readers {
+			if rd <= w {
+				// Chain length in ops from the reader to the writer along
+				// the DAG; level difference is a sound upper-path estimate.
+				chain := level[w] - level[rd] + 1
+				if chain > recMII {
+					recMII = chain
+				}
+			}
+		}
+	}
+	return depth, recMII
+}
+
+// readRegs returns the registers an op reads (including its predicate).
+func readRegs(op microcode.Op) []int {
+	var rs []int
+	switch op.Code {
+	case microcode.Produce:
+		rs = append(rs, op.A)
+	case microcode.LoadObj, microcode.ALUI, microcode.Un, microcode.Mov:
+		rs = append(rs, op.A)
+	case microcode.StoreObj, microcode.ALU:
+		rs = append(rs, op.A, op.B)
+	case microcode.SelOp:
+		rs = append(rs, op.A, op.B, op.C)
+	}
+	if op.Pred >= 0 {
+		rs = append(rs, op.Pred)
+	}
+	return rs
+}
+
+// writeReg returns the register an op writes, if any.
+func writeReg(op microcode.Op) (int, bool) {
+	switch op.Code {
+	case microcode.Consume, microcode.LoadObj, microcode.ALU, microcode.ALUI,
+		microcode.Un, microcode.SelOp, microcode.MovI, microcode.Mov, microcode.Iter:
+		return op.Dst, true
+	default:
+		return 0, false
+	}
+}
+
+func ceilDiv(a, b int) int {
+	if a == 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+func maxInt(vals ...int) int {
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,258 @@
+package cgra
+
+import (
+	"fmt"
+
+	"distda/internal/accessunit"
+	"distda/internal/core"
+	"distda/internal/energy"
+	"distda/internal/ir"
+	"distda/internal/microcode"
+)
+
+// Fabric executes one accelerator definition on a statically mapped grid:
+// iterations are initiated every II fabric cycles when operands are
+// available, complete Depth cycles later, and deliver their produced
+// operands in order.
+type Fabric struct {
+	def     *core.AccelDef
+	prog    microcode.Program
+	mapping Mapping
+	regs    [microcode.NumRegs]float64
+	trips   int64 // -1: while-input
+	iter    int64
+
+	inputs  map[int]*accessunit.InPort
+	outputs map[int]*accessunit.OutPort
+	random  *accessunit.RandomPort
+	meter   *energy.Meter
+
+	div int64 // fabric clock divisor (base cycles per fabric cycle)
+
+	nextStart int64
+	inflight  []flight
+	consumes  map[int]int // per input access-id: consumes per iteration
+	done      bool
+
+	// Counters.
+	Ops   int64
+	Iters int64
+}
+
+type flight struct {
+	ready int64
+	outs  []outVal
+}
+
+type outVal struct {
+	access int
+	v      float64
+}
+
+// NewFabric maps def's program onto g and returns the executor. trips < 0
+// selects while-input orchestration.
+func NewFabric(def *core.AccelDef, g GridConfig, trips int64,
+	inputs map[int]*accessunit.InPort, outputs map[int]*accessunit.OutPort,
+	random *accessunit.RandomPort, div int64, meter *energy.Meter) (*Fabric, error) {
+	m, err := Map(def.Program, g)
+	if err != nil {
+		return nil, fmt.Errorf("cgra: accel %d (%s): %w", def.ID, def.Name, err)
+	}
+	if div <= 0 {
+		return nil, fmt.Errorf("cgra: invalid clock divisor %d", div)
+	}
+	consumes := map[int]int{}
+	for _, op := range def.Program {
+		if op.Code == microcode.Consume {
+			consumes[op.Access]++
+		}
+	}
+	for acc := range consumes {
+		if _, ok := inputs[acc]; !ok {
+			return nil, fmt.Errorf("cgra: accel %d: access %d consumed but not wired", def.ID, acc)
+		}
+	}
+	return &Fabric{
+		def: def, prog: def.Program, mapping: m, trips: trips,
+		inputs: inputs, outputs: outputs, random: random,
+		div: div, meter: meter, consumes: consumes,
+	}, nil
+}
+
+// Mapping returns the modulo schedule chosen for this fabric.
+func (f *Fabric) Mapping() Mapping { return f.mapping }
+
+// SetReg initializes a register (cp_set_rf).
+func (f *Fabric) SetReg(r int, v float64) { f.regs[r] = v }
+
+// Reg reads a register (cp_load_rf). Meaningful once Done.
+func (f *Fabric) Reg(r int) float64 { return f.regs[r] }
+
+// Done reports orchestrator completion.
+func (f *Fabric) Done() bool { return f.done }
+
+func (f *Fabric) finish() {
+	for _, p := range f.outputs {
+		if !p.Buf.Closed() {
+			p.Buf.Close()
+		}
+	}
+	f.done = true
+}
+
+// Step advances one fabric clock edge.
+func (f *Fabric) Step(now int64) bool {
+	if f.done {
+		return false
+	}
+	progress := false
+	// Deliver the oldest completed iteration's outputs, in order.
+	for len(f.inflight) > 0 && f.inflight[0].ready <= now {
+		head := &f.inflight[0]
+		for len(head.outs) > 0 {
+			out := head.outs[0]
+			p := f.outputs[out.access]
+			if !p.Buf.CanPush() {
+				break
+			}
+			p.Buf.Push(out.v)
+			head.outs = head.outs[1:]
+			progress = true
+		}
+		if len(head.outs) > 0 {
+			break // back-pressure: hold delivery order
+		}
+		f.inflight = f.inflight[1:]
+		progress = true
+	}
+	if len(f.inflight) > 0 && f.inflight[0].ready > now {
+		progress = true // pipeline timer running
+	}
+	// Completion check.
+	if f.trips >= 0 && f.iter >= f.trips {
+		if len(f.inflight) == 0 {
+			f.finish()
+			return true
+		}
+		return progress
+	}
+	if f.trips < 0 {
+		p := f.inputs[f.def.Trip.InputAccess]
+		if p == nil {
+			panic(fmt.Sprintf("cgra: accel %d: while-input access not wired", f.def.ID))
+		}
+		if p.Buf.Drained(p.Reader) && len(f.inflight) == 0 {
+			f.finish()
+			return true
+		}
+	}
+	// Initiate a new iteration when the schedule and operands allow.
+	if now < f.nextStart {
+		return true
+	}
+	for acc, n := range f.consumes {
+		p := f.inputs[acc]
+		if p.Buf.Level(p.Reader) < int64(n) {
+			if p.Buf.Drained(p.Reader) && f.trips < 0 {
+				return progress // will terminate on the drained check above
+			}
+			return progress // waiting on operands
+		}
+	}
+	f.startIteration(now)
+	return true
+}
+
+// startIteration functionally executes one iteration and schedules its
+// completion Depth fabric cycles (plus random-access latency) later.
+func (f *Fabric) startIteration(now int64) {
+	var outs []outVal
+	extraLat := int64(0)
+	for _, op := range f.prog {
+		if op.Pred >= 0 && f.regs[op.Pred] == 0 {
+			continue // predicated off (channel ops are never predicated)
+		}
+		f.countOp(op)
+		switch op.Code {
+		case microcode.Nop:
+		case microcode.Consume:
+			p := f.inputs[op.Access]
+			f.regs[op.Dst] = p.Buf.Pop(p.Reader)
+		case microcode.Produce:
+			outs = append(outs, outVal{access: op.Access, v: f.regs[op.A]})
+		case microcode.LoadObj:
+			v, lat, err := f.random.Load(op.Obj, int64(f.regs[op.A]))
+			if err != nil {
+				panic(fmt.Sprintf("cgra: accel %d: %v", f.def.ID, err))
+			}
+			f.regs[op.Dst] = v
+			extraLat += int64(lat)
+		case microcode.StoreObj:
+			lat, err := f.random.Store(op.Obj, int64(f.regs[op.A]), f.regs[op.B])
+			if err != nil {
+				panic(fmt.Sprintf("cgra: accel %d: %v", f.def.ID, err))
+			}
+			if lat > 8 {
+				lat = 8 // posted write occupancy
+			}
+			extraLat += int64(lat)
+		case microcode.ALU:
+			f.regs[op.Dst] = f.apply(op.Bin, f.regs[op.A], f.regs[op.B])
+		case microcode.ALUI:
+			f.regs[op.Dst] = f.apply(op.Bin, f.regs[op.A], op.Imm)
+		case microcode.Un:
+			f.regs[op.Dst] = ir.ApplyUn(op.UnOp, f.regs[op.A])
+		case microcode.SelOp:
+			if f.regs[op.C] != 0 {
+				f.regs[op.Dst] = f.regs[op.A]
+			} else {
+				f.regs[op.Dst] = f.regs[op.B]
+			}
+		case microcode.MovI:
+			f.regs[op.Dst] = op.Imm
+		case microcode.Mov:
+			f.regs[op.Dst] = f.regs[op.A]
+		case microcode.Iter:
+			f.regs[op.Dst] = float64(f.iter)
+		default:
+			panic(fmt.Sprintf("cgra: accel %d: bad opcode %v", f.def.ID, op.Code))
+		}
+	}
+	ready := now + int64(f.mapping.Depth)*f.div + extraLat
+	if n := len(f.inflight); n > 0 && ready < f.inflight[n-1].ready {
+		ready = f.inflight[n-1].ready // in-order completion
+	}
+	f.inflight = append(f.inflight, flight{ready: ready, outs: outs})
+	if f.mapping.MemSerial {
+		f.nextStart = ready // pointer chase: no iteration overlap
+	} else {
+		f.nextStart = now + int64(f.mapping.II)*f.div
+	}
+	f.iter++
+	f.Iters++
+}
+
+func (f *Fabric) countOp(op microcode.Op) {
+	f.Ops++
+	if f.meter != nil {
+		t := f.meter.Table
+		e := t.CGRAOpPJ
+		switch op.Class() {
+		case ir.ClassInt:
+			e += t.IntOpPJ
+		case ir.ClassComplex:
+			e += t.ComplexOpPJ
+		case ir.ClassFloat:
+			e += t.FloatOpPJ
+		}
+		f.meter.Add(energy.CatAccel, e)
+	}
+}
+
+func (f *Fabric) apply(op ir.BinOp, a, b float64) float64 {
+	v, err := ir.ApplyBin(op, a, b)
+	if err != nil {
+		panic(fmt.Sprintf("cgra: accel %d: %v", f.def.ID, err))
+	}
+	return v
+}

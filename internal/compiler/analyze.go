@@ -1,0 +1,613 @@
+// Package compiler implements the paper's compilation flow (§V, Fig. 6):
+// innermost loops are abstracted as DFGs of memory-object / access / compute
+// nodes, classified via affine (scalar-evolution) analysis, partitioned to
+// minimize communication under the ≤1-object-per-partition goal, placed, and
+// emitted as distributed accelerator definitions with interface intrinsics.
+package compiler
+
+import (
+	"fmt"
+
+	"distda/internal/ir"
+)
+
+// vkind discriminates value-graph nodes.
+type vkind int
+
+const (
+	vScalarIn    vkind = iota // loop-invariant input, cp_set_rf at launch
+	vConst                    // immediate
+	vIter                     // innermost induction variable value (lo + iter)
+	vOp                       // binary op
+	vUn                       // unary op
+	vSel                      // select
+	vLoadStream               // affine load: consume from a stream-in buffer
+	vLoadRandom               // indirect load: cp_read
+	vStoreStream              // affine unpredicated store: produce to stream-out
+	vStoreRandom              // indirect or predicated store: cp_write
+	vCarried                  // loop-carried local (register recurrence seed)
+	vForward                  // store-to-load forwarded value (distance 1)
+)
+
+func (k vkind) String() string {
+	names := [...]string{"scalar", "const", "iter", "op", "un", "sel",
+		"load.stream", "load.random", "store.stream", "store.random", "carried", "forward"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("vkind(%d)", int(k))
+}
+
+// vnode is one value-graph node. args carry dataflow inputs; stores also use
+// val/idx/pred; carried/forward nodes get a next-value back edge.
+type vnode struct {
+	id   int
+	kind vkind
+
+	expr ir.Expr   // vScalarIn: launch-time expression; vConst unused
+	cval float64   // vConst
+	op   ir.BinOp  // vOp
+	un   ir.UnOp   // vUn
+	args []*vnode  // vOp/vUn/vSel inputs (Sel: cond,t,f)
+	obj  string    // loads/stores
+	aff  ir.Affine // stream accesses: affine wrt innermost IV
+	idx  *vnode    // random accesses: index value
+	val  *vnode    // stores: stored value
+	pred *vnode    // predicated stores
+
+	// vCarried / vForward.
+	localName string  // carried local's host name ("" for forwards)
+	init      ir.Expr // launch-time initial value
+	next      *vnode  // value that becomes this node at the next iteration
+}
+
+// region is the analyzed form of one innermost loop.
+type region struct {
+	loop  *ir.For
+	class regionClass
+	why   string // for not-offloaded: the reason
+	nodes []*vnode
+	// stores in statement order (for memory-order edges).
+	sideEffects []*vnode
+	// trip count expression: max(0, hi-lo) with step 1.
+	trips ir.Expr
+	// lo expression for iv reconstruction.
+	lo ir.Expr
+	// carried locals in discovery order (for ScalarInit/Out emission).
+	carried []*vnode
+	// folded: the epilogue store was absorbed into the offload.
+	folded bool
+}
+
+type regionClass int
+
+const (
+	classParallelizable regionClass = iota
+	classPipelinable
+	classNotOffloaded
+)
+
+// analyzer walks one innermost loop body symbolically.
+type analyzer struct {
+	k     *ir.Kernel
+	loop  *ir.For
+	reg   *region
+	env   map[string]*vnode // local name -> current value node
+	preds []*vnode          // predicate stack (if-conversion)
+	memo  map[string]*vnode // CSE over pure nodes
+	// invariantDefs: locals defined before the loop usable in affine offsets
+	// — conservatively empty inside the loop (locals defined in-body are not
+	// loop-invariant).
+	outerLocals map[string]bool
+	noStreams   bool
+	fail        string
+}
+
+// analyzeLoop builds the value graph of one innermost loop. outerLocals
+// names host locals defined before the loop (their values are launch
+// constants). Returns a region; class records offloadability.
+func analyzeLoop(k *ir.Kernel, loop *ir.For, outerLocals map[string]bool, noStreams bool, epilogue *ir.Store) *region {
+	a := &analyzer{
+		k: k, loop: loop,
+		reg:         &region{loop: loop},
+		env:         map[string]*vnode{},
+		memo:        map[string]*vnode{},
+		outerLocals: outerLocals,
+		noStreams:   noStreams,
+	}
+	// Step must be the unit constant for stream configuration.
+	if st, ok := loop.Step.(ir.Const); !ok || st.V != 1 {
+		return a.reject("non-unit loop step")
+	}
+	a.reg.lo = loop.Lo
+	a.reg.trips = ir.MaxE(ir.C(0), ir.SubE(loop.Hi, loop.Lo))
+	a.stmts(loop.Body)
+	if a.fail != "" {
+		return a.reject(a.fail)
+	}
+	a.resolveCarried()
+	if a.fail != "" {
+		return a.reject(a.fail)
+	}
+	a.forwardStores()
+	if a.fail != "" {
+		return a.reject(a.fail)
+	}
+	if epilogue != nil {
+		a.foldEpilogue(epilogue)
+	}
+	a.classify()
+	return a.reg
+}
+
+// foldEpilogue absorbs the store following the loop into the offload: on
+// the last iteration the accelerator writes f(final reduction value)
+// directly (the paper's dataflow epilogue — A2 updating C in Fig. 1d).
+// This removes the host's cp_load_rf synchronization. The fold is abandoned
+// (without failing the region) when the expressions are not representable
+// or the target object aliases a streamed one.
+func (a *analyzer) foldEpilogue(st *ir.Store) {
+	mark := len(a.reg.nodes)
+	sideMark := len(a.reg.sideEffects)
+	ok := func() bool {
+		// The target object must not be stream-accessed by the region
+		// (single serializing point per object).
+		for _, n := range a.reg.nodes {
+			if (n.kind == vLoadStream || n.kind == vStoreStream) && n.obj == st.Obj {
+				return false
+			}
+		}
+		idx := a.eval(st.Idx)
+		val := a.eval(st.Val)
+		if a.fail != "" {
+			return false
+		}
+		// The store executes on the last iteration, where every in-body
+		// value equals its post-loop value. The only unsound inputs are
+		// launch-time scalar loads (evaluated by the host before the loop)
+		// of objects the region itself writes — their post-loop values
+		// would differ.
+		written := map[string]bool{st.Obj: true}
+		for _, n := range a.reg.nodes {
+			if n.kind == vStoreStream || n.kind == vStoreRandom {
+				written[n.obj] = true
+			}
+		}
+		unsafe := false
+		var scan func(n *vnode, seen map[*vnode]bool)
+		scan = func(n *vnode, seen map[*vnode]bool) {
+			if n == nil || seen[n] || unsafe {
+				return
+			}
+			seen[n] = true
+			if n.kind == vScalarIn && n.expr != nil {
+				ir.WalkExpr(n.expr, func(e ir.Expr) {
+					if ld, ok := e.(ir.Load); ok && written[ld.Obj] {
+						unsafe = true
+					}
+				})
+			}
+			for _, d := range append(append([]*vnode{}, n.args...), n.idx, n.val, n.pred, n.next) {
+				scan(d, seen)
+			}
+		}
+		seen := map[*vnode]bool{}
+		scan(idx, seen)
+		scan(val, seen)
+		if unsafe {
+			return false
+		}
+		iter := a.cse("iter", func() *vnode { return a.node(&vnode{kind: vIter}) })
+		last := a.cse("lastiter", func() *vnode {
+			return a.node(&vnode{kind: vScalarIn, expr: ir.SubE(ir.AddE(a.reg.lo, a.reg.trips), ir.C(1))})
+		})
+		pred := a.node(&vnode{kind: vOp, op: ir.Eq, args: []*vnode{iter, last}})
+		n := a.node(&vnode{kind: vStoreRandom, obj: st.Obj, idx: idx, val: val, pred: pred})
+		a.reg.sideEffects = append(a.reg.sideEffects, n)
+		return true
+	}()
+	if !ok {
+		a.fail = ""
+		a.reg.nodes = a.reg.nodes[:mark]
+		a.reg.sideEffects = a.reg.sideEffects[:sideMark]
+		return
+	}
+	a.reg.folded = true
+}
+
+func (a *analyzer) reject(why string) *region {
+	a.reg.class = classNotOffloaded
+	a.reg.why = why
+	return a.reg
+}
+
+func (a *analyzer) node(n *vnode) *vnode {
+	n.id = len(a.reg.nodes)
+	a.reg.nodes = append(a.reg.nodes, n)
+	return n
+}
+
+// cse returns a memoized node for pure values.
+func (a *analyzer) cse(key string, mk func() *vnode) *vnode {
+	if n, ok := a.memo[key]; ok {
+		return n
+	}
+	n := mk()
+	a.memo[key] = n
+	return n
+}
+
+func (a *analyzer) curPred() *vnode {
+	if len(a.preds) == 0 {
+		return nil
+	}
+	return a.preds[len(a.preds)-1]
+}
+
+func (a *analyzer) stmts(body []ir.Stmt) {
+	for _, s := range body {
+		if a.fail != "" {
+			return
+		}
+		switch x := s.(type) {
+		case ir.Let:
+			v := a.eval(x.E)
+			if a.fail != "" {
+				return
+			}
+			if p := a.curPred(); p != nil {
+				// Predicated definition: merge with the prior value. A local
+				// first defined under this predicate is live only on the
+				// predicated path (the kernel validator enforces that), so it
+				// binds directly; downstream uses carry the same predicate.
+				if old, ok := a.env[x.Name]; ok {
+					v = a.node(&vnode{kind: vSel, args: []*vnode{p, v, old}})
+				} else if a.outerLocals[x.Name] {
+					old = a.hostLocalOrFail(x.Name)
+					if a.fail != "" {
+						return
+					}
+					v = a.node(&vnode{kind: vSel, args: []*vnode{p, v, old}})
+				}
+			}
+			a.env[x.Name] = v
+		case ir.Store:
+			a.store(x)
+		case ir.If:
+			cond := a.eval(x.Cond)
+			if a.fail != "" {
+				return
+			}
+			thenPred := a.andPred(cond)
+			a.preds = append(a.preds, thenPred)
+			a.stmts(x.Then)
+			a.preds = a.preds[:len(a.preds)-1]
+			if a.fail != "" {
+				return
+			}
+			if len(x.Else) > 0 {
+				notCond := a.node(&vnode{kind: vUn, un: ir.Not, args: []*vnode{cond}})
+				elsePred := a.andPred(notCond)
+				a.preds = append(a.preds, elsePred)
+				a.stmts(x.Else)
+				a.preds = a.preds[:len(a.preds)-1]
+			}
+		case *ir.For:
+			a.fail = "nested loop inside innermost loop"
+		default:
+			a.fail = fmt.Sprintf("unsupported statement %T", s)
+		}
+	}
+}
+
+func (a *analyzer) andPred(c *vnode) *vnode {
+	if p := a.curPred(); p != nil {
+		return a.node(&vnode{kind: vOp, op: ir.And, args: []*vnode{p, c}})
+	}
+	return c
+}
+
+// hostLocalOrFail produces a scalar-input (or carried placeholder) node for
+// a local defined before the loop.
+func (a *analyzer) hostLocalOrFail(name string) *vnode {
+	if !a.outerLocals[name] {
+		a.fail = fmt.Sprintf("read of undefined local %q", name)
+		return nil
+	}
+	// A pre-loop local read inside the body: if the body also assigns it,
+	// it is loop-carried; resolveCarried sorts that out. Start as carried
+	// placeholder so both cases unify.
+	return a.cse("carried:"+name, func() *vnode {
+		return a.node(&vnode{kind: vCarried, localName: name, init: ir.L(name)})
+	})
+}
+
+func (a *analyzer) eval(e ir.Expr) *vnode {
+	if a.fail != "" {
+		return nil
+	}
+	switch x := e.(type) {
+	case ir.Const:
+		return a.cse(fmt.Sprintf("c:%g", x.V), func() *vnode {
+			return a.node(&vnode{kind: vConst, cval: x.V})
+		})
+	case ir.Param:
+		return a.cse("p:"+x.Name, func() *vnode {
+			return a.node(&vnode{kind: vScalarIn, expr: x})
+		})
+	case ir.IV:
+		if x.Name == a.loop.IV {
+			return a.cse("iter", func() *vnode {
+				return a.node(&vnode{kind: vIter})
+			})
+		}
+		// Outer IV: launch-time constant.
+		return a.cse("iv:"+x.Name, func() *vnode {
+			return a.node(&vnode{kind: vScalarIn, expr: x})
+		})
+	case ir.Local:
+		if v, ok := a.env[x.Name]; ok {
+			return v
+		}
+		return a.hostLocalOrFail(x.Name)
+	case ir.Load:
+		return a.load(x)
+	case ir.Bin:
+		va := a.eval(x.A)
+		vb := a.eval(x.B)
+		if a.fail != "" {
+			return nil
+		}
+		return a.node(&vnode{kind: vOp, op: x.Op, args: []*vnode{va, vb}})
+	case ir.Un:
+		va := a.eval(x.A)
+		if a.fail != "" {
+			return nil
+		}
+		return a.node(&vnode{kind: vUn, un: x.Op, args: []*vnode{va}})
+	case ir.Sel:
+		c := a.eval(x.Cond)
+		tv := a.eval(x.T)
+		fv := a.eval(x.F)
+		if a.fail != "" {
+			return nil
+		}
+		return a.node(&vnode{kind: vSel, args: []*vnode{c, tv, fv}})
+	default:
+		a.fail = fmt.Sprintf("unsupported expression %T", e)
+		return nil
+	}
+}
+
+// affineOf classifies an index expression against the innermost IV. The
+// defs map exposes nothing: in-body locals may be iteration-variant, so an
+// index through a local is only affine if the local's defining expression
+// chain is re-derivable; we conservatively reject locals here and rely on
+// direct index expressions (the workloads use them).
+func (a *analyzer) affineOf(idx ir.Expr) (ir.Affine, bool) {
+	return ir.AnalyzeAffine(idx, map[string]bool{a.loop.IV: true}, nil)
+}
+
+func (a *analyzer) load(x ir.Load) *vnode {
+	if aff, ok := a.affineOf(x.Idx); ok && !a.noStreams {
+		if len(aff.Coeffs) == 0 {
+			// Loop-invariant load: the host reads it at launch.
+			return a.cse("inv:"+x.String(), func() *vnode {
+				return a.node(&vnode{kind: vScalarIn, expr: x})
+			})
+		}
+		key := "ldstream:" + x.Obj + ":" + aff.String()
+		return a.cse(key, func() *vnode {
+			return a.node(&vnode{kind: vLoadStream, obj: x.Obj, aff: aff})
+		})
+	}
+	// Indirect: the index is a computed value.
+	idxNode := a.eval(x.Idx)
+	if a.fail != "" {
+		return nil
+	}
+	n := a.node(&vnode{kind: vLoadRandom, obj: x.Obj, idx: idxNode, pred: a.curPred()})
+	a.reg.sideEffects = append(a.reg.sideEffects, n)
+	return n
+}
+
+func (a *analyzer) store(x ir.Store) {
+	val := a.eval(x.Val)
+	if a.fail != "" {
+		return
+	}
+	pred := a.curPred()
+	if aff, ok := a.affineOf(x.Idx); ok && pred == nil && len(aff.Coeffs) == 1 && !a.noStreams {
+		n := a.node(&vnode{kind: vStoreStream, obj: x.Obj, aff: aff, val: val})
+		a.reg.sideEffects = append(a.reg.sideEffects, n)
+		return
+	}
+	idxNode := a.eval(x.Idx)
+	if a.fail != "" {
+		return
+	}
+	n := a.node(&vnode{kind: vStoreRandom, obj: x.Obj, idx: idxNode, val: val, pred: pred})
+	a.reg.sideEffects = append(a.reg.sideEffects, n)
+}
+
+// resolveCarried wires loop-carried locals: a carried placeholder whose
+// local was reassigned in the body gets a next-value edge; one never
+// reassigned degrades to a plain scalar input.
+func (a *analyzer) resolveCarried() {
+	for _, n := range a.reg.nodes {
+		if n.kind != vCarried || n.localName == "" {
+			continue
+		}
+		if cur, ok := a.env[n.localName]; ok && cur != n {
+			n.next = cur
+			a.reg.carried = append(a.reg.carried, n)
+		} else {
+			n.kind = vScalarIn
+			n.expr = ir.L(n.localName)
+		}
+	}
+	// Locals assigned in the body but never read before assignment are
+	// loop-local temporaries unless read after the loop; the emitter exports
+	// final values for all assigned locals via cp_load_rf, which requires
+	// them to be representable: any env entry whose value node exists is
+	// exportable, nothing to do here.
+}
+
+// forwardStores detects stream loads that read what a stream store wrote
+// exactly one iteration earlier (in-place stencils like seidel-2d) and
+// replaces them with a distance-1 forwarded register. Loads at distance
+// <= 0 read not-yet-written (old) values, which prefetching preserves;
+// distances > 1 are rejected.
+func (a *analyzer) forwardStores() {
+	stores := map[string][]*vnode{}
+	streamReadObjs := map[string]bool{}
+	randomObjs := map[string]bool{}
+	for _, n := range a.reg.nodes {
+		switch n.kind {
+		case vStoreStream:
+			stores[n.obj] = append(stores[n.obj], n)
+		case vLoadStream:
+			streamReadObjs[n.obj] = true
+		case vLoadRandom, vStoreRandom:
+			randomObjs[n.obj] = true
+		}
+	}
+	// Conservative aliasing rule: an object with stream writes may not also
+	// be randomly accessed in the same region (ordering through the drain
+	// FSM would be unverifiable).
+	for obj := range randomObjs {
+		if len(stores[obj]) > 0 {
+			a.fail = fmt.Sprintf("object %q has both stream stores and random accesses", obj)
+			return
+		}
+	}
+	for _, n := range a.reg.nodes {
+		if n.kind != vLoadStream || len(stores[n.obj]) == 0 {
+			continue
+		}
+		st := stores[n.obj][0]
+		if len(stores[n.obj]) > 1 {
+			a.fail = fmt.Sprintf("object %q has multiple stream stores", n.obj)
+			return
+		}
+		// The load at iteration i reads the element the store writes at
+		// iteration i+d. Classify by sampling (d, trips) pairs — the
+		// compile-time analog of the runtime constant-distance check:
+		//  - every sample has d >= 0: the write is in the future; prefetched
+		//    (old) values are correct;
+		//  - every sample has d == -1: forward the previous iteration's
+		//    store value through a register;
+		//  - every sample has -d >= trips: the write pointer never reaches
+		//    the load's elements within one launch (a stencil's previous
+		//    row); earlier launches produced those values.
+		samples, ok := a.distanceSamples(n.aff, st.aff)
+		switch {
+		case !ok:
+			a.fail = fmt.Sprintf("object %q: unresolvable load/store distance", n.obj)
+			return
+		case allSamples(samples, func(s distSample) bool { return s.d >= 0 }):
+			// Old values stream correctly.
+		case allSamples(samples, func(s distSample) bool { return s.d == -1 }):
+			n.next = st.val
+			n.init = a.initialLoadExpr(n) // uses n.aff; compute before clearing
+			n.kind = vForward
+			n.aff = ir.Affine{}
+		case allSamples(samples, func(s distSample) bool { return -s.d >= s.trips }):
+			// No intra-launch overlap.
+		default:
+			a.fail = fmt.Sprintf("object %q: load/store distance %g unsupported", n.obj, samples[0].d)
+			return
+		}
+	}
+}
+
+// distSample is one sampled (distance, trip-count) evaluation.
+type distSample struct {
+	d     float64
+	trips float64
+}
+
+func allSamples(ss []distSample, pred func(distSample) bool) bool {
+	for _, s := range ss {
+		if !pred(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// distanceSamples evaluates (loadOffset - storeOffset)/stride and the trip
+// count under several sampled symbol environments. Matching the paper,
+// access distances are runtime constants checked at configuration time;
+// sampling is the compile-time analog. Trip-count expressions containing
+// loads (dynamic bounds) are unverifiable and fail closed.
+func (a *analyzer) distanceSamples(load, store ir.Affine) ([]distSample, bool) {
+	lc, okL := load.Coeffs[a.loop.IV]
+	sc, okS := store.Coeffs[a.loop.IV]
+	if !okL || !okS {
+		return nil, false
+	}
+	var out []distSample
+	for trial := 0; trial < 4; trial++ {
+		env := sampleEnv(a.k, trial)
+		lcV, err1 := ir.EvalScalar(lc, env.params, env.ivs)
+		scV, err2 := ir.EvalScalar(sc, env.params, env.ivs)
+		lo, err3 := ir.EvalScalar(load.Offset, env.params, env.ivs)
+		so, err4 := ir.EvalScalar(store.Offset, env.params, env.ivs)
+		trips, err5 := ir.EvalScalar(a.reg.trips, env.params, env.ivs)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil {
+			return nil, false
+		}
+		if lcV != scV || lcV == 0 {
+			return nil, false
+		}
+		out = append(out, distSample{d: (lo - so) / lcV, trips: trips})
+	}
+	return out, true
+}
+
+type sampledEnv struct {
+	params map[string]float64
+	ivs    map[string]float64
+}
+
+// sampleEnv binds every parameter and any IV name to distinct pseudo-random
+// values per trial; offsets that agree across samples are treated as
+// runtime constants.
+func sampleEnv(k *ir.Kernel, trial int) sampledEnv {
+	env := sampledEnv{params: map[string]float64{}, ivs: map[string]float64{}}
+	seed := float64(97 + trial*61)
+	for i, p := range k.Params {
+		env.params[p] = seed + float64(i*13+7)
+	}
+	// IV names: collect from all loops.
+	for i, f := range ir.Loops(k.Body) {
+		env.ivs[f.IV] = seed/2 + float64(i*17+3)
+	}
+	return env
+}
+
+// initialLoadExpr builds the launch-time expression for a forwarded load's
+// first-iteration value: the original index with the IV bound to lo.
+func (a *analyzer) initialLoadExpr(n *vnode) ir.Expr {
+	// index(iv=lo) = offset + coeff*lo
+	coeff := n.aff.Coeffs[a.loop.IV]
+	idx := ir.AddE(n.aff.Offset, ir.MulE(coeff, a.reg.lo))
+	return ir.Load{Obj: n.obj, Idx: idx}
+}
+
+// classify applies §V-A-2's three-way conservative classification.
+func (a *analyzer) classify() {
+	hasRandomWrite := false
+	for _, n := range a.reg.nodes {
+		if n.kind == vStoreRandom {
+			hasRandomWrite = true
+		}
+	}
+	switch {
+	case hasRandomWrite:
+		a.reg.class = classPipelinable
+	default:
+		a.reg.class = classParallelizable
+	}
+}

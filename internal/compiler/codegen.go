@@ -1,0 +1,491 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"distda/internal/core"
+	"distda/internal/ir"
+	"distda/internal/microcode"
+)
+
+// partBuild accumulates one accelerator definition.
+type partBuild struct {
+	id      int
+	prog    []microcode.Op
+	access  []core.AccessDecl
+	inits   []core.ScalarBind
+	outs    []core.ScalarBind
+	regOf   map[int]int // vnode id -> register holding its value here
+	free    []int
+	nextReg int
+	pinned  map[int]bool // registers excluded from reuse
+	loReg   int
+	objs    map[string]bool
+	// finalMovs: (dstReg, src vnode) applied at end of each iteration.
+	finalMovs []pendingMov
+}
+
+type pendingMov struct {
+	dst int
+	src *vnode
+}
+
+func newPartBuild(id int) *partBuild {
+	return &partBuild{id: id, regOf: map[int]int{}, pinned: map[int]bool{}, loReg: -1, objs: map[string]bool{}}
+}
+
+func (pb *partBuild) alloc(pin bool) (int, error) {
+	var r int
+	if len(pb.free) > 0 && !pin {
+		r = pb.free[len(pb.free)-1]
+		pb.free = pb.free[:len(pb.free)-1]
+	} else {
+		r = pb.nextReg
+		pb.nextReg++
+		if pb.nextReg > microcode.NumRegs {
+			return 0, fmt.Errorf("compiler: partition %d exceeds %d registers", pb.id, microcode.NumRegs)
+		}
+	}
+	if pin {
+		pb.pinned[r] = true
+	}
+	return r, nil
+}
+
+func (pb *partBuild) release(r int) {
+	if !pb.pinned[r] {
+		pb.free = append(pb.free, r)
+	}
+}
+
+func (pb *partBuild) op(o microcode.Op) { pb.prog = append(pb.prog, o) }
+
+func (pb *partBuild) addAccess(d core.AccessDecl) int {
+	d.ID = len(pb.access)
+	pb.access = append(pb.access, d)
+	return d.ID
+}
+
+// emit lowers the partitioned value graph into accelerator definitions.
+func (em *emitter) emit() ([]*core.AccelDef, error) {
+	parts := make([]*partBuild, em.nParts)
+	for i := range parts {
+		parts[i] = newPartBuild(i)
+	}
+	topoIdx := map[int]int{}
+	for i, n := range em.topo {
+		topoIdx[n.id] = i
+	}
+
+	// lastUse[p][nodeID] = topo index of the node's last consumer in part p.
+	lastUse := make([]map[int]int, em.nParts)
+	for i := range lastUse {
+		lastUse[i] = map[int]int{}
+	}
+	noteUse := func(p int, d *vnode, at int) {
+		if cur, ok := lastUse[p][d.id]; !ok || at > cur {
+			lastUse[p][d.id] = at
+		}
+	}
+	const endOfProgram = 1 << 30
+	for _, n := range em.topo {
+		p := em.part[n.id]
+		for _, d := range deps(n) {
+			noteUse(p, d, topoIdx[n.id])
+		}
+		if n.next != nil {
+			// The recurrence's next value feeds the end-of-iteration update.
+			noteUse(em.part[n.id], n.next, endOfProgram)
+		}
+	}
+
+	remoteConsumers := em.remoteConsumers()
+	// channel peers to fix up: producer (part, access) <-> consumer (part, access).
+	type chanEnd struct{ part, access int }
+	type channel struct{ prod, cons chanEnd }
+	var channels []channel
+	chanByKey := map[string]int{} // "node:consPart" -> channel index
+
+	// use returns the register holding d's value within part p, emitting a
+	// channel consume on first remote use.
+	use := func(pb *partBuild, d *vnode) (int, error) {
+		if r, ok := pb.regOf[d.id]; ok {
+			return r, nil
+		}
+		if em.part[d.id] == pb.id {
+			return 0, fmt.Errorf("compiler: node %d used before definition in part %d", d.id, pb.id)
+		}
+		key := fmt.Sprintf("%d:%d", d.id, pb.id)
+		ci, ok := chanByKey[key]
+		if !ok {
+			return 0, fmt.Errorf("compiler: no channel for node %d into part %d", d.id, pb.id)
+		}
+		accID := pb.addAccess(core.AccessDecl{Kind: core.ChanIn, ElemBytes: 8})
+		channels[ci].cons = chanEnd{part: pb.id, access: accID}
+		r, err := pb.alloc(false)
+		if err != nil {
+			return 0, err
+		}
+		o := microcode.NewOp(microcode.Consume)
+		o.Dst, o.Access = r, accID
+		pb.op(o)
+		pb.regOf[d.id] = r
+		return r, nil
+	}
+	// maybeFree releases operand registers whose last use has passed.
+	maybeFree := func(pb *partBuild, at int, ds ...*vnode) {
+		for _, d := range ds {
+			if d == nil {
+				continue
+			}
+			if r, ok := pb.regOf[d.id]; ok && lastUse[pb.id][d.id] <= at {
+				pb.release(r)
+				delete(pb.regOf, d.id)
+			}
+		}
+	}
+
+	for i, n := range em.topo {
+		pb := parts[em.part[n.id]]
+		if err := em.emitNode(pb, n, use, maybeFree, i); err != nil {
+			return nil, err
+		}
+		// Forward this value to remote consumer parts.
+		if cps := remoteConsumers[n.id]; len(cps) > 0 {
+			src, ok := pb.regOf[n.id]
+			if !ok {
+				return nil, fmt.Errorf("compiler: node %d (%v) has remote consumers but no value register", n.id, n.kind)
+			}
+			for _, q := range cps {
+				accID := pb.addAccess(core.AccessDecl{Kind: core.ChanOut, ElemBytes: 8})
+				chanByKey[fmt.Sprintf("%d:%d", n.id, q)] = len(channels)
+				channels = append(channels, channel{prod: chanEnd{part: pb.id, access: accID}})
+				o := microcode.NewOp(microcode.Produce)
+				o.A, o.Access = src, accID
+				pb.op(o)
+			}
+			maybeFree(pb, i, n)
+		}
+	}
+
+	// End-of-iteration recurrence updates.
+	for _, pb := range parts {
+		for _, mv := range pb.finalMovs {
+			src, ok := pb.regOf[mv.src.id]
+			if !ok {
+				return nil, fmt.Errorf("compiler: recurrence next value (node %d) not materialized in part %d", mv.src.id, pb.id)
+			}
+			if src == mv.dst {
+				continue
+			}
+			o := microcode.NewOp(microcode.Mov)
+			o.Dst, o.A = mv.dst, src
+			pb.op(o)
+		}
+	}
+
+	// Assemble accel defs.
+	defs := make([]*core.AccelDef, em.nParts)
+	for i, pb := range parts {
+		objs := make([]string, 0, len(pb.objs))
+		for o := range pb.objs {
+			objs = append(objs, o)
+		}
+		sort.Strings(objs)
+		anchor, place := em.placement(objs)
+		defs[i] = &core.AccelDef{
+			ID:         i,
+			Name:       fmt.Sprintf("A%d", i),
+			Objects:    objs,
+			AnchorObj:  anchor,
+			Place:      place,
+			Accesses:   pb.access,
+			Program:    pb.prog,
+			Trip:       core.TripSpec{Kind: core.TripCounted, Count: em.reg.trips},
+			ScalarInit: pb.inits,
+			ScalarOut:  pb.outs,
+		}
+		if len(pb.prog) == 0 {
+			return nil, fmt.Errorf("compiler: partition %d has an empty program", i)
+		}
+	}
+	// Fix up channel peers.
+	for _, ch := range channels {
+		p := &defs[ch.prod.part].Accesses[ch.prod.access]
+		c := &defs[ch.cons.part].Accesses[ch.cons.access]
+		if c.Kind != core.ChanIn {
+			return nil, fmt.Errorf("compiler: channel consumer never materialized (produced value unused remotely)")
+		}
+		p.Peer = core.PeerRef{Accel: ch.cons.part, Access: ch.cons.access}
+		c.Peer = core.PeerRef{Accel: ch.prod.part, Access: ch.prod.access}
+	}
+	return defs, nil
+}
+
+// remoteConsumers maps node id -> sorted list of other parts consuming it.
+func (em *emitter) remoteConsumers() map[int][]int {
+	set := map[int]map[int]bool{}
+	for _, n := range em.reg.nodes {
+		for _, d := range deps(n) {
+			pd, pn := em.part[d.id], em.part[n.id]
+			if pd != pn {
+				if set[d.id] == nil {
+					set[d.id] = map[int]bool{}
+				}
+				set[d.id][pn] = true
+			}
+		}
+		if n.next != nil && em.part[n.next.id] != em.part[n.id] {
+			// Should have been merged; treat as an ordinary remote use.
+			if set[n.next.id] == nil {
+				set[n.next.id] = map[int]bool{}
+			}
+			set[n.next.id][em.part[n.id]] = true
+		}
+	}
+	out := map[int][]int{}
+	for id, ps := range set {
+		for p := range ps {
+			out[id] = append(out[id], p)
+		}
+		sort.Ints(out[id])
+	}
+	return out
+}
+
+// emitNode lowers one value-graph node inside its part.
+func (em *emitter) emitNode(pb *partBuild, n *vnode,
+	use func(*partBuild, *vnode) (int, error),
+	maybeFree func(*partBuild, int, ...*vnode), at int) error {
+
+	predReg := -1
+	if n.pred != nil {
+		r, err := use(pb, n.pred)
+		if err != nil {
+			return err
+		}
+		predReg = r
+	}
+
+	switch n.kind {
+	case vConst:
+		r, err := pb.alloc(true)
+		if err != nil {
+			return err
+		}
+		o := microcode.NewOp(microcode.MovI)
+		o.Dst, o.Imm = r, n.cval
+		pb.op(o)
+		pb.regOf[n.id] = r
+
+	case vScalarIn:
+		r, err := pb.alloc(true)
+		if err != nil {
+			return err
+		}
+		pb.inits = append(pb.inits, core.ScalarBind{Reg: r, Name: fmt.Sprintf("in%d", n.id), Expr: n.expr})
+		pb.regOf[n.id] = r
+
+	case vIter:
+		if pb.loReg < 0 {
+			lr, err := pb.alloc(true)
+			if err != nil {
+				return err
+			}
+			pb.loReg = lr
+			pb.inits = append(pb.inits, core.ScalarBind{Reg: lr, Name: "lo", Expr: em.reg.lo})
+		}
+		r, err := pb.alloc(false)
+		if err != nil {
+			return err
+		}
+		o := microcode.NewOp(microcode.Iter)
+		o.Dst = r
+		pb.op(o)
+		o = microcode.NewOp(microcode.ALU)
+		o.Dst, o.A, o.B, o.Bin = r, r, pb.loReg, ir.Add
+		pb.op(o)
+		pb.regOf[n.id] = r
+
+	case vOp:
+		a, err := use(pb, n.args[0])
+		if err != nil {
+			return err
+		}
+		b, err := use(pb, n.args[1])
+		if err != nil {
+			return err
+		}
+		maybeFree(pb, at, n.args[0], n.args[1])
+		r, err := pb.alloc(false)
+		if err != nil {
+			return err
+		}
+		o := microcode.NewOp(microcode.ALU)
+		o.Dst, o.A, o.B, o.Bin = r, a, b, n.op
+		pb.op(o)
+		pb.regOf[n.id] = r
+
+	case vUn:
+		a, err := use(pb, n.args[0])
+		if err != nil {
+			return err
+		}
+		maybeFree(pb, at, n.args[0])
+		r, err := pb.alloc(false)
+		if err != nil {
+			return err
+		}
+		o := microcode.NewOp(microcode.Un)
+		o.Dst, o.A, o.UnOp = r, a, n.un
+		pb.op(o)
+		pb.regOf[n.id] = r
+
+	case vSel:
+		c, err := use(pb, n.args[0])
+		if err != nil {
+			return err
+		}
+		tv, err := use(pb, n.args[1])
+		if err != nil {
+			return err
+		}
+		fv, err := use(pb, n.args[2])
+		if err != nil {
+			return err
+		}
+		maybeFree(pb, at, n.args[0], n.args[1], n.args[2])
+		r, err := pb.alloc(false)
+		if err != nil {
+			return err
+		}
+		o := microcode.NewOp(microcode.SelOp)
+		o.Dst, o.A, o.B, o.C = r, tv, fv, c
+		pb.op(o)
+		pb.regOf[n.id] = r
+
+	case vLoadStream:
+		decl, err := em.streamDecl(core.StreamIn, n)
+		if err != nil {
+			return err
+		}
+		accID := pb.addAccess(decl)
+		pb.objs[n.obj] = true
+		r, err := pb.alloc(false)
+		if err != nil {
+			return err
+		}
+		o := microcode.NewOp(microcode.Consume)
+		o.Dst, o.Access = r, accID
+		pb.op(o)
+		pb.regOf[n.id] = r
+
+	case vLoadRandom:
+		a, err := use(pb, n.idx)
+		if err != nil {
+			return err
+		}
+		maybeFree(pb, at, n.idx)
+		pb.objs[n.obj] = true
+		r, err := pb.alloc(false)
+		if err != nil {
+			return err
+		}
+		o := microcode.NewOp(microcode.LoadObj)
+		o.Dst, o.A, o.Obj, o.Pred = r, a, n.obj, predReg
+		pb.op(o)
+		pb.regOf[n.id] = r
+
+	case vStoreStream:
+		v, err := use(pb, n.val)
+		if err != nil {
+			return err
+		}
+		decl, err := em.streamDecl(core.StreamOut, n)
+		if err != nil {
+			return err
+		}
+		accID := pb.addAccess(decl)
+		pb.objs[n.obj] = true
+		o := microcode.NewOp(microcode.Produce)
+		o.A, o.Access = v, accID
+		pb.op(o)
+		maybeFree(pb, at, n.val)
+
+	case vStoreRandom:
+		a, err := use(pb, n.idx)
+		if err != nil {
+			return err
+		}
+		v, err := use(pb, n.val)
+		if err != nil {
+			return err
+		}
+		pb.objs[n.obj] = true
+		o := microcode.NewOp(microcode.StoreObj)
+		o.A, o.B, o.Obj, o.Pred = a, v, n.obj, predReg
+		pb.op(o)
+		maybeFree(pb, at, n.idx, n.val)
+
+	case vCarried, vForward:
+		r, err := pb.alloc(true)
+		if err != nil {
+			return err
+		}
+		pb.inits = append(pb.inits, core.ScalarBind{Reg: r, Name: "carry" + fmt.Sprint(n.id), Expr: n.init})
+		pb.regOf[n.id] = r
+		pb.finalMovs = append(pb.finalMovs, pendingMov{dst: r, src: n.next})
+		if n.localName != "" && em.readsAfter[n.localName] {
+			pb.outs = append(pb.outs, core.ScalarBind{Reg: r, Name: n.localName})
+		}
+
+	default:
+		return fmt.Errorf("compiler: unknown node kind %v", n.kind)
+	}
+	if n.pred != nil {
+		maybeFree(pb, at, n.pred)
+	}
+	return nil
+}
+
+// streamDecl builds a stream access declaration from an affine access.
+func (em *emitter) streamDecl(kind core.AccessKind, n *vnode) (core.AccessDecl, error) {
+	obj, ok := em.k.Object(n.obj)
+	if !ok {
+		return core.AccessDecl{}, fmt.Errorf("compiler: unknown object %q", n.obj)
+	}
+	coeff := n.aff.Coeffs[em.reg.loop.IV]
+	if coeff == nil {
+		return core.AccessDecl{}, fmt.Errorf("compiler: stream access on %q has no IV coefficient", n.obj)
+	}
+	start := ir.AddE(n.aff.Offset, ir.MulE(coeff, em.reg.lo))
+	return core.AccessDecl{
+		Kind:      kind,
+		Obj:       n.obj,
+		ElemBytes: obj.ElemBytes,
+		Start:     start,
+		Stride:    coeff,
+		Length:    em.reg.trips,
+	}, nil
+}
+
+// placement applies the §V-A-4 vertical rule: anchor at the largest object;
+// objects too small to amortize the control transfer stay near the host.
+func (em *emitter) placement(objs []string) (string, core.Placement) {
+	anchor := ""
+	best := -1
+	for _, o := range objs {
+		if d, ok := em.k.Object(o); ok && d.Bytes() > best {
+			best = d.Bytes()
+			anchor = o
+		}
+	}
+	if anchor == "" {
+		return "", core.PlaceL3 // pure compute: the runtime co-locates it
+	}
+	if best < smallObjectBytes {
+		return anchor, core.PlaceHost
+	}
+	return anchor, core.PlaceL3
+}

@@ -1,0 +1,398 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"distda/internal/core"
+	"distda/internal/ir"
+	"distda/internal/partition"
+)
+
+// weights for the partitioning graph.
+const (
+	wData   = 8    // one 8-byte operand per iteration
+	wObject = 500  // keep accessors near their object node
+	wPinned = 4000 // carried/forward recurrences must not split
+)
+
+// smallObjectBytes: objects below this footprint anchor near the host
+// (§V-A-4: short irregular sequences are not amortized at the LLC).
+const smallObjectBytes = 4096
+
+// emitRegion lowers an analyzed region to a core.Region. readsAfter names
+// host locals read after the loop: only those carried locals get cp_load_rf
+// bindings (anything else would force a needless host synchronization).
+func emitRegion(k *ir.Kernel, reg *region, opts Options, name string, readsAfter map[string]bool) (*core.Region, error) {
+	out := &core.Region{Name: name, Loop: reg.loop}
+	switch reg.class {
+	case classNotOffloaded:
+		out.Class = core.ClassNotOffloaded
+		return out, nil
+	case classPipelinable:
+		out.Class = core.ClassPipelinable
+	default:
+		out.Class = core.ClassParallelizable
+	}
+	em := &emitter{k: k, reg: reg, opts: opts, readsAfter: readsAfter}
+	if err := em.partition(); err != nil {
+		return nil, err
+	}
+	accels, err := em.emit()
+	if err != nil {
+		// Fall back: regions the emitter cannot map run on the host.
+		out.Class = core.ClassNotOffloaded
+		out.Accels = nil
+		return out, nil
+	}
+	out.Accels = accels
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("compiler: emitted invalid region %q: %w", name, err)
+	}
+	return out, nil
+}
+
+type emitter struct {
+	k          *ir.Kernel
+	reg        *region
+	opts       Options
+	readsAfter map[string]bool
+
+	part   []int // vnode id -> part
+	nParts int
+	topo   []*vnode
+}
+
+// deps returns a node's forward dataflow inputs.
+func deps(n *vnode) []*vnode {
+	var ds []*vnode
+	ds = append(ds, n.args...)
+	for _, d := range []*vnode{n.idx, n.val, n.pred} {
+		if d != nil {
+			ds = append(ds, d)
+		}
+	}
+	return ds
+}
+
+// orderEdges returns memory-ordering constraints: random accesses to the
+// same object retain statement order (one serializing point per object).
+func (em *emitter) orderEdges() [][2]*vnode {
+	var out [][2]*vnode
+	last := map[string]*vnode{}
+	for _, n := range em.reg.sideEffects {
+		if n.kind != vLoadRandom && n.kind != vStoreRandom {
+			continue
+		}
+		if p, ok := last[n.obj]; ok {
+			out = append(out, [2]*vnode{p, n})
+		}
+		last[n.obj] = n
+	}
+	return out
+}
+
+// topoSort orders all vnodes by forward deps plus memory-order edges.
+func (em *emitter) topoSort() error {
+	nodes := em.reg.nodes
+	indeg := make([]int, len(nodes))
+	succ := make([][]int, len(nodes))
+	addEdge := func(a, b *vnode) {
+		succ[a.id] = append(succ[a.id], b.id)
+		indeg[b.id]++
+	}
+	for _, n := range nodes {
+		for _, d := range deps(n) {
+			addEdge(d, n)
+		}
+	}
+	for _, e := range em.orderEdges() {
+		addEdge(e[0], e[1])
+	}
+	var queue []int
+	for i := range nodes {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		// Deterministic: smallest id first.
+		sort.Ints(queue)
+		id := queue[0]
+		queue = queue[1:]
+		em.topo = append(em.topo, nodes[id])
+		for _, s := range succ[id] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(em.topo) != len(nodes) {
+		return fmt.Errorf("compiler: value graph has a forward cycle")
+	}
+	return nil
+}
+
+// objects returns the distinct objects touched by access nodes.
+func (em *emitter) objects() []string {
+	set := map[string]bool{}
+	for _, n := range em.reg.nodes {
+		switch n.kind {
+		case vLoadStream, vLoadRandom, vStoreStream, vStoreRandom:
+			set[n.obj] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for o := range set {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// partition assigns nodes to parts per §V-A-3: iterate the partition count,
+// preferring solutions with at most one object per partition and minimal
+// cut, then apply correctness merges (recurrences, same-object random
+// accesses, same-iteration channel cycles).
+func (em *emitter) partition() error {
+	if err := em.topoSort(); err != nil {
+		return err
+	}
+	nodes := em.reg.nodes
+	objs := em.objects()
+	objID := map[string]int{}
+	for i, o := range objs {
+		objID[o] = len(nodes) + i
+	}
+	g := partition.NewGraph(len(nodes) + len(objs))
+	edge := func(a, b, w int) {
+		if err := g.AddEdge(a, b, w); err != nil {
+			panic(err)
+		}
+	}
+	for _, n := range nodes {
+		for _, d := range deps(n) {
+			edge(d.id, n.id, wData)
+		}
+		if n.next != nil {
+			edge(n.id, n.next.id, wPinned)
+		}
+		switch n.kind {
+		case vLoadStream, vLoadRandom, vStoreStream, vStoreRandom:
+			edge(n.id, objID[n.obj], wObject)
+		}
+	}
+
+	maxK := em.opts.MaxPartitions
+	if maxK <= 0 {
+		maxK = len(nodes)
+		if maxK > 8 {
+			maxK = 8 // one partition per L3 cluster at most
+		}
+	}
+	var best *solution
+	for k := 1; k <= maxK; k++ {
+		assign, cut, err := partition.Partition(g, k)
+		if err != nil {
+			return err
+		}
+		maxObjs := 0
+		perPart := map[int]map[string]bool{}
+		for _, n := range nodes {
+			switch n.kind {
+			case vLoadStream, vLoadRandom, vStoreStream, vStoreRandom:
+				p := assign[n.id]
+				if perPart[p] == nil {
+					perPart[p] = map[string]bool{}
+				}
+				perPart[p][n.obj] = true
+			}
+		}
+		for _, set := range perPart {
+			if len(set) > maxObjs {
+				maxObjs = len(set)
+			}
+		}
+		cand := &solution{assign: assign, k: k, cut: cut, maxObjs: maxObjs}
+		if better(cand, best, !em.opts.NoObjConstraint) {
+			best = cand
+		}
+		if maxObjs <= 1 {
+			break // §V-A-3: stop once one data structure per partition
+		}
+	}
+	em.part = best.assign[:len(nodes)]
+	em.nParts = best.k
+
+	em.mergeForCorrectness()
+	em.compactParts()
+	return nil
+}
+
+// solution is one candidate partitioning.
+type solution struct {
+	assign  []int
+	k       int
+	cut     int
+	maxObjs int
+}
+
+// better ranks partitioning solutions: fewest objects per part first (when
+// the constraint is on), then lowest cut, then fewer parts.
+func better(cand, best *solution, objConstraint bool) bool {
+	if best == nil {
+		return true
+	}
+	if objConstraint && cand.maxObjs != best.maxObjs {
+		return cand.maxObjs < best.maxObjs
+	}
+	if cand.cut != best.cut {
+		return cand.cut < best.cut
+	}
+	return cand.k < best.k
+}
+
+// mergeForCorrectness unions parts that must co-reside: recurrence chains,
+// random accessors of one object, and any same-iteration channel cycle.
+func (em *emitter) mergeForCorrectness() {
+	parent := make([]int, em.nParts)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	for _, n := range em.reg.nodes {
+		if n.next != nil {
+			union(em.part[n.id], em.part[n.next.id])
+		}
+	}
+	// Random accesses to one object share its serializing point.
+	objPart := map[string]int{}
+	for _, n := range em.reg.nodes {
+		if n.kind == vLoadRandom || n.kind == vStoreRandom {
+			if p, ok := objPart[n.obj]; ok {
+				union(p, em.part[n.id])
+			} else {
+				objPart[n.obj] = em.part[n.id]
+			}
+		}
+	}
+	// Stream stores anchor at their object's partition too: a second stream
+	// access of the same object must not land elsewhere (single write
+	// pointer per object).
+	streamPart := map[string]int{}
+	for _, n := range em.reg.nodes {
+		if n.kind == vStoreStream {
+			if p, ok := streamPart[n.obj]; ok {
+				union(p, em.part[n.id])
+			} else {
+				streamPart[n.obj] = em.part[n.id]
+			}
+		}
+	}
+	apply := func() {
+		for id := range em.part {
+			em.part[id] = find(em.part[id])
+		}
+	}
+	apply()
+
+	// Break same-iteration channel cycles by merging the parts involved.
+	for {
+		cyc := em.findPartCycle()
+		if cyc == nil {
+			return
+		}
+		for _, p := range cyc[1:] {
+			union(cyc[0], p)
+		}
+		apply()
+	}
+}
+
+// findPartCycle returns a cycle in the part-level dataflow graph, nil if
+// acyclic.
+func (em *emitter) findPartCycle() []int {
+	adj := map[int]map[int]bool{}
+	for _, n := range em.reg.nodes {
+		for _, d := range deps(n) {
+			pa, pb := em.part[d.id], em.part[n.id]
+			if pa != pb {
+				if adj[pa] == nil {
+					adj[pa] = map[int]bool{}
+				}
+				adj[pa][pb] = true
+			}
+		}
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[int]int{}
+	var stack []int
+	var dfs func(p int) []int
+	dfs = func(p int) []int {
+		color[p] = gray
+		stack = append(stack, p)
+		for q := range adj[p] {
+			if color[q] == gray {
+				// Extract the cycle from the stack.
+				for i := len(stack) - 1; i >= 0; i-- {
+					if stack[i] == q {
+						return append([]int{}, stack[i:]...)
+					}
+				}
+			}
+			if color[q] == white {
+				if c := dfs(q); c != nil {
+					return c
+				}
+			}
+		}
+		color[p] = black
+		stack = stack[:len(stack)-1]
+		return nil
+	}
+	var partIDs []int
+	seen := map[int]bool{}
+	for _, p := range em.part {
+		if !seen[p] {
+			seen[p] = true
+			partIDs = append(partIDs, p)
+		}
+	}
+	sort.Ints(partIDs)
+	for _, p := range partIDs {
+		if color[p] == white {
+			if c := dfs(p); c != nil {
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+// compactParts renumbers parts densely in first-appearance (topo) order.
+func (em *emitter) compactParts() {
+	remap := map[int]int{}
+	for _, n := range em.topo {
+		p := em.part[n.id]
+		if _, ok := remap[p]; !ok {
+			remap[p] = len(remap)
+		}
+	}
+	for id := range em.part {
+		em.part[id] = remap[em.part[id]]
+	}
+	em.nParts = len(remap)
+}

@@ -1,0 +1,77 @@
+package compiler
+
+import (
+	"fmt"
+	"testing"
+
+	"distda/internal/core"
+	"distda/internal/ir"
+)
+
+// TestRegisterPressureFallsBackToHost builds a kernel whose single
+// partition would need more than the 32-register file (many distinct
+// stream loads and live constants): the emitter must reject it cleanly and
+// the region must fall back to host execution rather than fail compilation.
+func TestRegisterPressureFallsBackToHost(t *testing.T) {
+	// Sum of 40 distinct affine loads of one object: the ≤1-object
+	// constraint keeps everything in one partition while each load, the
+	// accumulating adds and the pinned scalars demand registers.
+	var val ir.Expr = ir.C(0)
+	for i := 0; i < 40; i++ {
+		val = ir.AddE(val, ir.MulE(ir.Ld("A", ir.AddE(ir.V("i"), ir.C(float64(i)))), ir.C(float64(i+2))))
+	}
+	k := &ir.Kernel{
+		Name:    "pressure",
+		Params:  []string{"N"},
+		Objects: []ir.ObjDecl{{Name: "A", Len: 4096, ElemBytes: 8}, {Name: "B", Len: 4096, ElemBytes: 8}},
+		Body: []ir.Stmt{
+			ir.Loop("i", ir.C(0), ir.P("N"), ir.St("B", ir.V("i"), val)),
+		},
+	}
+	// Mono mode forces one partition, maximizing pressure.
+	c, err := Compile(k, Options{Mode: ModeMono})
+	if err != nil {
+		t.Fatalf("Compile must not fail on pressure: %v", err)
+	}
+	r := c.Regions[0]
+	if r.Class != core.ClassNotOffloaded {
+		// If it did fit, the programs must still be register-valid.
+		for _, a := range r.Accels {
+			if err := a.Program.Validate(len(a.Accesses)); err != nil {
+				t.Fatalf("oversized program emitted: %v", err)
+			}
+		}
+		t.Logf("40-load kernel fit after register reuse (%d accels)", len(r.Accels))
+	}
+}
+
+// TestDeepKernelsCompileOrFallBack sweeps expression widths across the
+// register boundary: compilation never errors, and whatever offloads are
+// emitted validate structurally.
+func TestDeepKernelsCompileOrFallBack(t *testing.T) {
+	for width := 4; width <= 64; width *= 2 {
+		var val ir.Expr = ir.C(1)
+		for i := 0; i < width; i++ {
+			val = ir.AddE(val, ir.Ld("A", ir.AddE(ir.V("i"), ir.C(float64(i%8)))))
+		}
+		k := &ir.Kernel{
+			Name:    fmt.Sprintf("deep%d", width),
+			Params:  []string{"N"},
+			Objects: []ir.ObjDecl{{Name: "A", Len: 4096, ElemBytes: 8}, {Name: "B", Len: 4096, ElemBytes: 8}},
+			Body: []ir.Stmt{
+				ir.Loop("i", ir.C(0), ir.P("N"), ir.St("B", ir.V("i"), val)),
+			},
+		}
+		for _, mode := range []Mode{ModeDist, ModeMono} {
+			c, err := Compile(k, Options{Mode: mode})
+			if err != nil {
+				t.Fatalf("width %d mode %d: %v", width, mode, err)
+			}
+			for _, r := range c.Regions {
+				if err := r.Validate(); err != nil {
+					t.Fatalf("width %d mode %d: %v", width, mode, err)
+				}
+			}
+		}
+	}
+}

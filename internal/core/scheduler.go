@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// EvaledStream is a stream access's configuration after the host evaluates
+// its expressions at launch (indices in elements).
+type EvaledStream struct {
+	Start  int64
+	Stride int64
+	Length int64
+}
+
+// BufferAlloc is one SRAM buffer granted by the hardware scheduler.
+// Combined accessors (Fig. 2d case 1) share a buffer and therefore the data
+// window fetched for one is reused by the others.
+type BufferAlloc struct {
+	Buf      int
+	Accesses []int
+	Obj      string // "" for channel buffers
+}
+
+// BufferPlan is the per-launch buffer allocation table entry set (Fig. 2b):
+// the access-id → buf-id mapping for one accelerator context.
+type BufferPlan struct {
+	Buffers  []BufferAlloc
+	ByAccess map[int]int
+}
+
+// PlanBuffers implements the hardware scheduler's allocation-time reuse
+// detection (§IV-C "Reuse"): stream accessors on the same object with the
+// same stride whose access distance is a (runtime) constant within the
+// buffer-overflow limit are combined onto a single buffer; everything else
+// gets its own buffer. combineWindow is the limit in elements; combining
+// can be disabled for ablation.
+func PlanBuffers(a *AccelDef, streams map[int]EvaledStream, combineWindow int64, combining bool) (*BufferPlan, error) {
+	plan := &BufferPlan{ByAccess: map[int]int{}}
+	newBuf := func(obj string, accesses ...int) {
+		id := len(plan.Buffers)
+		plan.Buffers = append(plan.Buffers, BufferAlloc{Buf: id, Accesses: accesses, Obj: obj})
+		for _, acc := range accesses {
+			plan.ByAccess[acc] = id
+		}
+	}
+
+	// Group stream accessors by (object, direction, stride).
+	type groupKey struct {
+		obj    string
+		kind   AccessKind
+		stride int64
+	}
+	groups := map[groupKey][]int{}
+	var groupOrder []groupKey
+	for _, acc := range a.Accesses {
+		switch acc.Kind {
+		case ChanIn, ChanOut:
+			newBuf("", acc.ID)
+		case StreamIn, StreamOut:
+			ev, ok := streams[acc.ID]
+			if !ok {
+				return nil, fmt.Errorf("core: PlanBuffers: accel %d access %d: missing evaluated stream config", a.ID, acc.ID)
+			}
+			k := groupKey{obj: acc.Obj, kind: acc.Kind, stride: ev.Stride}
+			if _, seen := groups[k]; !seen {
+				groupOrder = append(groupOrder, k)
+			}
+			groups[k] = append(groups[k], acc.ID)
+		}
+	}
+	for _, k := range groupOrder {
+		ids := groups[k]
+		// Only read streams with positive stride are combinable: a shared
+		// window buffer has one fill FSM and per-accessor read pointers.
+		if !combining || len(ids) == 1 || k.kind != StreamIn || k.stride <= 0 {
+			for _, id := range ids {
+				newBuf(k.obj, id)
+			}
+			continue
+		}
+		// Combine ids whose start distance is a whole number of strides
+		// within the window (case 1 of Fig. 2d); non-overlapping accessors
+		// are distributed (case 2).
+		sort.Slice(ids, func(i, j int) bool { return streams[ids[i]].Start < streams[ids[j]].Start })
+		cur := []int{ids[0]}
+		base := streams[ids[0]].Start
+		for _, id := range ids[1:] {
+			d := streams[id].Start - base
+			if d <= combineWindow && d%k.stride == 0 {
+				cur = append(cur, id)
+			} else {
+				newBuf(k.obj, cur...)
+				cur = []int{id}
+				base = streams[id].Start
+			}
+		}
+		newBuf(k.obj, cur...)
+	}
+	return plan, nil
+}
+
+// AllocationTable is the scheduler's per-context record of buffer grants
+// (Fig. 2b). It exists for reporting: Table VI's average-#buffers column is
+// derived from it.
+type AllocationTable struct {
+	launches int
+	buffers  int64
+}
+
+// RecordLaunch notes one accelerator launch and its granted buffer count.
+func (t *AllocationTable) RecordLaunch(plan *BufferPlan) {
+	t.launches++
+	t.buffers += int64(len(plan.Buffers))
+}
+
+// AvgBuffers returns the average buffers per launch (0 if never launched).
+func (t *AllocationTable) AvgBuffers() float64 {
+	if t.launches == 0 {
+		return 0
+	}
+	return float64(t.buffers) / float64(t.launches)
+}
+
+// Launches returns the recorded launch count.
+func (t *AllocationTable) Launches() int { return t.launches }

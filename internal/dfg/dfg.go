@@ -1,0 +1,325 @@
+// Package dfg represents offloadable code regions as dataflow graphs of the
+// three primitive units from §IV-A of the paper: memory objects, access
+// nodes, and compute operations. Edges are annotated with communication
+// widths in bytes; partitioning and placement operate on this graph.
+package dfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"distda/internal/ir"
+)
+
+// Kind discriminates the three primitive node types (Fig. 3-2).
+type Kind int
+
+const (
+	KindObject  Kind = iota // a memory object / application data structure
+	KindAccess              // an address-generating load or store
+	KindCompute             // an arithmetic operation
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindObject:
+		return "object"
+	case KindAccess:
+		return "access"
+	case KindCompute:
+		return "compute"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Dir is an access direction.
+type Dir int
+
+const (
+	Read Dir = iota
+	Write
+)
+
+func (d Dir) String() string {
+	if d == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Pattern classifies an access node's address stream the way the compiler's
+// scalar-evolution analysis does (§V-A-2).
+type Pattern int
+
+const (
+	// PatInvariant: the index does not vary with the offloaded loop.
+	PatInvariant Pattern = iota
+	// PatAffine: idx is affine in the offloaded induction variables —
+	// a stream the access unit's FSM can generate.
+	PatAffine
+	// PatIndirect: idx depends on loaded data (B[A[i]], pointer chase).
+	PatIndirect
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case PatInvariant:
+		return "invariant"
+	case PatAffine:
+		return "affine"
+	case PatIndirect:
+		return "indirect"
+	default:
+		return fmt.Sprintf("pattern(%d)", int(p))
+	}
+}
+
+// Node is one DFG node. Fields beyond ID/Kind are populated according to
+// Kind: object nodes carry Obj; access nodes carry Obj, Dir, Pattern and the
+// affine form when PatAffine; compute nodes carry Op metadata.
+type Node struct {
+	ID      int
+	Kind    Kind
+	Label   string
+	Obj     string // object name (object & access nodes)
+	Dir     Dir
+	Pattern Pattern
+	Affine  ir.Affine  // valid when Pattern == PatAffine
+	Class   ir.OpClass // compute nodes: required functional-unit class
+}
+
+// Edge is a directed dataflow edge annotated with the operand width in
+// bytes. Recurrence marks loop-carried edges (reductions, pointer chases);
+// topological traversals skip them.
+type Edge struct {
+	From, To   int
+	Bytes      int
+	Recurrence bool
+}
+
+// Graph is a DFG. Node IDs are dense indices into Nodes.
+type Graph struct {
+	Nodes []*Node
+	Edges []Edge
+}
+
+// New returns an empty graph.
+func New() *Graph { return &Graph{} }
+
+// AddNode appends a node, assigning its ID.
+func (g *Graph) AddNode(n *Node) *Node {
+	n.ID = len(g.Nodes)
+	g.Nodes = append(g.Nodes, n)
+	return n
+}
+
+// AddEdge appends an edge after validating endpoints.
+func (g *Graph) AddEdge(e Edge) error {
+	if e.From < 0 || e.From >= len(g.Nodes) || e.To < 0 || e.To >= len(g.Nodes) {
+		return fmt.Errorf("dfg: edge %d->%d out of range (have %d nodes)", e.From, e.To, len(g.Nodes))
+	}
+	if e.Bytes <= 0 {
+		return fmt.Errorf("dfg: edge %d->%d has non-positive width %d", e.From, e.To, e.Bytes)
+	}
+	g.Edges = append(g.Edges, e)
+	return nil
+}
+
+// Succs returns successor node IDs of id over forward edges.
+func (g *Graph) Succs(id int) []int {
+	var out []int
+	for _, e := range g.Edges {
+		if e.From == id && !e.Recurrence {
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+// Preds returns predecessor node IDs of id over forward edges.
+func (g *Graph) Preds(id int) []int {
+	var out []int
+	for _, e := range g.Edges {
+		if e.To == id && !e.Recurrence {
+			out = append(out, e.From)
+		}
+	}
+	return out
+}
+
+// Objects returns the distinct object names referenced by object and access
+// nodes, sorted.
+func (g *Graph) Objects() []string {
+	set := map[string]bool{}
+	for _, n := range g.Nodes {
+		if n.Obj != "" {
+			set[n.Obj] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for o := range set {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CountKind returns how many nodes have the given kind.
+func (g *Graph) CountKind(k Kind) int {
+	n := 0
+	for _, nd := range g.Nodes {
+		if nd.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// TopoLevels assigns each node the length of the longest forward-edge path
+// reaching it (level 0 = sources) and returns levels grouped by depth.
+// Recurrence edges are ignored. An error is returned if forward edges form
+// a cycle.
+func (g *Graph) TopoLevels() ([][]int, error) {
+	n := len(g.Nodes)
+	indeg := make([]int, n)
+	succ := make([][]int, n)
+	for _, e := range g.Edges {
+		if e.Recurrence {
+			continue
+		}
+		indeg[e.To]++
+		succ[e.From] = append(succ[e.From], e.To)
+	}
+	level := make([]int, n)
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, s := range succ[id] {
+			if l := level[id] + 1; l > level[s] {
+				level[s] = l
+			}
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if seen != n {
+		return nil, fmt.Errorf("dfg: forward edges contain a cycle (%d of %d nodes reachable)", seen, n)
+	}
+	maxLevel := 0
+	for _, l := range level {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	out := make([][]int, maxLevel+1)
+	for id, l := range level {
+		out[l] = append(out[l], id)
+	}
+	return out, nil
+}
+
+// Dims returns the two-dimensional span of the instruction DFG (access and
+// compute nodes; object nodes excluded — a stored-then-loaded object forms
+// a benign cycle) when ordered topologically: (width, height) as reported
+// in Table VI's "DFG dim" column.
+func (g *Graph) Dims() (w, h int, err error) {
+	n := len(g.Nodes)
+	keep := make([]bool, n)
+	for i, nd := range g.Nodes {
+		keep[i] = nd.Kind != KindObject
+	}
+	indeg := make([]int, n)
+	succ := make([][]int, n)
+	for _, e := range g.Edges {
+		if e.Recurrence || !keep[e.From] || !keep[e.To] {
+			continue
+		}
+		indeg[e.To]++
+		succ[e.From] = append(succ[e.From], e.To)
+	}
+	level := make([]int, n)
+	var queue []int
+	total := 0
+	for i := 0; i < n; i++ {
+		if keep[i] {
+			total++
+			if indeg[i] == 0 {
+				queue = append(queue, i)
+			}
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, s := range succ[id] {
+			if l := level[id] + 1; l > level[s] {
+				level[s] = l
+			}
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if seen != total {
+		return 0, 0, fmt.Errorf("dfg: instruction subgraph contains a cycle")
+	}
+	widths := map[int]int{}
+	maxLevel := -1
+	for i := 0; i < n; i++ {
+		if !keep[i] {
+			continue
+		}
+		widths[level[i]]++
+		if widths[level[i]] > w {
+			w = widths[level[i]]
+		}
+		if level[i] > maxLevel {
+			maxLevel = level[i]
+		}
+	}
+	return w, maxLevel + 1, nil
+}
+
+// Dot renders the graph in Graphviz dot syntax for the inspect tool.
+func (g *Graph) Dot(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	for _, n := range g.Nodes {
+		shape := "ellipse"
+		switch n.Kind {
+		case KindObject:
+			shape = "box3d"
+		case KindAccess:
+			shape = "box"
+		}
+		label := n.Label
+		if label == "" {
+			label = fmt.Sprintf("%s %d", n.Kind, n.ID)
+		}
+		fmt.Fprintf(&b, "  n%d [shape=%s,label=%q];\n", n.ID, shape, label)
+	}
+	for _, e := range g.Edges {
+		style := ""
+		if e.Recurrence {
+			style = ",style=dashed"
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"%dB\"%s];\n", e.From, e.To, e.Bytes, style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,137 @@
+package dfg
+
+import (
+	"strings"
+	"testing"
+
+	"distda/internal/ir"
+)
+
+// diamond builds: obj -> load -> [mul, add] -> store -> obj2
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	objA := g.AddNode(&Node{Kind: KindObject, Obj: "A", Label: "A"})
+	ld := g.AddNode(&Node{Kind: KindAccess, Obj: "A", Dir: Read, Pattern: PatAffine})
+	mul := g.AddNode(&Node{Kind: KindCompute, Class: ir.ClassComplex, Label: "mul"})
+	add := g.AddNode(&Node{Kind: KindCompute, Class: ir.ClassInt, Label: "add"})
+	st := g.AddNode(&Node{Kind: KindAccess, Obj: "B", Dir: Write, Pattern: PatAffine})
+	objB := g.AddNode(&Node{Kind: KindObject, Obj: "B", Label: "B"})
+	for _, e := range []Edge{
+		{From: objA.ID, To: ld.ID, Bytes: 8},
+		{From: ld.ID, To: mul.ID, Bytes: 8},
+		{From: ld.ID, To: add.ID, Bytes: 8},
+		{From: mul.ID, To: st.ID, Bytes: 8},
+		{From: add.ID, To: st.ID, Bytes: 8},
+		{From: st.ID, To: objB.ID, Bytes: 8},
+	} {
+		if err := g.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New()
+	g.AddNode(&Node{Kind: KindCompute})
+	if err := g.AddEdge(Edge{From: 0, To: 5, Bytes: 8}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if err := g.AddEdge(Edge{From: 0, To: 0, Bytes: 0}); err == nil {
+		t.Fatal("zero-width edge accepted")
+	}
+}
+
+func TestSuccsPreds(t *testing.T) {
+	g := diamond(t)
+	if s := g.Succs(1); len(s) != 2 {
+		t.Fatalf("Succs(load) = %v", s)
+	}
+	if p := g.Preds(4); len(p) != 2 {
+		t.Fatalf("Preds(store) = %v", p)
+	}
+}
+
+func TestObjectsAndCounts(t *testing.T) {
+	g := diamond(t)
+	objs := g.Objects()
+	if len(objs) != 2 || objs[0] != "A" || objs[1] != "B" {
+		t.Fatalf("Objects = %v", objs)
+	}
+	if g.CountKind(KindCompute) != 2 || g.CountKind(KindAccess) != 2 || g.CountKind(KindObject) != 2 {
+		t.Fatal("CountKind wrong")
+	}
+}
+
+func TestTopoLevelsAndDims(t *testing.T) {
+	g := diamond(t)
+	levels, err := g.TopoLevels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// obj(0) -> ld(1) -> {mul,add}(2) -> st(3) -> obj2(4)
+	if len(levels) != 5 {
+		t.Fatalf("levels = %d, want 5", len(levels))
+	}
+	if len(levels[2]) != 2 {
+		t.Fatalf("level 2 = %v, want 2 nodes", levels[2])
+	}
+	// Dims excludes object nodes: ld -> {mul,add} -> st.
+	w, h, err := g.Dims()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 2 || h != 3 {
+		t.Fatalf("Dims = %dx%d, want 2x3", w, h)
+	}
+}
+
+func TestRecurrenceEdgesIgnoredInTopo(t *testing.T) {
+	g := New()
+	a := g.AddNode(&Node{Kind: KindCompute, Label: "acc"})
+	b := g.AddNode(&Node{Kind: KindCompute, Label: "add"})
+	if err := g.AddEdge(Edge{From: a.ID, To: b.ID, Bytes: 8}); err != nil {
+		t.Fatal(err)
+	}
+	// Loop-carried back edge.
+	if err := g.AddEdge(Edge{From: b.ID, To: a.ID, Bytes: 8, Recurrence: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.TopoLevels(); err != nil {
+		t.Fatalf("recurrence edge broke topo: %v", err)
+	}
+}
+
+func TestForwardCycleDetected(t *testing.T) {
+	g := New()
+	a := g.AddNode(&Node{Kind: KindCompute})
+	b := g.AddNode(&Node{Kind: KindCompute})
+	_ = g.AddEdge(Edge{From: a.ID, To: b.ID, Bytes: 8})
+	_ = g.AddEdge(Edge{From: b.ID, To: a.ID, Bytes: 8})
+	if _, err := g.TopoLevels(); err == nil {
+		t.Fatal("forward cycle not detected")
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	g := diamond(t)
+	dot := g.Dot("diamond")
+	for _, want := range []string{"digraph", "box3d", "8B", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("dot output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestKindPatternDirStrings(t *testing.T) {
+	if KindObject.String() != "object" || KindAccess.String() != "access" || KindCompute.String() != "compute" {
+		t.Fatal("Kind strings")
+	}
+	if PatInvariant.String() != "invariant" || PatAffine.String() != "affine" || PatIndirect.String() != "indirect" {
+		t.Fatal("Pattern strings")
+	}
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Fatal("Dir strings")
+	}
+}

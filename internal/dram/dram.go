@@ -1,0 +1,145 @@
+// Package dram models the off-chip LPDDR memory (latency and energy per
+// line access) and the slab allocator the runtime uses for
+// accelerator-visible data structures (§IV-D): one large contiguous region
+// per memory object so translation is a base+offset lookup.
+package dram
+
+import (
+	"fmt"
+	"sort"
+
+	"distda/internal/energy"
+)
+
+// Config holds LPDDR timing parameters.
+type Config struct {
+	LatencyCycles int   // host-clock cycles per line access (row-buffer mixed)
+	LineBytes     int64 // transfer granularity
+}
+
+// DefaultConfig matches Table III's LPDDR 2 GB part at a 2 GHz host clock.
+func DefaultConfig() Config {
+	return Config{LatencyCycles: 160, LineBytes: 64}
+}
+
+// Memory is the DRAM device model.
+type Memory struct {
+	cfg   Config
+	meter *energy.Meter
+
+	Accesses int64
+	Reads    int64
+	Writes   int64
+}
+
+// NewMemory returns a memory with the given config, metering into m.
+func NewMemory(cfg Config, m *energy.Meter) *Memory {
+	return &Memory{cfg: cfg, meter: m}
+}
+
+// Access models one line access and returns its latency in host cycles.
+func (mem *Memory) Access(write bool) int {
+	mem.Accesses++
+	if write {
+		mem.Writes++
+	} else {
+		mem.Reads++
+	}
+	if mem.meter != nil {
+		mem.meter.Add(energy.CatDRAM, mem.meter.Table.DRAMAccessPJ)
+	}
+	return mem.cfg.LatencyCycles
+}
+
+// LineBytes returns the transfer granularity.
+func (mem *Memory) LineBytes() int64 { return mem.cfg.LineBytes }
+
+// Region is an allocated address range.
+type Region struct {
+	Base  int64
+	Bytes int64
+}
+
+// End returns one past the last byte.
+func (r Region) End() int64 { return r.Base + r.Bytes }
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(addr int64) bool { return addr >= r.Base && addr < r.End() }
+
+// Slab is a bump allocator over a large contiguous accelerator-visible
+// arena. Objects are page-aligned so the per-object translation block in
+// each accelerator is a single base register (§IV-D).
+type Slab struct {
+	arena Region
+	next  int64
+	align int64
+	byNam map[string]Region
+}
+
+// NewSlab creates a slab allocator over [base, base+size) with the given
+// alignment (must be a power of two).
+func NewSlab(base, size, align int64) (*Slab, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("dram: slab size must be positive, got %d", size)
+	}
+	if align <= 0 || align&(align-1) != 0 {
+		return nil, fmt.Errorf("dram: slab alignment must be a positive power of two, got %d", align)
+	}
+	return &Slab{
+		arena: Region{Base: base, Bytes: size},
+		next:  base,
+		align: align,
+		byNam: map[string]Region{},
+	}, nil
+}
+
+// Alloc reserves bytes for the named object and returns its region.
+func (s *Slab) Alloc(name string, bytes int64) (Region, error) {
+	if _, ok := s.byNam[name]; ok {
+		return Region{}, fmt.Errorf("dram: object %q already allocated", name)
+	}
+	if bytes <= 0 {
+		return Region{}, fmt.Errorf("dram: allocation of %d bytes for %q", bytes, name)
+	}
+	base := (s.next + s.align - 1) &^ (s.align - 1)
+	if base+bytes > s.arena.End() {
+		return Region{}, fmt.Errorf("dram: slab exhausted allocating %d bytes for %q (free %d)",
+			bytes, name, s.arena.End()-base)
+	}
+	r := Region{Base: base, Bytes: bytes}
+	s.byNam[name] = r
+	s.next = base + bytes
+	return r, nil
+}
+
+// Lookup returns the region of a named object.
+func (s *Slab) Lookup(name string) (Region, bool) {
+	r, ok := s.byNam[name]
+	return r, ok
+}
+
+// Objects returns allocated object names, sorted.
+func (s *Slab) Objects() []string {
+	out := make([]string, 0, len(s.byNam))
+	for n := range s.byNam {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset frees everything (end of kernel context).
+func (s *Slab) Reset() {
+	s.next = s.arena.Base
+	s.byNam = map[string]Region{}
+}
+
+// OwnerOf returns the name of the object containing addr, if any.
+func (s *Slab) OwnerOf(addr int64) (string, bool) {
+	for n, r := range s.byNam {
+		if r.Contains(addr) {
+			return n, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,136 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"distda/internal/energy"
+)
+
+func TestMemoryAccessCounting(t *testing.T) {
+	m := energy.NewMeter(energy.Default32nm())
+	mem := NewMemory(DefaultConfig(), m)
+	lat := mem.Access(false)
+	if lat != DefaultConfig().LatencyCycles {
+		t.Fatalf("latency = %d", lat)
+	}
+	mem.Access(true)
+	if mem.Accesses != 2 || mem.Reads != 1 || mem.Writes != 1 {
+		t.Fatalf("counts = %d/%d/%d", mem.Accesses, mem.Reads, mem.Writes)
+	}
+	if m.Get(energy.CatDRAM) != 2*m.Table.DRAMAccessPJ {
+		t.Fatalf("energy = %g", m.Get(energy.CatDRAM))
+	}
+	if mem.LineBytes() != 64 {
+		t.Fatalf("line = %d", mem.LineBytes())
+	}
+}
+
+func TestSlabBasics(t *testing.T) {
+	s, err := NewSlab(0x1000, 1<<20, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Alloc("A", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Base%4096 != 0 || a.Base < 0x1000 {
+		t.Fatalf("A base = %#x", a.Base)
+	}
+	b, err := s.Alloc("B", 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Base < a.End() {
+		t.Fatalf("B overlaps A: %#x < %#x", b.Base, a.End())
+	}
+	if _, err := s.Alloc("A", 10); err == nil {
+		t.Fatal("duplicate allocation accepted")
+	}
+	if _, err := s.Alloc("Z", 0); err == nil {
+		t.Fatal("zero-byte allocation accepted")
+	}
+	if _, err := s.Alloc("huge", 2<<20); err == nil {
+		t.Fatal("oversized allocation accepted")
+	}
+	r, ok := s.Lookup("B")
+	if !ok || r != b {
+		t.Fatal("Lookup B")
+	}
+	if owner, ok := s.OwnerOf(a.Base + 1); !ok || owner != "A" {
+		t.Fatalf("OwnerOf = %q/%v", owner, ok)
+	}
+	if _, ok := s.OwnerOf(0); ok {
+		t.Fatal("OwnerOf outside allocations")
+	}
+	objs := s.Objects()
+	if len(objs) != 2 || objs[0] != "A" || objs[1] != "B" {
+		t.Fatalf("Objects = %v", objs)
+	}
+	s.Reset()
+	if len(s.Objects()) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	if _, err := s.Alloc("A", 10); err != nil {
+		t.Fatalf("realloc after reset: %v", err)
+	}
+}
+
+func TestSlabRejectsBadConfig(t *testing.T) {
+	if _, err := NewSlab(0, 0, 64); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if _, err := NewSlab(0, 100, 3); err == nil {
+		t.Fatal("non-power-of-two align accepted")
+	}
+	if _, err := NewSlab(0, 100, 0); err == nil {
+		t.Fatal("zero align accepted")
+	}
+}
+
+// Property: allocations never overlap and are always aligned.
+func TestSlabNonOverlapProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		s, err := NewSlab(0, 1<<30, 64)
+		if err != nil {
+			return false
+		}
+		var regions []Region
+		for i, raw := range sizes {
+			if i > 50 {
+				break
+			}
+			bytes := int64(raw%10000) + 1
+			r, err := s.Alloc(name(i), bytes)
+			if err != nil {
+				return false
+			}
+			if r.Base%64 != 0 || r.Bytes != bytes {
+				return false
+			}
+			for _, prev := range regions {
+				if r.Base < prev.End() && prev.Base < r.End() {
+					return false // overlap
+				}
+			}
+			regions = append(regions, r)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func name(i int) string { return string(rune('a'+i%26)) + string(rune('0'+i/26)) }
+
+func TestRegionHelpers(t *testing.T) {
+	r := Region{Base: 100, Bytes: 10}
+	if r.End() != 110 {
+		t.Fatal("End")
+	}
+	if !r.Contains(100) || !r.Contains(109) || r.Contains(110) || r.Contains(99) {
+		t.Fatal("Contains")
+	}
+}

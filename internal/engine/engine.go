@@ -1,0 +1,117 @@
+// Package engine is the cycle-stepped simulation core. Components advance
+// on their own clock edges derived from a common base clock, so a 2 GHz
+// host, 1 GHz CGRA fabric and 3 GHz sensitivity configurations coexist in
+// one run (base tick = 1/6 ns).
+package engine
+
+import "fmt"
+
+// BaseGHz is the base clock. Divisors: 6 GHz base → 1 GHz = 6, 2 GHz = 3,
+// 3 GHz = 2.
+const BaseGHz = 6
+
+// Div returns the base-clock divisor for a component clocked at ghz.
+func Div(ghz int) int {
+	if ghz <= 0 || BaseGHz%ghz != 0 {
+		panic(fmt.Sprintf("engine: unsupported clock %d GHz (base %d)", ghz, BaseGHz))
+	}
+	return BaseGHz / ghz
+}
+
+// Component is a clocked simulation entity. Step is invoked once per edge
+// of the component's clock with the current base cycle; it returns whether
+// the component made forward progress (consumed/produced/retired/counted
+// down a latency). Done reports completion.
+type Component interface {
+	Step(now int64) (progress bool)
+	Done() bool
+}
+
+// clocked pairs a component with its divisor.
+type clocked struct {
+	c   Component
+	div int64
+}
+
+// Engine drives a set of components to completion.
+type Engine struct {
+	comps []clocked
+	now   int64
+}
+
+// New returns an empty engine.
+func New() *Engine { return &Engine{} }
+
+// Add registers a component clocked at ghz.
+func (e *Engine) Add(c Component, ghz int) {
+	e.comps = append(e.comps, clocked{c: c, div: int64(Div(ghz))})
+}
+
+// Now returns the current base cycle.
+func (e *Engine) Now() int64 { return e.now }
+
+// deadlockWindow is how many consecutive progress-free base cycles (with
+// incomplete components) are treated as deadlock. Every legitimate wait in
+// the model counts down a timer and therefore reports progress, so a small
+// window suffices.
+const deadlockWindow = 8
+
+// Run advances until every component is done, returning the elapsed base
+// cycles. It fails on deadlock or when maxBaseCycles elapses.
+func (e *Engine) Run(maxBaseCycles int64) (int64, error) {
+	start := e.now
+	idle := 0
+	for {
+		allDone := true
+		for _, cc := range e.comps {
+			if !cc.c.Done() {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			return e.now - start, nil
+		}
+		if e.now-start >= maxBaseCycles {
+			return e.now - start, fmt.Errorf("engine: exceeded %d base cycles", maxBaseCycles)
+		}
+		progress := false
+		for _, cc := range e.comps {
+			if e.now%cc.div != 0 || cc.c.Done() {
+				continue
+			}
+			if cc.c.Step(e.now) {
+				progress = true
+			}
+		}
+		if progress {
+			idle = 0
+		} else {
+			idle++
+			if idle > deadlockWindow*int(maxDiv(e.comps)) {
+				return e.now - start, fmt.Errorf("engine: deadlock at base cycle %d (%s)", e.now, e.describeStuck())
+			}
+		}
+		e.now++
+	}
+}
+
+func maxDiv(comps []clocked) int64 {
+	var m int64 = 1
+	for _, c := range comps {
+		if c.div > m {
+			m = c.div
+		}
+	}
+	return m
+}
+
+func (e *Engine) describeStuck() string {
+	n := 0
+	for _, cc := range e.comps {
+		if !cc.c.Done() {
+			n++
+		}
+	}
+	return fmt.Sprintf("%d components incomplete", n)
+}

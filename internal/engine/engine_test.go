@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// ticker counts edges and finishes after n steps.
+type ticker struct {
+	n     int
+	steps int
+	seen  []int64
+}
+
+func (t *ticker) Step(now int64) bool {
+	t.steps++
+	t.seen = append(t.seen, now)
+	return true
+}
+
+func (t *ticker) Done() bool { return t.steps >= t.n }
+
+// stuck never progresses and never finishes.
+type stuck struct{}
+
+func (stuck) Step(int64) bool { return false }
+func (stuck) Done() bool      { return false }
+
+func TestDivisors(t *testing.T) {
+	if Div(1) != 6 || Div(2) != 3 || Div(3) != 2 || Div(6) != 1 {
+		t.Fatal("divisors")
+	}
+}
+
+func TestDivPanicsOnBadClock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 4 GHz")
+		}
+	}()
+	Div(4)
+}
+
+func TestClockEdges(t *testing.T) {
+	slow := &ticker{n: 4}
+	fast := &ticker{n: 12}
+	e := New()
+	e.Add(slow, 1) // every 6 base cycles
+	e.Add(fast, 3) // every 2 base cycles
+	if _, err := e.Run(1 << 16); err != nil {
+		t.Fatal(err)
+	}
+	for i, now := range slow.seen {
+		if now%6 != 0 {
+			t.Fatalf("slow edge %d at base cycle %d", i, now)
+		}
+	}
+	for i, now := range fast.seen {
+		if now%2 != 0 {
+			t.Fatalf("fast edge %d at base cycle %d", i, now)
+		}
+	}
+}
+
+func TestRunReturnsElapsed(t *testing.T) {
+	c := &ticker{n: 10}
+	e := New()
+	e.Add(c, 2) // every 3 base cycles: done after edge at cycle 27
+	elapsed, err := e.Run(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed < 27 || elapsed > 30 {
+		t.Fatalf("elapsed = %d", elapsed)
+	}
+	if e.Now() != elapsed {
+		t.Fatalf("Now = %d, want %d", e.Now(), elapsed)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := New()
+	e.Add(stuck{}, 2)
+	_, err := e.Run(1 << 20)
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBudgetExceeded(t *testing.T) {
+	// A component that always progresses but never finishes.
+	e := New()
+	e.Add(&ticker{n: 1 << 30}, 2)
+	_, err := e.Run(100)
+	if err == nil || !strings.Contains(err.Error(), "exceeded") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEmptyEngineFinishesImmediately(t *testing.T) {
+	elapsed, err := New().Run(10)
+	if err != nil || elapsed != 0 {
+		t.Fatalf("elapsed=%d err=%v", elapsed, err)
+	}
+}
+
+func TestSecondRunContinues(t *testing.T) {
+	a := &ticker{n: 2}
+	e := New()
+	e.Add(a, 2)
+	if _, err := e.Run(1 << 16); err != nil {
+		t.Fatal(err)
+	}
+	b := &ticker{n: 2}
+	e.Add(b, 2)
+	if _, err := e.Run(1 << 16); err != nil {
+		t.Fatal(err)
+	}
+	// b's edges continue from the engine's running clock.
+	if b.seen[0] < a.seen[len(a.seen)-1] {
+		t.Fatalf("second run restarted the clock: %v then %v", a.seen, b.seen)
+	}
+}

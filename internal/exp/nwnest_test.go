@@ -1,0 +1,42 @@
+package exp
+
+import (
+	"testing"
+
+	"distda/internal/sim"
+	"distda/internal/workloads"
+)
+
+// TestAnnotateNWNestValidates runs the hand-written whole-matrix nw
+// schedule (cp_read/cp_write per cell, carried left neighbor, predicated
+// row-start reload, optional cp_fill_ra of the similarity block) and checks
+// functional equivalence with the interpreter. It also records the model
+// finding documented in EXPERIMENTS.md: the random-access schedule
+// validates but does not beat the compiler's stream mapping here.
+func TestAnnotateNWNestValidates(t *testing.T) {
+	w := workloads.NW(workloads.ScaleTest)
+	for _, prefill := range []bool{false, true} {
+		res, err := sim.RunAnnotated(w.Kernel, w.Params, w.NewData(), sim.DistDAIO(), AnnotateNWNest(prefill))
+		if err != nil {
+			t.Fatalf("prefill=%v: %v", prefill, err)
+		}
+		if !res.Validated {
+			t.Fatalf("prefill=%v: not validated", prefill)
+		}
+		if res.Launches != 1 {
+			t.Fatalf("prefill=%v: launches = %d, want 1 (whole nest)", prefill, res.Launches)
+		}
+	}
+	// The cp_fill_ra variant must beat the plain random-access variant.
+	plain, err := sim.RunAnnotated(w.Kernel, w.Params, w.NewData(), sim.DistDAIO(), AnnotateNWNest(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := sim.RunAnnotated(w.Kernel, w.Params, w.NewData(), sim.DistDAIO(), AnnotateNWNest(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.Cycles >= plain.Cycles {
+		t.Fatalf("prefill did not help: %d vs %d", pre.Cycles, plain.Cycles)
+	}
+}

@@ -1,0 +1,290 @@
+// Package iocore models the lightweight single-issue in-order accelerator
+// core of the Dist-DA-IO / Mono-DA-IO configurations: it steps the
+// compiler-generated 64-bit micro-program one operation per cycle, blocking
+// on empty/full access buffers and on random-access latency.
+package iocore
+
+import (
+	"fmt"
+
+	"distda/internal/accessunit"
+	"distda/internal/core"
+	"distda/internal/energy"
+	"distda/internal/ir"
+	"distda/internal/microcode"
+)
+
+// Core executes one accelerator definition.
+type Core struct {
+	def    *core.AccelDef
+	prog   microcode.Program
+	regs   [microcode.NumRegs]float64
+	pc     int
+	iter   int64
+	trips  int64 // -1: while-input
+	inputs map[int]*accessunit.InPort
+	output map[int]*accessunit.OutPort
+	random *accessunit.RandomPort
+	meter  *energy.Meter
+
+	stallUntil int64
+	done       bool
+
+	// Width is the issue width: micro-ops retired per cycle when nothing
+	// blocks (Fig. 14's +SW configuration uses 4). Zero means 1.
+	Width int
+
+	// Counters.
+	Ops        int64 // retired micro-ops
+	IntOps     int64
+	ComplexOps int64
+	FloatOps   int64
+	Iters      int64
+	StallCyc   int64
+}
+
+// New builds a core for def. trips < 0 selects while-input orchestration
+// watching def.Trip.InputAccess.
+func New(def *core.AccelDef, trips int64, inputs map[int]*accessunit.InPort, outputs map[int]*accessunit.OutPort,
+	random *accessunit.RandomPort, meter *energy.Meter) (*Core, error) {
+	if err := def.Program.Validate(len(def.Accesses)); err != nil {
+		return nil, err
+	}
+	c := &Core{
+		def: def, prog: def.Program, trips: trips,
+		inputs: inputs, output: outputs, random: random,
+		meter: meter,
+	}
+	if len(c.prog) == 0 {
+		return nil, fmt.Errorf("iocore: accel %d (%s) has empty program", def.ID, def.Name)
+	}
+	return c, nil
+}
+
+// SetReg initializes a register (cp_set_rf).
+func (c *Core) SetReg(r int, v float64) { c.regs[r] = v }
+
+// Reg reads a register (cp_load_rf).
+func (c *Core) Reg(r int) float64 { return c.regs[r] }
+
+// Done reports orchestrator completion.
+func (c *Core) Done() bool { return c.done }
+
+// finish closes every output buffer so downstream drains and links
+// terminate.
+func (c *Core) finish() {
+	for _, p := range c.output {
+		if !p.Buf.Closed() {
+			p.Buf.Close()
+		}
+	}
+	c.done = true
+}
+
+func (c *Core) retire(class ir.OpClass) {
+	c.Ops++
+	switch class {
+	case ir.ClassInt:
+		c.IntOps++
+	case ir.ClassComplex:
+		c.ComplexOps++
+	case ir.ClassFloat:
+		c.FloatOps++
+	}
+	if c.meter != nil {
+		t := c.meter.Table
+		e := t.IOInstrPJ
+		switch class {
+		case ir.ClassInt:
+			e += t.IntOpPJ
+		case ir.ClassComplex:
+			e += t.ComplexOpPJ
+		case ir.ClassFloat:
+			e += t.FloatOpPJ
+		}
+		c.meter.Add(energy.CatAccel, e)
+	}
+	c.pc++
+	if c.pc == len(c.prog) {
+		c.pc = 0
+		c.iter++
+		c.Iters++
+		if c.trips >= 0 && c.iter >= c.trips {
+			c.finish()
+		}
+	}
+}
+
+// Step advances one core clock edge. Returns whether progress was made
+// (a retired op, a counted-down stall, or a detected end-of-input).
+func (c *Core) Step(now int64) bool {
+	if c.done {
+		return false
+	}
+	if now < c.stallUntil {
+		c.StallCyc++
+		return true
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 1
+	}
+	progress := false
+	written := map[int]bool{}
+	for i := 0; i < width; i++ {
+		// In-order multi-issue: an op reading a register written this cycle
+		// waits for the next cycle.
+		if i > 0 && c.pc < len(c.prog) && readsAny(c.prog[c.pc], written) {
+			break
+		}
+		var wrote int = -1
+		if c.pc < len(c.prog) {
+			if d, ok := destOf(c.prog[c.pc]); ok {
+				wrote = d
+			}
+		}
+		p := c.step1(now)
+		progress = progress || p
+		if p && wrote >= 0 {
+			written[wrote] = true
+		}
+		if !p || c.done || now < c.stallUntil {
+			break
+		}
+	}
+	return progress
+}
+
+// readsAny reports whether op reads any register in set.
+func readsAny(op microcode.Op, set map[int]bool) bool {
+	if op.Pred >= 0 && set[op.Pred] {
+		return true
+	}
+	switch op.Code {
+	case microcode.Produce, microcode.LoadObj, microcode.ALUI, microcode.Un, microcode.Mov:
+		return set[op.A]
+	case microcode.StoreObj, microcode.ALU:
+		return set[op.A] || set[op.B]
+	case microcode.SelOp:
+		return set[op.A] || set[op.B] || set[op.C]
+	default:
+		return false
+	}
+}
+
+// destOf returns the register an op writes, if any.
+func destOf(op microcode.Op) (int, bool) {
+	switch op.Code {
+	case microcode.Consume, microcode.LoadObj, microcode.ALU, microcode.ALUI,
+		microcode.Un, microcode.SelOp, microcode.MovI, microcode.Mov, microcode.Iter:
+		return op.Dst, true
+	default:
+		return 0, false
+	}
+}
+
+// step1 retires at most one micro-op.
+func (c *Core) step1(now int64) bool {
+	// While-input orchestration: at iteration start, end-of-stream on the
+	// watched input terminates the offload.
+	if c.pc == 0 && c.trips < 0 {
+		p, ok := c.inputs[c.def.Trip.InputAccess]
+		if !ok {
+			panic(fmt.Sprintf("iocore: accel %d: while-input access %d not wired", c.def.ID, c.def.Trip.InputAccess))
+		}
+		if p.Buf.Drained(p.Reader) {
+			c.finish()
+			return true
+		}
+	}
+	op := c.prog[c.pc]
+	if op.Pred >= 0 && c.regs[op.Pred] == 0 {
+		c.retire(ir.ClassInt) // predicated-off: retires as a nop
+		return true
+	}
+	switch op.Code {
+	case microcode.Nop:
+		c.retire(ir.ClassInt)
+	case microcode.Consume:
+		p, ok := c.inputs[op.Access]
+		if !ok {
+			panic(fmt.Sprintf("iocore: accel %d: access %d not wired as input", c.def.ID, op.Access))
+		}
+		if !p.Buf.CanPop(p.Reader) {
+			if p.Buf.Drained(p.Reader) {
+				panic(fmt.Sprintf("iocore: accel %d: consume on drained access %d (producer under-delivered)", c.def.ID, op.Access))
+			}
+			return false // blocked on empty buffer
+		}
+		c.regs[op.Dst] = p.Buf.Pop(p.Reader)
+		c.retire(ir.ClassInt)
+	case microcode.Produce:
+		p, ok := c.output[op.Access]
+		if !ok {
+			panic(fmt.Sprintf("iocore: accel %d: access %d not wired as output", c.def.ID, op.Access))
+		}
+		if !p.Buf.CanPush() {
+			return false // blocked on full buffer (back-pressure)
+		}
+		p.Buf.Push(c.regs[op.A])
+		c.retire(ir.ClassInt)
+	case microcode.LoadObj:
+		v, lat, err := c.random.Load(op.Obj, int64(c.regs[op.A]))
+		if err != nil {
+			panic(fmt.Sprintf("iocore: accel %d: %v", c.def.ID, err))
+		}
+		c.regs[op.Dst] = v
+		c.stallUntil = now + int64(lat)
+		c.retire(ir.ClassInt)
+	case microcode.StoreObj:
+		lat, err := c.random.Store(op.Obj, int64(c.regs[op.A]), c.regs[op.B])
+		if err != nil {
+			panic(fmt.Sprintf("iocore: accel %d: %v", c.def.ID, err))
+		}
+		// Posted write: brief port occupancy only.
+		occ := int64(lat)
+		if occ > 8 {
+			occ = 8
+		}
+		c.stallUntil = now + occ
+		c.retire(ir.ClassInt)
+	case microcode.ALU:
+		c.regs[op.Dst] = c.apply(op.Bin, c.regs[op.A], c.regs[op.B])
+		c.retire(op.Bin.Class())
+	case microcode.ALUI:
+		c.regs[op.Dst] = c.apply(op.Bin, c.regs[op.A], op.Imm)
+		c.retire(op.Bin.Class())
+	case microcode.Un:
+		c.regs[op.Dst] = ir.ApplyUn(op.UnOp, c.regs[op.A])
+		c.retire(op.UnOp.Class())
+	case microcode.SelOp:
+		if c.regs[op.C] != 0 {
+			c.regs[op.Dst] = c.regs[op.A]
+		} else {
+			c.regs[op.Dst] = c.regs[op.B]
+		}
+		c.retire(ir.ClassInt)
+	case microcode.MovI:
+		c.regs[op.Dst] = op.Imm
+		c.retire(ir.ClassInt)
+	case microcode.Mov:
+		c.regs[op.Dst] = c.regs[op.A]
+		c.retire(ir.ClassInt)
+	case microcode.Iter:
+		c.regs[op.Dst] = float64(c.iter)
+		c.retire(ir.ClassInt)
+	default:
+		panic(fmt.Sprintf("iocore: accel %d: bad opcode %v", c.def.ID, op.Code))
+	}
+	return true
+}
+
+// apply evaluates a binary op, panicking on arithmetic faults (the
+// simulator surfaces these as configuration errors).
+func (c *Core) apply(op ir.BinOp, a, b float64) float64 {
+	v, err := ir.ApplyBin(op, a, b)
+	if err != nil {
+		panic(fmt.Sprintf("iocore: accel %d: %v", c.def.ID, err))
+	}
+	return v
+}

@@ -1,0 +1,98 @@
+package ir
+
+// Construction helpers. Workload definitions read much closer to the
+// original C sources when written with these.
+
+// C builds a constant.
+func C(v float64) Expr { return Const{V: v} }
+
+// P reads a scalar parameter.
+func P(name string) Expr { return Param{Name: name} }
+
+// V reads an induction variable.
+func V(name string) Expr { return IV{Name: name} }
+
+// L reads a local variable.
+func L(name string) Expr { return Local{Name: name} }
+
+// Ld loads obj[idx].
+func Ld(obj string, idx Expr) Expr { return Load{Obj: obj, Idx: idx} }
+
+// AddE returns a+b.
+func AddE(a, b Expr) Expr { return Bin{Op: Add, A: a, B: b} }
+
+// SubE returns a-b.
+func SubE(a, b Expr) Expr { return Bin{Op: Sub, A: a, B: b} }
+
+// MulE returns a*b.
+func MulE(a, b Expr) Expr { return Bin{Op: Mul, A: a, B: b} }
+
+// DivE returns a/b.
+func DivE(a, b Expr) Expr { return Bin{Op: Div, A: a, B: b} }
+
+// ModE returns a mod b (truncated toward zero, as integers).
+func ModE(a, b Expr) Expr { return Bin{Op: Mod, A: a, B: b} }
+
+// MinE returns min(a,b).
+func MinE(a, b Expr) Expr { return Bin{Op: Min, A: a, B: b} }
+
+// MaxE returns max(a,b).
+func MaxE(a, b Expr) Expr { return Bin{Op: Max, A: a, B: b} }
+
+// LtE returns a<b as 0/1.
+func LtE(a, b Expr) Expr { return Bin{Op: Lt, A: a, B: b} }
+
+// LeE returns a<=b as 0/1.
+func LeE(a, b Expr) Expr { return Bin{Op: Le, A: a, B: b} }
+
+// GtE returns a>b as 0/1.
+func GtE(a, b Expr) Expr { return Bin{Op: Gt, A: a, B: b} }
+
+// GeE returns a>=b as 0/1.
+func GeE(a, b Expr) Expr { return Bin{Op: Ge, A: a, B: b} }
+
+// EqE returns a==b as 0/1.
+func EqE(a, b Expr) Expr { return Bin{Op: Eq, A: a, B: b} }
+
+// NeE returns a!=b as 0/1.
+func NeE(a, b Expr) Expr { return Bin{Op: Ne, A: a, B: b} }
+
+// AbsE returns |a|.
+func AbsE(a Expr) Expr { return Un{Op: Abs, A: a} }
+
+// NegE returns -a.
+func NegE(a Expr) Expr { return Un{Op: Neg, A: a} }
+
+// SqrtE returns sqrt(a).
+func SqrtE(a Expr) Expr { return Un{Op: Sqrt, A: a} }
+
+// FloorE returns floor(a).
+func FloorE(a Expr) Expr { return Un{Op: Floor, A: a} }
+
+// SelE returns cond != 0 ? t : f with both arms evaluated.
+func SelE(cond, t, f Expr) Expr { return Sel{Cond: cond, T: t, F: f} }
+
+// Set binds local name to e.
+func Set(name string, e Expr) Stmt { return Let{Name: name, E: e} }
+
+// St stores val to obj[idx].
+func St(obj string, idx, val Expr) Stmt { return Store{Obj: obj, Idx: idx, Val: val} }
+
+// Loop builds a unit-step counted loop.
+func Loop(iv string, lo, hi Expr, body ...Stmt) *For {
+	return &For{IV: iv, Lo: lo, Hi: hi, Step: C(1), Body: body}
+}
+
+// ParLoop builds a unit-step loop annotated as parallel (iterations are
+// independent; used only by the multithreading case study).
+func ParLoop(iv string, lo, hi Expr, body ...Stmt) *For {
+	f := Loop(iv, lo, hi, body...)
+	f.Parallel = true
+	return f
+}
+
+// Cond builds an if statement.
+func Cond(c Expr, then []Stmt, els []Stmt) Stmt { return If{Cond: c, Then: then, Else: els} }
+
+// Idx2 flattens a 2-D index i*w + j.
+func Idx2(i Expr, w Expr, j Expr) Expr { return AddE(MulE(i, w), j) }

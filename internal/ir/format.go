@@ -1,0 +1,55 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a kernel as readable pseudo-C for diagnostics and the
+// inspect tool.
+func Format(k *Kernel) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel %s(", k.Name)
+	for i, p := range k.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p)
+	}
+	b.WriteString(")\n")
+	for _, o := range k.Objects {
+		fmt.Fprintf(&b, "  object %s[%d] (%dB elems)\n", o.Name, o.Len, o.ElemBytes)
+	}
+	formatStmts(&b, k.Body, 1)
+	return b.String()
+}
+
+func formatStmts(b *strings.Builder, ss []Stmt, depth int) {
+	pad := strings.Repeat("  ", depth)
+	for _, s := range ss {
+		switch x := s.(type) {
+		case Let:
+			fmt.Fprintf(b, "%s%s = %s\n", pad, x.Name, x.E)
+		case Store:
+			fmt.Fprintf(b, "%s%s[%s] = %s\n", pad, x.Obj, x.Idx, x.Val)
+		case If:
+			fmt.Fprintf(b, "%sif %s {\n", pad, x.Cond)
+			formatStmts(b, x.Then, depth+1)
+			if len(x.Else) > 0 {
+				fmt.Fprintf(b, "%s} else {\n", pad)
+				formatStmts(b, x.Else, depth+1)
+			}
+			fmt.Fprintf(b, "%s}\n", pad)
+		case *For:
+			kw := "for"
+			if x.Parallel {
+				kw = "parfor"
+			}
+			fmt.Fprintf(b, "%s%s %s = %s .. %s step %s {\n", pad, kw, x.IV, x.Lo, x.Hi, x.Step)
+			formatStmts(b, x.Body, depth+1)
+			fmt.Fprintf(b, "%s}\n", pad)
+		default:
+			fmt.Fprintf(b, "%s%v\n", pad, s)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatKernel(t *testing.T) {
+	k := &Kernel{
+		Name:    "demo",
+		Params:  []string{"N"},
+		Objects: []ObjDecl{{Name: "A", Len: 8, ElemBytes: 8}},
+		Body: []Stmt{
+			Set("s", C(0)),
+			ParLoop("i", C(0), P("N"),
+				Cond(GtE(Ld("A", V("i")), C(0)),
+					[]Stmt{St("A", V("i"), C(1))},
+					[]Stmt{St("A", V("i"), C(2))}),
+			),
+		},
+	}
+	out := Format(k)
+	for _, want := range []string{
+		"kernel demo(N)",
+		"object A[8] (8B elems)",
+		"parfor i = 0 .. $N step 1 {",
+		"if (A[i] gt 0) {",
+		"} else {",
+		"A[i] = 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q:\n%s", want, out)
+		}
+	}
+	// Nesting depth is reflected by indentation.
+	if !strings.Contains(out, "      A[i] = 1") {
+		t.Fatalf("indentation wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,283 @@
+package ir
+
+import (
+	"fmt"
+)
+
+// Hooks receive dynamic-execution events from the interpreter. Any field may
+// be nil. The host timing model and the coverage analysis (Table VI) are
+// built on these callbacks.
+type Hooks struct {
+	// OnOp fires once per arithmetic operation (Bin/Un/Sel evaluation).
+	OnOp func(class OpClass)
+	// OnLoad fires after a successful load of obj[idx].
+	OnLoad func(obj string, idx int)
+	// OnStore fires after a successful store to obj[idx].
+	OnStore func(obj string, idx int)
+	// OnLoopIter fires at the start of every iteration of every loop.
+	OnLoopIter func(f *For)
+}
+
+// LoopCounts aggregates dynamic activity attributed to one loop (activity of
+// nested loops is attributed to the innermost enclosing loop only).
+type LoopCounts struct {
+	Ops    int64
+	Loads  int64
+	Stores int64
+	Trips  int64
+}
+
+// Counts aggregates dynamic activity for a whole kernel run.
+type Counts struct {
+	Ops        int64 // arithmetic operations
+	IntOps     int64
+	ComplexOps int64
+	FloatOps   int64
+	Loads      int64
+	Stores     int64
+	LoopIters  int64 // loop iterations across all loops (control overhead)
+	ByLoop     map[*For]*LoopCounts
+}
+
+// MemOps returns total loads+stores.
+func (c *Counts) MemOps() int64 { return c.Loads + c.Stores }
+
+// Instructions approximates the dynamic instruction count: arithmetic ops,
+// memory ops, plus per-iteration loop control (compare+increment+branch ≈ 2).
+func (c *Counts) Instructions() int64 {
+	return c.Ops + c.Loads + c.Stores + 2*c.LoopIters
+}
+
+// runtimeError carries interpreter failures through panic/recover so the
+// tree-walk stays uncluttered. It never escapes this package.
+type runtimeError struct{ err error }
+
+type interp struct {
+	k      *Kernel
+	params map[string]float64
+	mem    map[string][]float64
+	hooks  Hooks
+	ivs    map[string]float64
+	locals map[string]float64
+	counts *Counts
+	// loopStack tracks enclosing loops; events attribute to the top.
+	loopStack []*For
+}
+
+func (in *interp) fail(format string, args ...any) {
+	panic(runtimeError{fmt.Errorf("ir: kernel %q: "+format, append([]any{in.k.Name}, args...)...)})
+}
+
+// Run interprets the kernel against mem (modified in place) and returns
+// dynamic counts. mem must contain a slice of the declared length for every
+// declared object; params must define every declared parameter.
+func Run(k *Kernel, params map[string]float64, mem map[string][]float64, hooks *Hooks) (counts *Counts, err error) {
+	if err := Validate(k); err != nil {
+		return nil, err
+	}
+	for _, p := range k.Params {
+		if _, ok := params[p]; !ok {
+			return nil, fmt.Errorf("ir: kernel %q: missing parameter %q", k.Name, p)
+		}
+	}
+	for _, o := range k.Objects {
+		buf, ok := mem[o.Name]
+		if !ok {
+			return nil, fmt.Errorf("ir: kernel %q: missing memory object %q", k.Name, o.Name)
+		}
+		if len(buf) != o.Len {
+			return nil, fmt.Errorf("ir: kernel %q: object %q has %d elements, declared %d",
+				k.Name, o.Name, len(buf), o.Len)
+		}
+	}
+	in := &interp{
+		k:      k,
+		params: params,
+		mem:    mem,
+		ivs:    map[string]float64{},
+		locals: map[string]float64{},
+		counts: &Counts{ByLoop: map[*For]*LoopCounts{}},
+	}
+	if hooks != nil {
+		in.hooks = *hooks
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			re, ok := r.(runtimeError)
+			if !ok {
+				panic(r)
+			}
+			counts, err = nil, re.err
+		}
+	}()
+	in.stmts(k.Body)
+	return in.counts, nil
+}
+
+func (in *interp) loopCounts() *LoopCounts {
+	if len(in.loopStack) == 0 {
+		return nil
+	}
+	top := in.loopStack[len(in.loopStack)-1]
+	lc := in.counts.ByLoop[top]
+	if lc == nil {
+		lc = &LoopCounts{}
+		in.counts.ByLoop[top] = lc
+	}
+	return lc
+}
+
+func (in *interp) stmts(body []Stmt) {
+	for _, s := range body {
+		in.stmt(s)
+	}
+}
+
+func (in *interp) stmt(s Stmt) {
+	switch x := s.(type) {
+	case Let:
+		in.locals[x.Name] = in.eval(x.E)
+	case Store:
+		idx := in.index(x.Obj, x.Idx)
+		v := in.eval(x.Val)
+		in.mem[x.Obj][idx] = v
+		in.counts.Stores++
+		if lc := in.loopCounts(); lc != nil {
+			lc.Stores++
+		}
+		if in.hooks.OnStore != nil {
+			in.hooks.OnStore(x.Obj, idx)
+		}
+	case If:
+		if in.eval(x.Cond) != 0 {
+			in.stmts(x.Then)
+		} else {
+			in.stmts(x.Else)
+		}
+	case *For:
+		in.forLoop(x)
+	default:
+		in.fail("unknown statement %T", s)
+	}
+}
+
+func (in *interp) forLoop(f *For) {
+	lo := in.eval(f.Lo)
+	hi := in.eval(f.Hi)
+	step := in.eval(f.Step)
+	if step <= 0 {
+		in.fail("loop %s has non-positive step %g", f.IV, step)
+	}
+	saved, had := in.ivs[f.IV]
+	in.loopStack = append(in.loopStack, f)
+	for v := lo; v < hi; v += step {
+		in.ivs[f.IV] = v
+		in.counts.LoopIters++
+		if lc := in.counts.ByLoop[f]; lc != nil {
+			lc.Trips++
+		} else {
+			in.counts.ByLoop[f] = &LoopCounts{Trips: 1}
+		}
+		if in.hooks.OnLoopIter != nil {
+			in.hooks.OnLoopIter(f)
+		}
+		in.stmts(f.Body)
+	}
+	in.loopStack = in.loopStack[:len(in.loopStack)-1]
+	if had {
+		in.ivs[f.IV] = saved
+	} else {
+		delete(in.ivs, f.IV)
+	}
+}
+
+func (in *interp) index(obj string, e Expr) int {
+	decl, ok := in.k.Object(obj)
+	if !ok {
+		in.fail("access to undeclared object %q", obj)
+	}
+	v := in.eval(e)
+	idx := int(v)
+	if idx < 0 || idx >= decl.Len {
+		in.fail("index %d out of range for object %q (len %d)", idx, obj, decl.Len)
+	}
+	return idx
+}
+
+func (in *interp) countOp(class OpClass) {
+	in.counts.Ops++
+	switch class {
+	case ClassInt:
+		in.counts.IntOps++
+	case ClassComplex:
+		in.counts.ComplexOps++
+	case ClassFloat:
+		in.counts.FloatOps++
+	}
+	if lc := in.loopCounts(); lc != nil {
+		lc.Ops++
+	}
+	if in.hooks.OnOp != nil {
+		in.hooks.OnOp(class)
+	}
+}
+
+func (in *interp) eval(e Expr) float64 {
+	switch x := e.(type) {
+	case Const:
+		return x.V
+	case Param:
+		v, ok := in.params[x.Name]
+		if !ok {
+			in.fail("read of unknown parameter %q", x.Name)
+		}
+		return v
+	case IV:
+		v, ok := in.ivs[x.Name]
+		if !ok {
+			in.fail("read of induction variable %q outside its loop", x.Name)
+		}
+		return v
+	case Local:
+		v, ok := in.locals[x.Name]
+		if !ok {
+			in.fail("read of undefined local %q", x.Name)
+		}
+		return v
+	case Load:
+		idx := in.index(x.Obj, x.Idx)
+		in.counts.Loads++
+		if lc := in.loopCounts(); lc != nil {
+			lc.Loads++
+		}
+		if in.hooks.OnLoad != nil {
+			in.hooks.OnLoad(x.Obj, idx)
+		}
+		return in.mem[x.Obj][idx]
+	case Bin:
+		a := in.eval(x.A)
+		b := in.eval(x.B)
+		in.countOp(x.Op.Class())
+		v, err := ApplyBin(x.Op, a, b)
+		if err != nil {
+			in.fail("%v", err)
+		}
+		return v
+	case Un:
+		a := in.eval(x.A)
+		in.countOp(x.Op.Class())
+		return ApplyUn(x.Op, a)
+	case Sel:
+		c := in.eval(x.Cond)
+		t := in.eval(x.T)
+		f := in.eval(x.F)
+		in.countOp(ClassInt)
+		if c != 0 {
+			return t
+		}
+		return f
+	default:
+		in.fail("unknown expression %T", e)
+		return 0
+	}
+}

@@ -1,0 +1,165 @@
+package ir
+
+import "fmt"
+
+// Validate checks static well-formedness: objects and parameters referenced
+// by the body are declared, object declarations are sane, induction
+// variables are read only inside their loops, and locals are defined before
+// first use on every straight-line path (If arms are checked independently;
+// a local defined in only one arm may not be relied upon afterwards).
+func Validate(k *Kernel) error {
+	if k.Name == "" {
+		return fmt.Errorf("ir: kernel has empty name")
+	}
+	seenObj := map[string]bool{}
+	for _, o := range k.Objects {
+		if o.Name == "" {
+			return fmt.Errorf("ir: kernel %q: object with empty name", k.Name)
+		}
+		if seenObj[o.Name] {
+			return fmt.Errorf("ir: kernel %q: duplicate object %q", k.Name, o.Name)
+		}
+		seenObj[o.Name] = true
+		if o.Len <= 0 {
+			return fmt.Errorf("ir: kernel %q: object %q has non-positive length %d", k.Name, o.Name, o.Len)
+		}
+		switch o.ElemBytes {
+		case 1, 2, 4, 8:
+		default:
+			return fmt.Errorf("ir: kernel %q: object %q has unsupported element width %d", k.Name, o.Name, o.ElemBytes)
+		}
+	}
+	seenParam := map[string]bool{}
+	for _, p := range k.Params {
+		if seenParam[p] {
+			return fmt.Errorf("ir: kernel %q: duplicate parameter %q", k.Name, p)
+		}
+		seenParam[p] = true
+	}
+	v := &validator{k: k, ivs: map[string]bool{}, locals: map[string]bool{}}
+	if err := v.stmts(k.Body); err != nil {
+		return err
+	}
+	return nil
+}
+
+type validator struct {
+	k      *Kernel
+	ivs    map[string]bool
+	locals map[string]bool
+}
+
+func (v *validator) errf(format string, args ...any) error {
+	return fmt.Errorf("ir: kernel %q: "+format, append([]any{v.k.Name}, args...)...)
+}
+
+func (v *validator) stmts(body []Stmt) error {
+	for _, s := range body {
+		if err := v.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (v *validator) stmt(s Stmt) error {
+	switch x := s.(type) {
+	case Let:
+		if x.Name == "" {
+			return v.errf("let with empty name")
+		}
+		if err := v.expr(x.E); err != nil {
+			return err
+		}
+		v.locals[x.Name] = true
+		return nil
+	case Store:
+		if _, ok := v.k.Object(x.Obj); !ok {
+			return v.errf("store to undeclared object %q", x.Obj)
+		}
+		if err := v.expr(x.Idx); err != nil {
+			return err
+		}
+		return v.expr(x.Val)
+	case If:
+		if err := v.expr(x.Cond); err != nil {
+			return err
+		}
+		// Check arms against independent snapshots; keep only definitions
+		// common to both arms visible afterwards.
+		base := cloneSet(v.locals)
+		if err := v.stmts(x.Then); err != nil {
+			return err
+		}
+		thenLocals := v.locals
+		v.locals = cloneSet(base)
+		if err := v.stmts(x.Else); err != nil {
+			return err
+		}
+		elseLocals := v.locals
+		v.locals = base
+		for name := range thenLocals {
+			if elseLocals[name] {
+				v.locals[name] = true
+			}
+		}
+		return nil
+	case *For:
+		if x.IV == "" {
+			return v.errf("for with empty induction variable")
+		}
+		if v.ivs[x.IV] {
+			return v.errf("induction variable %q shadows an enclosing loop", x.IV)
+		}
+		for _, e := range []Expr{x.Lo, x.Hi, x.Step} {
+			if e == nil {
+				return v.errf("loop %q has nil bound", x.IV)
+			}
+			if err := v.expr(e); err != nil {
+				return err
+			}
+		}
+		v.ivs[x.IV] = true
+		err := v.stmts(x.Body)
+		delete(v.ivs, x.IV)
+		return err
+	default:
+		return v.errf("unknown statement %T", s)
+	}
+}
+
+func (v *validator) expr(e Expr) error {
+	var err error
+	WalkExpr(e, func(x Expr) {
+		if err != nil {
+			return
+		}
+		switch n := x.(type) {
+		case Param:
+			if !v.k.HasParam(n.Name) {
+				err = v.errf("read of undeclared parameter %q", n.Name)
+			}
+		case IV:
+			if !v.ivs[n.Name] {
+				err = v.errf("read of induction variable %q outside its loop", n.Name)
+			}
+		case Local:
+			if !v.locals[n.Name] {
+				err = v.errf("read of possibly-undefined local %q", n.Name)
+			}
+		case Load:
+			if _, ok := v.k.Object(n.Obj); !ok {
+				err = v.errf("load from undeclared object %q", n.Obj)
+			}
+		}
+	})
+	return err
+}
+
+func cloneSet(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+// Package memfake provides in-process implementations of the accessunit
+// Memory and Fetcher interfaces for substrate tests that do not need the
+// full cache hierarchy.
+package memfake
+
+import "fmt"
+
+// Mem lays named float64 slices out contiguously with page gaps.
+type Mem struct {
+	Objs  map[string][]float64
+	Base  map[string]int64
+	ElemB int
+}
+
+// New builds a Mem with the given element width over objs.
+func New(elemB int, objs map[string][]float64) *Mem {
+	m := &Mem{Objs: objs, Base: map[string]int64{}, ElemB: elemB}
+	addr := int64(0)
+	for name, s := range objs {
+		m.Base[name] = addr
+		addr += int64(len(s)*elemB) + 4096
+	}
+	return m
+}
+
+func (m *Mem) check(obj string, idx int64) error {
+	s, ok := m.Objs[obj]
+	if !ok {
+		return fmt.Errorf("memfake: no object %q", obj)
+	}
+	if idx < 0 || idx >= int64(len(s)) {
+		return fmt.Errorf("memfake: index %d out of range for %q (len %d)", idx, obj, len(s))
+	}
+	return nil
+}
+
+// Read returns obj[idx].
+func (m *Mem) Read(obj string, idx int64) (float64, error) {
+	if err := m.check(obj, idx); err != nil {
+		return 0, err
+	}
+	return m.Objs[obj][idx], nil
+}
+
+// Write sets obj[idx] = v.
+func (m *Mem) Write(obj string, idx int64, v float64) error {
+	if err := m.check(obj, idx); err != nil {
+		return err
+	}
+	m.Objs[obj][idx] = v
+	return nil
+}
+
+// AddrOf returns the flat address of obj[idx].
+func (m *Mem) AddrOf(obj string, idx int64) (int64, error) {
+	if err := m.check(obj, idx); err != nil {
+		return 0, err
+	}
+	return m.Base[obj] + idx*int64(m.ElemB), nil
+}
+
+// ElemBytes returns the element width of obj.
+func (m *Mem) ElemBytes(obj string) (int, error) {
+	if _, ok := m.Objs[obj]; !ok {
+		return 0, fmt.Errorf("memfake: no object %q", obj)
+	}
+	return m.ElemB, nil
+}
+
+// Fetch returns a fixed latency and counts accesses.
+type Fetch struct {
+	Lat      int
+	Accesses int
+	Bytes    int
+}
+
+// Access counts one access and returns the fixed latency.
+func (f *Fetch) Access(cluster int, addr int64, write bool, bytes int) int {
+	f.Accesses++
+	f.Bytes += bytes
+	return f.Lat
+}
+
+// LineBytes returns the 64 B line size.
+func (f *Fetch) LineBytes() int { return 64 }

@@ -1,0 +1,117 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"distda/internal/energy"
+)
+
+func TestHopsManhattan(t *testing.T) {
+	m := New(DefaultConfig(), nil)
+	// 4x2 mesh: node 0 = (0,0), node 7 = (3,1).
+	if h := m.Hops(0, 7); h != 4 {
+		t.Fatalf("Hops(0,7) = %d, want 4", h)
+	}
+	if h := m.Hops(3, 3); h != 0 {
+		t.Fatalf("Hops(3,3) = %d, want 0", h)
+	}
+	if h := m.Hops(0, 1); h != 1 {
+		t.Fatalf("Hops(0,1) = %d, want 1", h)
+	}
+	if h := m.Hops(1, 5); h != 1 {
+		t.Fatalf("Hops(1,5) = %d, want 1", h)
+	}
+}
+
+func TestHopsSymmetricProperty(t *testing.T) {
+	m := New(DefaultConfig(), nil)
+	f := func(a, b uint8) bool {
+		x, y := int(a)%m.Nodes(), int(b)%m.Nodes()
+		return m.Hops(x, y) == m.Hops(y, x) && m.Hops(x, y) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHopsTriangleInequality(t *testing.T) {
+	m := New(DefaultConfig(), nil)
+	f := func(a, b, c uint8) bool {
+		x, y, z := int(a)%m.Nodes(), int(b)%m.Nodes(), int(c)%m.Nodes()
+		return m.Hops(x, z) <= m.Hops(x, y)+m.Hops(y, z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlits(t *testing.T) {
+	m := New(DefaultConfig(), nil)
+	cases := []struct{ bytes, want int }{{0, 1}, {1, 1}, {16, 1}, {17, 2}, {64, 4}}
+	for _, c := range cases {
+		if got := m.Flits(c.bytes); got != c.want {
+			t.Fatalf("Flits(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestTransferAccounting(t *testing.T) {
+	meter := energy.NewMeter(energy.Default32nm())
+	m := New(DefaultConfig(), meter)
+	lat := m.Transfer(0, 7, 64, AccData)
+	// 4 hops x 2 cycles + 3 extra flits of serialization.
+	if lat != 11 {
+		t.Fatalf("latency = %d, want 11", lat)
+	}
+	if m.Bytes[AccData] != 64 || m.Messages[AccData] != 1 || m.FlitHops[AccData] != 16 {
+		t.Fatalf("accounting = %d/%d/%d", m.Bytes[AccData], m.Messages[AccData], m.FlitHops[AccData])
+	}
+	if got := meter.Get(energy.CatNoC); got != 16*meter.Table.NoCFlitHopPJ {
+		t.Fatalf("energy = %g", got)
+	}
+	if m.TotalBytes() != 64 {
+		t.Fatalf("TotalBytes = %d", m.TotalBytes())
+	}
+}
+
+func TestLocalTransferCostsNoEnergy(t *testing.T) {
+	meter := energy.NewMeter(energy.Default32nm())
+	m := New(DefaultConfig(), meter)
+	lat := m.Transfer(3, 3, 64, HostData)
+	if lat != 1 {
+		t.Fatalf("local latency = %d, want 1", lat)
+	}
+	if meter.Get(energy.CatNoC) != 0 {
+		t.Fatal("local transfer burned NoC energy")
+	}
+	if m.Bytes[HostData] != 64 {
+		t.Fatal("local transfer bytes not counted")
+	}
+}
+
+func TestTransferPanicsOnBadNode(t *testing.T) {
+	m := New(DefaultConfig(), nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on invalid node")
+		}
+	}()
+	m.Transfer(0, 99, 8, HostCtrl)
+}
+
+func TestClassNamesAndBytesByClass(t *testing.T) {
+	m := New(DefaultConfig(), nil)
+	m.Transfer(0, 1, 8, HostCtrl)
+	m.Transfer(0, 1, 32, AccCtrl)
+	by := m.BytesByClass()
+	if by["ctrl"] != 8 || by["acc_ctrl"] != 32 || by["data"] != 0 || by["acc_data"] != 0 {
+		t.Fatalf("BytesByClass = %v", by)
+	}
+	if len(Classes()) != 4 {
+		t.Fatal("Classes() length")
+	}
+	if HostCtrl.String() != "ctrl" || AccData.String() != "acc_data" {
+		t.Fatal("class names")
+	}
+}

@@ -1,0 +1,357 @@
+// Package partition implements a multilevel k-way graph partitioner in the
+// style the paper configures Metis for (§V-A-3): heavy-edge-matching
+// coarsening, greedy region-growing initial partitioning, and
+// boundary-refinement uncoarsening. The objective is minimum edge cut under
+// a loose node-weight balance constraint; the compiler's ≤1-memory-object
+// constraint is enforced by its partition-count iteration loop, not here.
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Graph is an undirected weighted graph with weighted nodes. Parallel edges
+// accumulate weight.
+type Graph struct {
+	nodeW []int
+	adj   []map[int]int // adj[a][b] = edge weight
+}
+
+// NewGraph creates a graph with n nodes of weight 1.
+func NewGraph(n int) *Graph {
+	g := &Graph{nodeW: make([]int, n), adj: make([]map[int]int, n)}
+	for i := range g.nodeW {
+		g.nodeW[i] = 1
+		g.adj[i] = map[int]int{}
+	}
+	return g
+}
+
+// N returns the node count.
+func (g *Graph) N() int { return len(g.nodeW) }
+
+// SetNodeWeight sets the weight of node v.
+func (g *Graph) SetNodeWeight(v, w int) { g.nodeW[v] = w }
+
+// NodeWeight returns the weight of node v.
+func (g *Graph) NodeWeight(v int) int { return g.nodeW[v] }
+
+// AddEdge adds w to the undirected edge (a,b). Self-loops are ignored.
+func (g *Graph) AddEdge(a, b, w int) error {
+	if a < 0 || a >= g.N() || b < 0 || b >= g.N() {
+		return fmt.Errorf("partition: edge (%d,%d) out of range for %d nodes", a, b, g.N())
+	}
+	if w <= 0 {
+		return fmt.Errorf("partition: edge (%d,%d) has non-positive weight %d", a, b, w)
+	}
+	if a == b {
+		return nil
+	}
+	g.adj[a][b] += w
+	g.adj[b][a] += w
+	return nil
+}
+
+// EdgeWeight returns the weight of edge (a,b), 0 if absent.
+func (g *Graph) EdgeWeight(a, b int) int { return g.adj[a][b] }
+
+// TotalNodeWeight returns the sum of node weights.
+func (g *Graph) TotalNodeWeight() int {
+	t := 0
+	for _, w := range g.nodeW {
+		t += w
+	}
+	return t
+}
+
+// Cut returns the total weight of edges crossing parts under assign.
+func Cut(g *Graph, assign []int) int {
+	cut := 0
+	for a := range g.adj {
+		for b, w := range g.adj[a] {
+			if a < b && assign[a] != assign[b] {
+				cut += w
+			}
+		}
+	}
+	return cut
+}
+
+// imbalanceFactor bounds part weight at factor × ideal. The paper's
+// objective is communication, not balance, so this is deliberately loose.
+const imbalanceFactor = 1.6
+
+// coarsenStop stops coarsening once the graph is this small.
+func coarsenStop(k int) int {
+	s := 4 * k
+	if s < 32 {
+		s = 32
+	}
+	return s
+}
+
+// Partition splits g into k parts minimizing edge cut. It returns the part
+// assignment per node and the achieved cut. Deterministic for a given graph
+// (internal RNG is fixed-seeded).
+func Partition(g *Graph, k int) ([]int, int, error) {
+	n := g.N()
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("partition: k must be positive, got %d", k)
+	}
+	assign := make([]int, n)
+	if k == 1 || n == 0 {
+		return assign, 0, nil
+	}
+	if k >= n {
+		for i := range assign {
+			assign[i] = i % k
+		}
+		return assign, Cut(g, assign), nil
+	}
+	rng := rand.New(rand.NewSource(42))
+
+	// Multilevel coarsening.
+	levels := []*Graph{g}
+	maps := [][]int{} // maps[l][fineNode] = coarseNode at level l+1
+	cur := g
+	for cur.N() > coarsenStop(k) {
+		coarse, m := matchCoarsen(cur, rng)
+		if coarse.N() >= cur.N() { // stalled
+			break
+		}
+		levels = append(levels, coarse)
+		maps = append(maps, m)
+		cur = coarse
+	}
+
+	// Initial partition at the coarsest level.
+	coarseAssign := growRegions(cur, k, rng)
+	refine(cur, coarseAssign, k, rng)
+
+	// Uncoarsen with refinement.
+	for l := len(maps) - 1; l >= 0; l-- {
+		fine := levels[l]
+		fineAssign := make([]int, fine.N())
+		for v := range fineAssign {
+			fineAssign[v] = coarseAssign[maps[l][v]]
+		}
+		refine(fine, fineAssign, k, rng)
+		coarseAssign = fineAssign
+	}
+	return coarseAssign, Cut(g, coarseAssign), nil
+}
+
+// matchCoarsen performs one round of heavy-edge matching and returns the
+// coarse graph plus the fine→coarse node map.
+func matchCoarsen(g *Graph, rng *rand.Rand) (*Graph, []int) {
+	n := g.N()
+	order := rng.Perm(n)
+	match := make([]int, n)
+	for i := range match {
+		match[i] = -1
+	}
+	for _, v := range order {
+		if match[v] != -1 {
+			continue
+		}
+		best, bestW := -1, 0
+		for u, w := range g.adj[v] {
+			if match[u] == -1 && (w > bestW || (w == bestW && u < best)) {
+				best, bestW = u, w
+			}
+		}
+		if best == -1 {
+			match[v] = v
+		} else {
+			match[v] = best
+			match[best] = v
+		}
+	}
+	m := make([]int, n)
+	next := 0
+	for v := 0; v < n; v++ {
+		if match[v] >= v { // representative of its pair (or singleton)
+			m[v] = next
+			if match[v] != v {
+				m[match[v]] = next
+			}
+			next++
+		}
+	}
+	coarse := NewGraph(next)
+	for v := 0; v < n; v++ {
+		if match[v] >= v {
+			w := g.nodeW[v]
+			if match[v] != v {
+				w += g.nodeW[match[v]]
+			}
+			coarse.nodeW[m[v]] = w
+		}
+	}
+	for a := range g.adj {
+		for b, w := range g.adj[a] {
+			if a < b && m[a] != m[b] {
+				coarse.adj[m[a]][m[b]] += w
+				coarse.adj[m[b]][m[a]] += w
+			}
+		}
+	}
+	return coarse, m
+}
+
+// growRegions seeds k regions and grows them greedily by connection weight,
+// balancing by node weight.
+func growRegions(g *Graph, k int, rng *rand.Rand) []int {
+	n := g.N()
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	target := (g.TotalNodeWeight() + k - 1) / k
+	partW := make([]int, k)
+	// Seeds: spread via random order, preferring high-degree nodes.
+	deg := make([]int, n)
+	for v := range g.adj {
+		for _, w := range g.adj[v] {
+			deg[v] += w
+		}
+	}
+	order := rng.Perm(n)
+	sort.SliceStable(order, func(i, j int) bool { return deg[order[i]] > deg[order[j]] })
+	seeded := 0
+	for _, v := range order {
+		if seeded == k {
+			break
+		}
+		ok := true
+		for u := range g.adj[v] {
+			if assign[u] != -1 { // avoid adjacent seeds when possible
+				ok = false
+				break
+			}
+		}
+		if ok || n-seeded <= k {
+			assign[v] = seeded
+			partW[seeded] += g.nodeW[v]
+			seeded++
+		}
+	}
+	for seeded < k { // fallback: any unassigned node
+		for _, v := range order {
+			if assign[v] == -1 {
+				assign[v] = seeded
+				partW[seeded] += g.nodeW[v]
+				seeded++
+				break
+			}
+		}
+	}
+	// Grow: repeatedly attach the unassigned node with the strongest
+	// connection to the lightest eligible part.
+	for {
+		bestV, bestP, bestGain := -1, -1, -1
+		for v := 0; v < n; v++ {
+			if assign[v] != -1 {
+				continue
+			}
+			conn := make([]int, k)
+			touched := false
+			for u, w := range g.adj[v] {
+				if assign[u] != -1 {
+					conn[assign[u]] += w
+					touched = true
+				}
+			}
+			if !touched {
+				continue
+			}
+			for p := 0; p < k; p++ {
+				w := conn[p]
+				if w == 0 || partW[p]+g.nodeW[v] > int(float64(target)*imbalanceFactor) {
+					continue
+				}
+				if w > bestGain || (w == bestGain && bestP >= 0 && partW[p] < partW[bestP]) {
+					bestV, bestP, bestGain = v, p, w
+				}
+			}
+		}
+		if bestV == -1 {
+			break
+		}
+		assign[bestV] = bestP
+		partW[bestP] += g.nodeW[bestV]
+	}
+	// Any disconnected leftovers go to the lightest part.
+	for v := 0; v < n; v++ {
+		if assign[v] == -1 {
+			p := lightest(partW)
+			assign[v] = p
+			partW[p] += g.nodeW[v]
+		}
+	}
+	return assign
+}
+
+func lightest(partW []int) int {
+	best := 0
+	for p, w := range partW {
+		if w < partW[best] {
+			best = p
+		}
+	}
+	return best
+}
+
+// refine performs greedy boundary refinement: repeatedly move the node with
+// the highest positive cut gain to a neighboring part, respecting balance.
+func refine(g *Graph, assign []int, k int, _ *rand.Rand) {
+	n := g.N()
+	target := (g.TotalNodeWeight() + k - 1) / k
+	maxW := int(float64(target) * imbalanceFactor)
+	partW := make([]int, k)
+	for v, p := range assign {
+		partW[p] += g.nodeW[v]
+	}
+	const maxPasses = 8
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for v := 0; v < n; v++ {
+			p := assign[v]
+			conn := make(map[int]int)
+			for u, w := range g.adj[v] {
+				conn[assign[u]] += w
+			}
+			bestQ, bestGain := -1, 0
+			for q := 0; q < k; q++ {
+				if q == p {
+					continue
+				}
+				gain := conn[q] - conn[p]
+				if gain <= 0 {
+					continue
+				}
+				if partW[q]+g.nodeW[v] > maxW {
+					continue
+				}
+				// Never empty a part.
+				if partW[p]-g.nodeW[v] <= 0 {
+					continue
+				}
+				if gain > bestGain {
+					bestQ, bestGain = q, gain
+				}
+			}
+			if bestQ != -1 {
+				partW[p] -= g.nodeW[v]
+				partW[bestQ] += g.nodeW[v]
+				assign[v] = bestQ
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+}

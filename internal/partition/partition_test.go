@@ -1,0 +1,241 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// twoCliques builds two size-m cliques (internal weight heavy) joined by a
+// single light bridge edge; the obvious 2-way partition cuts only the bridge.
+func twoCliques(m int) *Graph {
+	g := NewGraph(2 * m)
+	for c := 0; c < 2; c++ {
+		base := c * m
+		for i := 0; i < m; i++ {
+			for j := i + 1; j < m; j++ {
+				_ = g.AddEdge(base+i, base+j, 10)
+			}
+		}
+	}
+	_ = g.AddEdge(0, m, 1)
+	return g
+}
+
+func TestPartitionTwoCliques(t *testing.T) {
+	g := twoCliques(6)
+	assign, cut, err := Partition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut != 1 {
+		t.Fatalf("cut = %d, want 1 (assign=%v)", cut, assign)
+	}
+	// Each clique must be wholly in one part.
+	for i := 1; i < 6; i++ {
+		if assign[i] != assign[0] {
+			t.Fatalf("clique 0 split: %v", assign)
+		}
+		if assign[6+i] != assign[6] {
+			t.Fatalf("clique 1 split: %v", assign)
+		}
+	}
+	if assign[0] == assign[6] {
+		t.Fatalf("cliques merged: %v", assign)
+	}
+}
+
+func TestPartitionK1IsTrivial(t *testing.T) {
+	g := twoCliques(4)
+	assign, cut, err := Partition(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cut != 0 {
+		t.Fatalf("cut = %d", cut)
+	}
+	for _, p := range assign {
+		if p != 0 {
+			t.Fatalf("assign = %v", assign)
+		}
+	}
+}
+
+func TestPartitionKGreaterThanN(t *testing.T) {
+	g := NewGraph(3)
+	_ = g.AddEdge(0, 1, 1)
+	assign, _, err := Partition(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assign) != 3 {
+		t.Fatalf("assign len = %d", len(assign))
+	}
+}
+
+func TestPartitionInvalidK(t *testing.T) {
+	if _, _, err := Partition(NewGraph(3), 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := NewGraph(2)
+	if err := g.AddEdge(0, 5, 1); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if err := g.AddEdge(0, 1, 0); err == nil {
+		t.Fatal("zero-weight edge accepted")
+	}
+	if err := g.AddEdge(1, 1, 3); err != nil {
+		t.Fatal("self loop should be silently ignored")
+	}
+	if g.EdgeWeight(1, 1) != 0 {
+		t.Fatal("self loop stored")
+	}
+	_ = g.AddEdge(0, 1, 2)
+	_ = g.AddEdge(0, 1, 3)
+	if g.EdgeWeight(0, 1) != 5 || g.EdgeWeight(1, 0) != 5 {
+		t.Fatalf("parallel edges not accumulated: %d", g.EdgeWeight(0, 1))
+	}
+}
+
+func TestNodeWeights(t *testing.T) {
+	g := NewGraph(3)
+	g.SetNodeWeight(1, 7)
+	if g.NodeWeight(1) != 7 || g.NodeWeight(0) != 1 {
+		t.Fatal("node weights")
+	}
+	if g.TotalNodeWeight() != 9 {
+		t.Fatalf("total = %d", g.TotalNodeWeight())
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	g1 := twoCliques(8)
+	g2 := twoCliques(8)
+	a1, c1, _ := Partition(g1, 3)
+	a2, c2, _ := Partition(g2, 3)
+	if c1 != c2 {
+		t.Fatalf("cuts differ: %d vs %d", c1, c2)
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("assignments differ at %d", i)
+		}
+	}
+}
+
+// randomGraph builds a connected random graph with n nodes.
+func randomGraph(n int, rng *rand.Rand) *Graph {
+	g := NewGraph(n)
+	for v := 1; v < n; v++ {
+		_ = g.AddEdge(v, rng.Intn(v), 1+rng.Intn(9)) // spanning tree: connected
+	}
+	extra := n * 2
+	for i := 0; i < extra; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			_ = g.AddEdge(a, b, 1+rng.Intn(9))
+		}
+	}
+	return g
+}
+
+// Property: every node is assigned a valid part, every part is non-empty,
+// and the reported cut matches a recomputation.
+func TestPartitionInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(nRaw, kRaw uint8) bool {
+		n := 4 + int(nRaw%60)
+		k := 2 + int(kRaw%4)
+		if k > n {
+			k = n
+		}
+		g := randomGraph(n, rng)
+		assign, cut, err := Partition(g, k)
+		if err != nil {
+			return false
+		}
+		if len(assign) != n {
+			return false
+		}
+		used := make([]bool, k)
+		for _, p := range assign {
+			if p < 0 || p >= k {
+				return false
+			}
+			used[p] = true
+		}
+		for _, u := range used {
+			if !u {
+				return false
+			}
+		}
+		return cut == Cut(g, assign)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: multilevel refinement never does worse than a naive round-robin
+// assignment on structured graphs.
+func TestPartitionBeatsRoundRobin(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + rng.Intn(40)
+		g := randomGraph(n, rng)
+		k := 2 + rng.Intn(3)
+		_, cut, err := Partition(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr := make([]int, n)
+		for i := range rr {
+			rr[i] = i % k
+		}
+		if cut > Cut(g, rr) {
+			t.Fatalf("n=%d k=%d: multilevel cut %d worse than round-robin %d", n, k, cut, Cut(g, rr))
+		}
+	}
+}
+
+// Property: balance constraint is respected (within the documented factor)
+// for unit-weight graphs.
+func TestPartitionBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		n := 30 + rng.Intn(50)
+		k := 2 + rng.Intn(3)
+		g := randomGraph(n, rng)
+		assign, _, err := Partition(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		partW := make([]int, k)
+		for _, p := range assign {
+			partW[p]++
+		}
+		target := (n + k - 1) / k
+		limit := int(float64(target)*imbalanceFactor) + 1
+		for p, w := range partW {
+			if w > limit {
+				t.Fatalf("n=%d k=%d: part %d weight %d exceeds limit %d", n, k, p, w, limit)
+			}
+		}
+	}
+}
+
+func TestLargeGraphCoarsens(t *testing.T) {
+	// Exercise the multilevel path (N > coarsenStop).
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(500, rng)
+	assign, cut, err := Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assign) != 500 || cut != Cut(g, assign) {
+		t.Fatal("large graph partition inconsistent")
+	}
+}

@@ -1,0 +1,57 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Columns: []string{"name", "value"},
+	}
+	tab.AddRow("short", "1")
+	tab.AddRow("a-much-longer-name", "12345")
+	tab.AddNote("a note %d", 7)
+	out := tab.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.HasPrefix(lines[0], "== demo ==") {
+		t.Fatalf("title line: %q", lines[0])
+	}
+	// Header, separator and both rows share the same width.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d: %q", len(lines), lines)
+	}
+	if len(lines[3]) != len(lines[4]) {
+		t.Fatalf("row widths differ: %q vs %q", lines[3], lines[4])
+	}
+	if !strings.Contains(lines[5], "note: a note 7") {
+		t.Fatalf("note line: %q", lines[5])
+	}
+}
+
+func TestF(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{0.437, "0.44"},
+		{3.14159, "3.14"},
+		{42.4, "42.4"},
+		{1234.5, "1234"},
+	}
+	for _, c := range cases {
+		if got := F(c.v); got != c.want {
+			t.Errorf("F(%g) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestRenderWithoutTitle(t *testing.T) {
+	tab := &Table{Columns: []string{"a"}}
+	tab.AddRow("x")
+	if strings.Contains(tab.Render(), "==") {
+		t.Fatal("unexpected title")
+	}
+}

@@ -1,0 +1,200 @@
+// Package sim assembles the full system of Table III and executes kernels
+// under the paper's tested configurations (§VI-A): an OoO host baseline, a
+// monolithic accelerator with centralized accesses (Mono-CA), monolithic
+// compute with decentralized accesses (Mono-DA-IO/-F), and distributed
+// compute with decentralized accesses (Dist-DA-IO/-F). Offloaded regions
+// execute functionally inside the cycle engine and results are validated
+// against the reference interpreter.
+package sim
+
+import (
+	"distda/internal/cgra"
+	"distda/internal/compiler"
+)
+
+// Substrate selects the accelerator execution substrate.
+type Substrate int
+
+const (
+	// SubNone: no accelerators (the OoO baseline).
+	SubNone Substrate = iota
+	// SubIO: lightweight single-issue in-order cores.
+	SubIO
+	// SubCGRA: statically mapped CGRA fabric.
+	SubCGRA
+)
+
+// Config describes one tested configuration.
+type Config struct {
+	Name        string
+	Substrate   Substrate
+	Distribute  bool // distributed computation (Dist-DA) vs monolithic
+	Centralized bool // Mono-CA: access units centralized at the accel node
+	AccelGHz    int  // accelerator clock (Table III: IO 2 GHz, CGRA 1 GHz)
+	Grid        cgra.GridConfig
+
+	BufElems      int   // per-buffer decoupling window, in elements
+	CombineWindow int64 // multi-access combining window, in elements
+	Combining     bool  // Fig. 2d runtime combining
+	HostPrefetch  bool  // host L2 stride prefetcher
+
+	IOWidth     int  // in-order issue width (Fig. 14 +SW uses 4)
+	SWPrefetch  bool // software prefetch for accel random loads (Fig. 14)
+	AllocSpread bool // allocation customization (Fig. 14 +A)
+	NoStreams   bool // skip stream specialization (§VI-D multithreading)
+	NoFolding   bool // keep epilogue stores on the host (Dist-DA-B)
+
+	// OffChip enables the §VII extension: partitions anchored at objects
+	// larger than OffChipThreshold bytes are placed at the memory
+	// controller and access DRAM directly, bypassing the on-chip L3 path.
+	OffChip          bool
+	OffChipThreshold int
+
+	CompilerMode  compiler.Mode
+	MaxEngine     int64 // engine budget per launch, base cycles
+	PrivCacheKB   int   // Mono-CA private cache size (0 = none)
+	NoObjConstr   bool  // ablation: drop ≤1-object preference
+	PlaceAtHost   bool  // ablation: ignore placement hints, keep accels at the host tile
+	Threads       int   // software threads for parallel-annotated loops
+	HostPrefDeg   int
+	MonoCAAt2GHz  bool // kept for clarity; Mono-CA accel runs at 2 GHz
+	ValidateEvery bool // compare against the interpreter after Run
+}
+
+func baseAccel() Config {
+	return Config{
+		BufElems:      128,
+		CombineWindow: 64,
+		Combining:     true,
+		HostPrefetch:  true,
+		HostPrefDeg:   2,
+		IOWidth:       1,
+		MaxEngine:     1 << 34,
+		ValidateEvery: true,
+	}
+}
+
+// OoO is the out-of-order host baseline (①).
+func OoO() Config {
+	c := baseAccel()
+	c.Name = "OoO"
+	c.Substrate = SubNone
+	return c
+}
+
+// MonoCA is the monolithic accelerator on the L3 bus with centralized,
+// stream-specialized accesses and an 8 KB private cache (②).
+func MonoCA() Config {
+	c := baseAccel()
+	c.Name = "Mono-CA"
+	c.Substrate = SubIO
+	c.AccelGHz = 2
+	c.Centralized = true
+	c.CompilerMode = compiler.ModeMono
+	c.PrivCacheKB = 8
+	return c
+}
+
+// MonoDAIO is monolithic compute with decentralized accesses on an in-order
+// core at 2 GHz (③).
+func MonoDAIO() Config {
+	c := baseAccel()
+	c.Name = "Mono-DA-IO"
+	c.Substrate = SubIO
+	c.AccelGHz = 2
+	c.CompilerMode = compiler.ModeMono
+	return c
+}
+
+// MonoDAF is monolithic compute with decentralized accesses on an 8x8 CGRA
+// at 1 GHz (④).
+func MonoDAF() Config {
+	c := baseAccel()
+	c.Name = "Mono-DA-F"
+	c.Substrate = SubCGRA
+	c.AccelGHz = 1
+	c.Grid = cgra.Grid8x8()
+	c.CompilerMode = compiler.ModeMono
+	return c
+}
+
+// DistDAIO is distributed compute + decentralized accesses on in-order
+// cores at 2 GHz (⑤).
+func DistDAIO() Config {
+	c := baseAccel()
+	c.Name = "Dist-DA-IO"
+	c.Substrate = SubIO
+	c.AccelGHz = 2
+	c.Distribute = true
+	c.CompilerMode = compiler.ModeDist
+	return c
+}
+
+// DistDAF is distributed compute + decentralized accesses on 5x5 CGRA
+// tiles at 1 GHz (⑥).
+func DistDAF() Config {
+	c := baseAccel()
+	c.Name = "Dist-DA-F"
+	c.Substrate = SubCGRA
+	c.AccelGHz = 1
+	c.Grid = cgra.Grid5x5()
+	c.Distribute = true
+	c.CompilerMode = compiler.ModeDist
+	return c
+}
+
+// DistDAIOSW is Fig. 14's Dist-DA-IO+SW: issue width 4 plus software
+// prefetching in the offloaded code.
+func DistDAIOSW() Config {
+	c := DistDAIO()
+	c.Name = "Dist-DA-IO+SW"
+	c.IOWidth = 4
+	c.SWPrefetch = true
+	return c
+}
+
+// DistDAFA is Fig. 14's Dist-DA-F+A: manually customized data-structure
+// allocation for intra-cluster locality.
+func DistDAFA() Config {
+	c := DistDAF()
+	c.Name = "Dist-DA-F+A"
+	c.AllocSpread = true
+	return c
+}
+
+// WithClock returns the config with the accelerator clock replaced
+// (clocking sensitivity, Fig. 13).
+func (c Config) WithClock(ghz int) Config {
+	c.AccelGHz = ghz
+	c.Name = c.Name + nameGHz(ghz)
+	return c
+}
+
+func nameGHz(ghz int) string {
+	switch ghz {
+	case 1:
+		return "@1GHz"
+	case 2:
+		return "@2GHz"
+	case 3:
+		return "@3GHz"
+	default:
+		return "@?"
+	}
+}
+
+// DistDAOffChip is the §VII "extending the interface to off-chip data
+// residence" extension: Dist-DA-IO plus near-memory placement for
+// DRAM-resident objects.
+func DistDAOffChip() Config {
+	c := DistDAIO()
+	c.Name = "Dist-DA-OffChip"
+	c.OffChip = true
+	c.OffChipThreshold = 1 << 20
+	return c
+}
+
+// AllPaperConfigs returns the six configurations of §VI-A in paper order.
+func AllPaperConfigs() []Config {
+	return []Config{OoO(), MonoCA(), MonoDAIO(), MonoDAF(), DistDAIO(), DistDAF()}
+}

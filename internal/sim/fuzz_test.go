@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"distda/internal/ir"
+)
+
+// kernelGen builds random two-level loop nests over a few objects with a
+// mix of affine loads, indirect gathers, reductions, predicated stores and
+// in-place updates — the space the compiler claims to handle. Every
+// generated kernel must either compile to offloads that validate against
+// the interpreter, or be (cleanly) rejected and run on the host.
+type kernelGen struct {
+	r *rand.Rand
+}
+
+func (g *kernelGen) expr(depth int, objs []string, iv string, locals []string) ir.Expr {
+	if depth <= 0 {
+		switch g.r.Intn(4) {
+		case 0:
+			return ir.C(float64(g.r.Intn(7) + 1))
+		case 1:
+			return ir.P("N")
+		case 2:
+			if len(locals) > 0 {
+				return ir.L(locals[g.r.Intn(len(locals))])
+			}
+			return ir.V(iv)
+		default:
+			return ir.V(iv)
+		}
+	}
+	switch g.r.Intn(6) {
+	case 0, 1:
+		ops := []func(a, b ir.Expr) ir.Expr{ir.AddE, ir.SubE, ir.MulE, ir.MinE, ir.MaxE}
+		return ops[g.r.Intn(len(ops))](g.expr(depth-1, objs, iv, locals), g.expr(depth-1, objs, iv, locals))
+	case 2:
+		return ir.AbsE(g.expr(depth-1, objs, iv, locals))
+	case 3:
+		// Affine load of a random object.
+		obj := objs[g.r.Intn(len(objs))]
+		off := g.r.Intn(3)
+		return ir.Ld(obj, ir.AddE(ir.V(iv), ir.C(float64(off))))
+	case 4:
+		// Indirect gather through the index object (values are in range by
+		// construction).
+		return ir.Ld("data", ir.Ld("idx", ir.V(iv)))
+	default:
+		return g.expr(depth-1, objs, iv, locals)
+	}
+}
+
+func (g *kernelGen) kernel(seed int64) (*ir.Kernel, map[string]float64, map[string][]float64) {
+	g.r = rand.New(rand.NewSource(seed))
+	const n = 256
+	const span = 8 // affine offsets stay within n+span
+	objs := []string{"data", "aux"}
+
+	var body []ir.Stmt
+	iv := "j"
+	// Optional reduction local.
+	useRed := g.r.Intn(2) == 0
+	if useRed {
+		body = append(body, ir.Set("acc", ir.AddE(ir.L("acc"), g.expr(1, objs, iv, nil))))
+	}
+	// A store: affine to out, or predicated, or indirect scatter-free.
+	val := g.expr(2, objs, iv, nil)
+	switch g.r.Intn(3) {
+	case 0:
+		body = append(body, ir.St("out", ir.V(iv), val))
+	case 1:
+		body = append(body, ir.Cond(ir.GtE(g.expr(1, objs, iv, nil), ir.C(3)),
+			[]ir.Stmt{ir.St("out", ir.V(iv), val)}, nil))
+	default:
+		body = append(body, ir.St("out", ir.V(iv), ir.AddE(val, ir.Ld("out", ir.V(iv)))))
+	}
+
+	inner := ir.Loop(iv, ir.C(0), ir.P("N"), body...)
+	stmts := []ir.Stmt{}
+	if useRed {
+		stmts = append(stmts, ir.Set("acc", ir.C(0)))
+	}
+	if g.r.Intn(2) == 0 {
+		// Wrap in an outer loop with row-offset addressing.
+		stmts = append(stmts, ir.Loop("i", ir.C(0), ir.C(3), inner))
+	} else {
+		stmts = append(stmts, inner)
+	}
+	if useRed {
+		stmts = append(stmts, ir.St("sum", ir.C(0), ir.L("acc")))
+	}
+	k := &ir.Kernel{
+		Name:   fmt.Sprintf("fuzz%d", seed),
+		Params: []string{"N"},
+		Objects: []ir.ObjDecl{
+			{Name: "data", Len: n + span, ElemBytes: 8},
+			{Name: "aux", Len: n + span, ElemBytes: 8},
+			{Name: "idx", Len: n + span, ElemBytes: 8},
+			{Name: "out", Len: n + span, ElemBytes: 8},
+			{Name: "sum", Len: 1, ElemBytes: 8},
+		},
+		Body: stmts,
+	}
+	params := map[string]float64{"N": n}
+	data := map[string][]float64{
+		"data": make([]float64, n+span),
+		"aux":  make([]float64, n+span),
+		"idx":  make([]float64, n+span),
+		"out":  make([]float64, n+span),
+		"sum":  {0},
+	}
+	for i := 0; i < n+span; i++ {
+		data["data"][i] = float64(g.r.Intn(50))
+		data["aux"][i] = float64(g.r.Intn(50))
+		data["idx"][i] = float64(g.r.Intn(n))
+	}
+	return k, params, data
+}
+
+// TestFuzzKernelsValidateAcrossConfigs generates random kernels and checks
+// that every configuration executes them to a state identical to the
+// reference interpreter.
+func TestFuzzKernelsValidateAcrossConfigs(t *testing.T) {
+	gen := &kernelGen{}
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+	configs := []Config{OoO(), MonoCA(), MonoDAIO(), DistDAIO(), DistDAF()}
+	for seed := int64(0); seed < int64(trials); seed++ {
+		k, params, data := gen.kernel(seed)
+		if err := ir.Validate(k); err != nil {
+			t.Fatalf("seed %d: generated invalid kernel: %v", seed, err)
+		}
+		for _, cfg := range configs {
+			d := copyData(data)
+			res, err := Run(k, params, d, cfg)
+			if err != nil {
+				t.Fatalf("seed %d on %s: %v", seed, cfg.Name, err)
+			}
+			if !res.Validated {
+				t.Fatalf("seed %d on %s: not validated", seed, cfg.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,329 @@
+package sim
+
+import (
+	"fmt"
+
+	"distda/internal/compiler"
+	"distda/internal/core"
+	"distda/internal/energy"
+	"distda/internal/ir"
+)
+
+// Host timing model parameters (Table III: 5-way Ice-Lake-class OoO).
+const (
+	hostWidth = 4.0 // sustainable issue width
+	hostMLP   = 6.0 // overlapped outstanding misses (MSHR-limited)
+	l1Latency = 2.0
+)
+
+// taint tracks how a value depends on memory: clean, derived from a load in
+// this iteration, or derived from a load in a previous iteration
+// (loop-carried — a pointer-chase chain the OoO cannot overlap).
+type taint int
+
+const (
+	taintClean taint = iota
+	taintFresh
+	taintCarried
+)
+
+func maxTaint(a, b taint) taint {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+type hval struct {
+	v float64
+	t taint
+}
+
+// host executes the kernel: non-offloaded code through the OoO timing
+// model, offloaded innermost loops by launching their accelerator regions.
+type host struct {
+	m        *machine
+	compiled *compiler.Compiled // nil: pure host run
+	locals   map[string]hval
+	ivs      map[string]float64
+	err      error
+}
+
+func newHost(m *machine, compiled *compiler.Compiled) *host {
+	return &host{m: m, compiled: compiled, locals: map[string]hval{}, ivs: map[string]float64{}}
+}
+
+type hostError struct{ err error }
+
+func (h *host) failf(format string, args ...any) {
+	panic(hostError{fmt.Errorf("sim: host: "+format, args...)})
+}
+
+// run executes the kernel body to completion.
+func (h *host) run() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			he, ok := r.(hostError)
+			if !ok {
+				panic(r)
+			}
+			err = he.err
+		}
+	}()
+	h.stmts(h.m.kernel.Body)
+	return nil
+}
+
+// instr accounts one host instruction of the given class.
+func (h *host) instr(class ir.OpClass) {
+	h.m.hostInstr++
+	h.m.slotCycles += 1 / hostWidth
+	t := h.m.meter.Table
+	e := t.OoOInstrPJ
+	switch class {
+	case ir.ClassInt:
+		e += t.IntOpPJ
+	case ir.ClassComplex:
+		e += t.ComplexOpPJ
+	case ir.ClassFloat:
+		e += t.FloatOpPJ
+	}
+	h.m.meter.Add(energy.CatHost, e)
+}
+
+// loadTimed performs a host load with the dependence-aware stall model.
+// Touching an object written by an in-flight offload first joins it (the
+// software-coherence ordering of §IV-D).
+func (h *host) loadTimed(obj string, idx int64, dep taint) float64 {
+	h.m.joinIfWritten(obj)
+	addr, err := h.m.addr(obj, idx)
+	if err != nil {
+		h.failf("%v", err)
+	}
+	h.m.hostLoads++
+	h.instr(ir.ClassInt)
+	lat := float64(h.m.hier.HostAccess(addr, false))
+	stall := lat - l1Latency
+	if stall > 0 {
+		switch dep {
+		case taintCarried:
+			h.m.memCycles += stall // serialized dependence chain
+		case taintFresh:
+			h.m.memCycles += stall / 2 // short chain, partial overlap
+		default:
+			h.m.memCycles += stall / hostMLP // independent, MLP-overlapped
+		}
+	}
+	return h.m.data[obj][idx]
+}
+
+func (h *host) storeTimed(obj string, idx int64, v float64) {
+	h.m.joinIfWritten(obj)
+	addr, err := h.m.addr(obj, idx)
+	if err != nil {
+		h.failf("%v", err)
+	}
+	h.m.hostStores++
+	h.instr(ir.ClassInt)
+	h.m.hier.HostAccess(addr, true) // posted: traffic and energy, no stall
+	h.m.data[obj][idx] = v
+}
+
+func (h *host) stmts(body []ir.Stmt) {
+	skipNext := false
+	for _, s := range body {
+		if skipNext {
+			skipNext = false
+			if _, ok := s.(ir.Store); ok {
+				continue // folded epilogue: the accelerator performed it
+			}
+		}
+		switch x := s.(type) {
+		case ir.Let:
+			h.locals[x.Name] = h.eval(x.E)
+		case ir.Store:
+			idx := h.eval(x.Idx)
+			val := h.eval(x.Val)
+			h.storeTimed(x.Obj, int64(idx.v), val.v)
+		case ir.If:
+			c := h.eval(x.Cond)
+			h.instr(ir.ClassInt) // branch
+			if c.v != 0 {
+				h.stmts(x.Then)
+			} else {
+				h.stmts(x.Else)
+			}
+		case *ir.For:
+			skipNext = h.forLoop(x)
+		default:
+			h.failf("unknown statement %T", s)
+		}
+	}
+}
+
+// forLoop executes a loop (or launches its offload region) and reports
+// whether the statement following it was folded into the offload.
+func (h *host) forLoop(f *ir.For) bool {
+	// Offloaded region?
+	if h.compiled != nil {
+		if reg, ok := h.compiled.ByLoop[f]; ok && reg.Class != core.ClassNotOffloaded && len(reg.Accels) > 0 {
+			h.launch(reg)
+			return reg.FoldedEpilogue
+		}
+	}
+	lo := h.eval(f.Lo)
+	hi := h.eval(f.Hi)
+	step := h.eval(f.Step)
+	if step.v <= 0 {
+		h.failf("loop %s has non-positive step %g", f.IV, step.v)
+	}
+	if f.Parallel && h.m.cfg.Threads > 1 {
+		h.parallelFor(f, lo.v, hi.v, step.v)
+		return false
+	}
+	saved, had := h.ivs[f.IV]
+	for v := lo.v; v < hi.v; v += step.v {
+		h.ivs[f.IV] = v
+		// Loop control: compare + increment.
+		h.instr(ir.ClassInt)
+		h.instr(ir.ClassInt)
+		// Promote this-iteration taints to loop-carried.
+		for name, hv := range h.locals {
+			if hv.t == taintFresh {
+				hv.t = taintCarried
+				h.locals[name] = hv
+			}
+		}
+		h.stmts(f.Body)
+	}
+	if had {
+		h.ivs[f.IV] = saved
+	} else {
+		delete(h.ivs, f.IV)
+	}
+	return false
+}
+
+// eval interprets an expression with timing and taint tracking.
+func (h *host) eval(e ir.Expr) hval {
+	switch x := e.(type) {
+	case ir.Const:
+		return hval{v: x.V}
+	case ir.Param:
+		v, ok := h.m.params[x.Name]
+		if !ok {
+			h.failf("unknown parameter %q", x.Name)
+		}
+		return hval{v: v}
+	case ir.IV:
+		v, ok := h.ivs[x.Name]
+		if !ok {
+			h.failf("induction variable %q out of scope", x.Name)
+		}
+		return hval{v: v}
+	case ir.Local:
+		hv, ok := h.locals[x.Name]
+		if !ok {
+			h.failf("undefined local %q", x.Name)
+		}
+		return hv
+	case ir.Load:
+		idx := h.eval(x.Idx)
+		v := h.loadTimed(x.Obj, int64(idx.v), idx.t)
+		return hval{v: v, t: taintFresh}
+	case ir.Bin:
+		a := h.eval(x.A)
+		b := h.eval(x.B)
+		h.instr(x.Op.Class())
+		v, err := ir.ApplyBin(x.Op, a.v, b.v)
+		if err != nil {
+			h.failf("%v", err)
+		}
+		return hval{v: v, t: maxTaint(a.t, b.t)}
+	case ir.Un:
+		a := h.eval(x.A)
+		h.instr(x.Op.Class())
+		return hval{v: ir.ApplyUn(x.Op, a.v), t: a.t}
+	case ir.Sel:
+		c := h.eval(x.Cond)
+		tv := h.eval(x.T)
+		fv := h.eval(x.F)
+		h.instr(ir.ClassInt)
+		out := fv
+		if c.v != 0 {
+			out = tv
+		}
+		out.t = maxTaint(out.t, c.t)
+		return out
+	default:
+		h.failf("unknown expression %T", e)
+		return hval{}
+	}
+}
+
+// evalScalar evaluates a launch-time configuration expression (stream
+// start/stride/length, scalar inits) in host context, with host-side
+// loads timed and counted.
+func (h *host) evalScalar(e ir.Expr) float64 {
+	return h.eval(e).v
+}
+
+// parallelFor models the §VI-D multithreading case study: the annotated
+// loop's iterations are chunked across T software threads. Chunks execute
+// sequentially (iterations are independent, so functional state is
+// preserved) while the cycle account keeps only the slowest chunk plus a
+// barrier — concurrent threads overlap in time.
+func (h *host) parallelFor(f *ir.For, lo, hi, step float64) {
+	threads := h.m.cfg.Threads
+	n := int64((hi - lo) / step)
+	if n <= 0 {
+		return
+	}
+	chunk := (n + int64(threads) - 1) / int64(threads)
+	saved, had := h.ivs[f.IV]
+	h.m.syncAccel() // barrier entering the parallel section
+	var maxDelta, sumHostDelta float64
+	for t := int64(0); t < int64(threads); t++ {
+		cLo := lo + float64(t*chunk)*step
+		cHi := lo + float64((t+1)*chunk)*step
+		if cHi > hi {
+			cHi = hi
+		}
+		if cLo >= cHi {
+			break
+		}
+		hBefore := h.m.hostTimeline()
+		h.m.accelFreeAt = hBefore // each thread drives its own accelerators
+		for v := cLo; v < cHi; v += step {
+			h.ivs[f.IV] = v
+			h.instr(ir.ClassInt)
+			h.instr(ir.ClassInt)
+			for name, hv := range h.locals {
+				if hv.t == taintFresh {
+					hv.t = taintCarried
+					h.locals[name] = hv
+				}
+			}
+			h.stmts(f.Body)
+		}
+		hostDelta := h.m.hostTimeline() - hBefore
+		accelDelta := h.m.accelFreeAt - hBefore
+		d := hostDelta
+		if accelDelta > d {
+			d = accelDelta
+		}
+		if d > maxDelta {
+			maxDelta = d
+		}
+		sumHostDelta += hostDelta
+	}
+	// Keep only the slowest thread's time plus a barrier join.
+	h.m.cycleAdjust -= int64(sumHostDelta - maxDelta)
+	h.m.cycleAdjust += 200
+	h.m.accelFreeAt = h.m.hostTimeline() // all offloads joined at the barrier
+	if had {
+		h.ivs[f.IV] = saved
+	} else {
+		delete(h.ivs, f.IV)
+	}
+}

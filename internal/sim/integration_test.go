@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"testing"
+
+	"distda/internal/workloads"
+)
+
+// TestAllWorkloadsAllConfigs is the §VI validation statement: every
+// benchmark executes to completion under every tested configuration and the
+// simulated memory matches the reference interpreter exactly.
+func TestAllWorkloadsAllConfigs(t *testing.T) {
+	for _, w := range workloads.All(workloads.ScaleTest) {
+		for _, cfg := range AllPaperConfigs() {
+			res, err := Run(w.Kernel, w.Params, w.NewData(), cfg)
+			if err != nil {
+				t.Errorf("%s on %s: %v", w.Name, cfg.Name, err)
+				continue
+			}
+			if !res.Validated {
+				t.Errorf("%s on %s: not validated", w.Name, cfg.Name)
+			}
+		}
+	}
+}
+
+func TestCaseStudyConfigs(t *testing.T) {
+	for _, cfg := range []Config{DistDAIOSW(), DistDAFA(), DistDAIO().WithClock(1), DistDAIO().WithClock(3)} {
+		w := workloads.Seidel2D(workloads.ScaleTest)
+		res, err := Run(w.Kernel, w.Params, w.NewData(), cfg)
+		if err != nil {
+			t.Fatalf("%s on %s: %v", w.Name, cfg.Name, err)
+		}
+		if !res.Validated {
+			t.Fatalf("%s on %s: not validated", w.Name, cfg.Name)
+		}
+	}
+}
+
+func TestSpMVAcrossConfigs(t *testing.T) {
+	w := workloads.SpMV(workloads.ScaleTest)
+	for _, cfg := range []Config{OoO(), DistDAIO()} {
+		res, err := Run(w.Kernel, w.Params, w.NewData(), cfg)
+		if err != nil {
+			t.Fatalf("spmv on %s: %v", cfg.Name, err)
+		}
+		if !res.Validated {
+			t.Fatalf("spmv on %s: not validated", cfg.Name)
+		}
+	}
+}
+
+func TestMTWorkloads(t *testing.T) {
+	for _, w := range []*workloads.Workload{
+		workloads.BFSMT(workloads.ScaleTest),
+		workloads.PathfinderMT(workloads.ScaleTest),
+	} {
+		cfg := DistDAIO()
+		cfg.NoStreams = true // §VI-D: stream specialization skipped
+		var prev int64
+		for _, threads := range []int{1, 2, 4, 8} {
+			res, err := RunThreads(w.Kernel, w.Params, w.NewData(), cfg, threads)
+			if err != nil {
+				t.Fatalf("%s x%d: %v", w.Name, threads, err)
+			}
+			if !res.Validated {
+				t.Fatalf("%s x%d: not validated", w.Name, threads)
+			}
+			if prev > 0 && res.Cycles > prev*11/10 {
+				t.Errorf("%s: %d threads slower than previous (%d > %d)", w.Name, threads, res.Cycles, prev)
+			}
+			prev = res.Cycles
+		}
+	}
+}

@@ -1,0 +1,552 @@
+package sim
+
+import (
+	"fmt"
+
+	"distda/internal/accessunit"
+	"distda/internal/cgra"
+	"distda/internal/core"
+	"distda/internal/energy"
+	"distda/internal/engine"
+	"distda/internal/iocore"
+	"distda/internal/ir"
+	"distda/internal/microcode"
+	"distda/internal/noc"
+)
+
+// accelRT is the per-launch runtime state of one accelerator definition.
+type accelRT struct {
+	def      *core.AccelDef
+	cluster  int
+	offChip  bool // §VII: placed at the memory controller
+	streams  map[int]core.EvaledStream
+	inPorts  map[int]*accessunit.InPort
+	outPorts map[int]*accessunit.OutPort
+	// chanSrc / chanCons: channel endpoint buffers by access-id.
+	chanSrc  map[int]*accessunit.Buffer
+	chanCons map[int]*accessunit.Buffer
+	regs     regFile
+}
+
+// regFile abstracts cp_set_rf / cp_load_rf over both substrates.
+type regFile interface {
+	SetReg(r int, v float64)
+	Reg(r int) float64
+}
+
+// mmioHost accounts one host-initiated MMIO transaction to a cluster.
+func (m *machine) mmioHost(in core.Intrinsic, cluster int) {
+	m.mmio.Record(in)
+	m.meter.Add(energy.CatMMIO, m.meter.Table.MMIOPJ)
+	m.mesh.Transfer(m.hier.HostNode(), cluster, 8, noc.HostCtrl)
+	m.slotCycles += 4
+	m.hostInstr++
+}
+
+// launch configures, runs and tears down one offload region instance.
+func (h *host) launch(reg *core.Region) {
+	m := h.m
+	// Evaluate every accel's orchestrator count; an all-empty region is
+	// skipped (the host's bound evaluation was already charged).
+	trips := make(map[int]int64, len(reg.Accels))
+	any := false
+	for _, def := range reg.Accels {
+		if def.Trip.Kind == core.TripCounted {
+			t := int64(h.evalScalar(def.Trip.Count))
+			trips[def.ID] = t
+			if t > 0 {
+				any = true
+			}
+		} else {
+			trips[def.ID] = -1 // while-input
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	m.launches++
+
+	// Software-managed coherence: push host-dirty copies of offload-visible
+	// objects to their home banks once per kernel (§IV-D).
+	for _, a := range reg.Accels {
+		for _, obj := range a.Objects {
+			if m.flushedObjs[obj] {
+				continue
+			}
+			m.flushedObjs[obj] = true
+			r, ok := m.slab.Lookup(obj)
+			if !ok {
+				h.failf("launch: unallocated object %q", obj)
+			}
+			m.memCycles += float64(m.hier.FlushRange(r.Base, r.Bytes))
+		}
+	}
+
+	// Pass 1: evaluate stream configurations and place accelerators.
+	rts := make([]*accelRT, len(reg.Accels))
+	for i, def := range reg.Accels {
+		rt := &accelRT{
+			def: def, streams: map[int]core.EvaledStream{},
+			inPorts: map[int]*accessunit.InPort{}, outPorts: map[int]*accessunit.OutPort{},
+			chanSrc: map[int]*accessunit.Buffer{}, chanCons: map[int]*accessunit.Buffer{},
+		}
+		for _, acc := range def.Accesses {
+			if acc.Kind == core.StreamIn || acc.Kind == core.StreamOut {
+				rt.streams[acc.ID] = core.EvaledStream{
+					Start:  int64(h.evalScalar(acc.Start)),
+					Stride: int64(h.evalScalar(acc.Stride)),
+					Length: int64(h.evalScalar(acc.Length)),
+				}
+			}
+		}
+		rt.cluster = h.placeAccel(reg, rt)
+		if m.cfg.OffChip && rt.def.AnchorObj != "" {
+			if d, ok := m.kernel.Object(rt.def.AnchorObj); ok && d.Bytes() >= m.cfg.OffChipThreshold {
+				rt.offChip = true
+				rt.cluster = 7 // the memory-controller node
+			}
+		}
+		rts[i] = rt
+	}
+	// Anchor-less accels co-locate with their first channel peer.
+	for _, rt := range rts {
+		if rt.cluster >= 0 {
+			continue
+		}
+		rt.cluster = m.hier.HostNode()
+		for _, acc := range rt.def.Accesses {
+			if acc.Kind == core.ChanIn || acc.Kind == core.ChanOut {
+				if peer := rts[acc.Peer.Accel]; peer.cluster >= 0 {
+					rt.cluster = peer.cluster
+					break
+				}
+			}
+		}
+	}
+
+	eng := engine.New()
+	addComp := func(c engine.Component, ghz int) { eng.Add(c, ghz) }
+
+	// Pass 2: buffers, FSMs, links for stream accesses; channel endpoint
+	// buffers.
+	mem := simMemory{m: m}
+	// The combining window may not exceed half the buffer: a combined
+	// accessor's read offset must fit inside the shared window.
+	combineWindow := m.cfg.CombineWindow
+	if lim := int64(m.cfg.BufElems) / 2; combineWindow > lim {
+		combineWindow = lim
+	}
+	for _, rt := range rts {
+		plan, err := core.PlanBuffers(rt.def, rt.streams, combineWindow, m.cfg.Combining)
+		if err != nil {
+			h.failf("launch: %v", err)
+		}
+		m.alloc.RecordLaunch(plan)
+		if !m.configured[rt.def.ID] {
+			m.configured[rt.def.ID] = true
+			m.mmioHost(core.CpConfig, rt.cluster)
+		}
+		for _, ba := range plan.Buffers {
+			first := rt.def.Accesses[ba.Accesses[0]]
+			switch first.Kind {
+			case core.StreamIn:
+				if err := h.wireStreamIn(rt, ba, addComp); err != nil {
+					h.failf("launch: %v", err)
+				}
+			case core.StreamOut:
+				if err := h.wireStreamOut(rt, ba, addComp); err != nil {
+					h.failf("launch: %v", err)
+				}
+			case core.ChanOut:
+				b, err := m.newBuffer()
+				if err != nil {
+					h.failf("launch: %v", err)
+				}
+				rt.chanSrc[first.ID] = b
+				rt.outPorts[first.ID] = &accessunit.OutPort{Buf: b}
+			case core.ChanIn:
+				b, err := m.newBuffer()
+				if err != nil {
+					h.failf("launch: %v", err)
+				}
+				rt.chanCons[first.ID] = b
+				rt.inPorts[first.ID] = accessunit.NewInPort(b, 0)
+			}
+		}
+		_ = mem
+	}
+
+	// Pass 3: links between channel endpoints.
+	for _, rt := range rts {
+		for _, acc := range rt.def.Accesses {
+			if acc.Kind != core.ChanOut {
+				continue
+			}
+			peer := rts[acc.Peer.Accel]
+			dst := peer.chanCons[acc.Peer.Access]
+			if dst == nil {
+				h.failf("launch: channel %d.%d has no consumer buffer", rt.def.ID, acc.ID)
+			}
+			link := accessunit.NewLink(rt.chanSrc[acc.ID], dst, m.mesh, rt.cluster, peer.cluster, acc.ElemBytes, m.austats)
+			addComp(link, 2)
+		}
+	}
+
+	// Pass 4: cores / fabrics, scalar initialization, cp_run.
+	var ioCores []*iocore.Core
+	var fabrics []*cgra.Fabric
+	var randomPorts []*accessunit.RandomPort
+	for _, rt := range rts {
+		fetch := h.fetcherFor(rt)
+		rp := accessunit.NewRandomPort(mem, fetch, rt.cluster, m.austats, m.meter)
+		if len(rt.def.Prefill) > 0 {
+			rp.Prefill = map[string]bool{}
+			for _, obj := range rt.def.Prefill {
+				rp.Prefill[obj] = true
+				// cp_fill_ra: block-fetch the object window line by line.
+				r, ok := m.slab.Lookup(obj)
+				if !ok {
+					h.failf("launch: prefill of unallocated object %q", obj)
+				}
+				fillHost := 0
+				for addr := r.Base; addr < r.End(); addr += 64 {
+					lat, _ := m.hier.ClusterAccess(rt.cluster, addr, false, 64)
+					// Fills pipeline: the port is busy a fraction of the
+					// access latency per line.
+					fillHost += lat / 4
+					m.austats.DABytes += 64
+				}
+				m.accelBase += int64(fillHost) * hostDiv
+				m.mmio.Record(core.CpFillRA)
+				m.mmioHost(core.CpConfigRandom, rt.cluster)
+			}
+		}
+		randomPorts = append(randomPorts, rp)
+		switch m.cfg.Substrate {
+		case SubIO:
+			c, err := iocore.New(rt.def, trips[rt.def.ID], rt.inPorts, rt.outPorts, rp, m.meter)
+			if err != nil {
+				h.failf("launch: %v", err)
+			}
+			c.Width = m.cfg.IOWidth
+			rt.regs = c
+			ioCores = append(ioCores, c)
+			addComp(c, m.cfg.AccelGHz)
+		case SubCGRA:
+			f, err := cgra.NewFabric(rt.def, m.cfg.Grid, trips[rt.def.ID], rt.inPorts, rt.outPorts, rp,
+				int64(engine.Div(m.cfg.AccelGHz)), m.meter)
+			if err != nil {
+				h.failf("launch: %v", err)
+			}
+			rt.regs = f
+			fabrics = append(fabrics, f)
+			addComp(f, m.cfg.AccelGHz)
+		default:
+			h.failf("launch: config %q has no accelerator substrate", m.cfg.Name)
+		}
+		firstLaunch := !m.scalarsSent[rt.def]
+		m.scalarsSent[rt.def] = true
+		for _, sb := range rt.def.ScalarInit {
+			rt.regs.SetReg(sb.Reg, h.evalScalar(sb.Expr))
+			// Launch-invariant scalars (pure params/constants) travel with
+			// the one-time cp_config; only per-launch values (outer IVs,
+			// loads) cost an MMIO write each launch.
+			if firstLaunch || !launchInvariant(sb.Expr) {
+				m.mmioHost(core.CpSetRF, rt.cluster)
+			}
+		}
+		for _, acc := range rt.def.Accesses {
+			switch acc.Kind {
+			case core.StreamIn, core.StreamOut:
+				m.mmioHost(core.CpConfigStream, rt.cluster)
+			}
+		}
+		h.recordProgramMechanisms(rt.def.Program)
+		m.mmioHost(core.CpRun, rt.cluster)
+	}
+
+	base, err := eng.Run(m.cfg.MaxEngine)
+	if err != nil {
+		h.failf("launch of %s: %v", reg.Name, err)
+	}
+	m.accelBase += base
+
+	// Accelerator timeline: this launch occupies the accelerator resources
+	// after any prior in-flight launch. The host blocks (cp_consume
+	// semantics, §V-B) only when it reads a scalar back; otherwise it runs
+	// ahead, overlapping with the offload.
+	engHost := float64(base) / float64(hostDiv)
+	hostNow := m.hostTimeline()
+	start := hostNow
+	if m.accelFreeAt > start {
+		start = m.accelFreeAt
+	}
+	m.accelFreeAt = start + engHost
+	needsSync := false
+	for _, rt := range rts {
+		if len(rt.def.ScalarOut) > 0 {
+			needsSync = true
+		}
+	}
+	if needsSync {
+		if wait := m.accelFreeAt - hostNow; wait > 0 {
+			m.memCycles += wait
+		}
+		m.inflightWrites = map[string]bool{}
+	} else {
+		for _, rt := range rts {
+			for _, acc := range rt.def.Accesses {
+				if acc.Kind == core.StreamOut {
+					m.inflightWrites[acc.Obj] = true
+				}
+			}
+			for _, op := range rt.def.Program {
+				if op.Code == microcode.StoreObj {
+					m.inflightWrites[op.Obj] = true
+				}
+			}
+		}
+	}
+
+	// cp_load_rf read-back of carried locals.
+	for _, rt := range rts {
+		for _, sb := range rt.def.ScalarOut {
+			h.locals[sb.Name] = hval{v: rt.regs.Reg(sb.Reg), t: taintFresh}
+			m.mmioHost(core.CpLoadRF, rt.cluster)
+		}
+	}
+	for _, c := range ioCores {
+		m.accelOps += c.Ops
+	}
+	for _, f := range fabrics {
+		m.accelOps += f.Ops
+	}
+	for _, rp := range randomPorts {
+		m.accelMemElem += rp.Loads + rp.Stores
+	}
+}
+
+// placeAccel chooses the accelerator's cluster: Mono-CA pins everything to
+// the bus node; Mono-DA pins compute to the region's largest object; Dist
+// anchors each partition at its object's home (§V-A-4, §V-B). Returns -1
+// when the accel has no anchor (resolved to a peer's cluster by the
+// caller).
+func (h *host) placeAccel(reg *core.Region, rt *accelRT) int {
+	m := h.m
+	if m.cfg.PlaceAtHost || m.cfg.Centralized {
+		return m.hier.HostNode()
+	}
+	if !m.cfg.Distribute {
+		// Monolithic compute: home of the region's largest object.
+		big, size := "", -1
+		for _, a := range reg.Accels {
+			for _, obj := range a.Objects {
+				if d, ok := m.kernel.Object(obj); ok && d.Bytes() > size {
+					big, size = obj, d.Bytes()
+				}
+			}
+		}
+		if big == "" {
+			return m.hier.HostNode()
+		}
+		r, _ := m.slab.Lookup(big)
+		return m.hier.HomeCluster(r.Base)
+	}
+	def := rt.def
+	if def.Place == core.PlaceHost {
+		return m.hier.HostNode()
+	}
+	if def.AnchorObj == "" {
+		return -1
+	}
+	// Home of the first accessed element (greedy horizontal placement).
+	r, ok := m.slab.Lookup(def.AnchorObj)
+	if !ok {
+		h.failf("placeAccel: unallocated anchor %q", def.AnchorObj)
+	}
+	addr := r.Base
+	for _, acc := range def.Accesses {
+		if (acc.Kind == core.StreamIn || acc.Kind == core.StreamOut) && acc.Obj == def.AnchorObj {
+			ev := rt.streams[acc.ID]
+			cand := r.Base + ev.Start*int64(acc.ElemBytes)
+			if cand >= r.Base && cand < r.End() {
+				addr = cand
+			}
+			break
+		}
+	}
+	return m.hier.HomeCluster(addr)
+}
+
+// fetcherFor returns the cache-path fetcher for an accelerator.
+func (h *host) fetcherFor(rt *accelRT) accessunit.Fetcher {
+	m := h.m
+	if rt.offChip {
+		return dramFetcher{m: m}
+	}
+	if m.cfg.Centralized && m.cfg.PrivCacheKB > 0 {
+		if m.priv == nil {
+			pf, err := newPrivFetcher(m, m.cfg.PrivCacheKB, rt.cluster)
+			if err != nil {
+				h.failf("%v", err)
+			}
+			m.priv = pf
+		}
+		return m.priv
+	}
+	return clusterFetcher{m: m, prefetchHalve: m.cfg.SWPrefetch}
+}
+
+// wireStreamIn builds the fill FSM for one (possibly combined) stream-in
+// buffer and the per-accessor read ports; a remote fill FSM (decentralized
+// access with monolithic compute) forwards over a link.
+func (h *host) wireStreamIn(rt *accelRT, ba core.BufferAlloc,
+	add func(engine.Component, int)) error {
+	m := h.m
+	mem := simMemory{m: m}
+	first := rt.def.Accesses[ba.Accesses[0]]
+	// Union window over combined accessors.
+	minStart, maxStart := rt.streams[ba.Accesses[0]].Start, rt.streams[ba.Accesses[0]].Start
+	stride := rt.streams[ba.Accesses[0]].Stride
+	for _, id := range ba.Accesses[1:] {
+		s := rt.streams[id].Start
+		if s < minStart {
+			minStart = s
+		}
+		if s > maxStart {
+			maxStart = s
+		}
+	}
+	length := rt.streams[ba.Accesses[0]].Length
+	if stride > 0 {
+		length += (maxStart - minStart) / stride
+	}
+	dataCluster := h.clusterOfElem(ba.Obj, minStart, first.ElemBytes)
+	fsmCluster := dataCluster
+	if m.cfg.Centralized || rt.offChip {
+		fsmCluster = rt.cluster
+	}
+	fsmBuf, err := m.newBuffer()
+	if err != nil {
+		return err
+	}
+	fsm, err := accessunit.NewStreamIn(fsmBuf, mem, h.fetcherFor(&accelRT{cluster: fsmCluster, def: rt.def, offChip: rt.offChip}),
+		fsmCluster, ba.Obj, minStart, stride, length, m.austats, m.meter)
+	if err != nil {
+		return err
+	}
+	add(fsm, 2)
+	m.mmio.Record(core.CpFillBuf)
+	m.accelMemElem += length
+
+	consumerBuf := fsmBuf
+	if fsmCluster != rt.cluster {
+		consBuf, err := m.newBuffer()
+		if err != nil {
+			return err
+		}
+		link := accessunit.NewLink(fsmBuf, consBuf, m.mesh, fsmCluster, rt.cluster, first.ElemBytes, m.austats)
+		add(link, 2)
+		consumerBuf = consBuf
+	}
+	for _, id := range ba.Accesses {
+		offset := int64(0)
+		if stride > 0 {
+			offset = (rt.streams[id].Start - minStart) / stride
+		}
+		rt.inPorts[id] = accessunit.NewInPort(consumerBuf, offset)
+	}
+	return nil
+}
+
+// wireStreamOut builds the drain path for one stream-out access: the core
+// produces into a local buffer; the drain FSM sits with the data (or with
+// the accel when centralized), behind a link when remote.
+func (h *host) wireStreamOut(rt *accelRT, ba core.BufferAlloc, add func(engine.Component, int)) error {
+	m := h.m
+	mem := simMemory{m: m}
+	if len(ba.Accesses) != 1 {
+		return fmt.Errorf("sim: combined stream-out buffers are not supported")
+	}
+	id := ba.Accesses[0]
+	acc := rt.def.Accesses[id]
+	ev := rt.streams[id]
+	dataCluster := h.clusterOfElem(ba.Obj, ev.Start, acc.ElemBytes)
+	fsmCluster := dataCluster
+	if m.cfg.Centralized || rt.offChip {
+		fsmCluster = rt.cluster
+	}
+	prodBuf, err := m.newBuffer()
+	if err != nil {
+		return err
+	}
+	drainBuf := prodBuf
+	if fsmCluster != rt.cluster {
+		db, err := m.newBuffer()
+		if err != nil {
+			return err
+		}
+		link := accessunit.NewLink(prodBuf, db, m.mesh, rt.cluster, fsmCluster, acc.ElemBytes, m.austats)
+		add(link, 2)
+		drainBuf = db
+	}
+	fsm, err := accessunit.NewStreamOut(drainBuf, mem, h.fetcherFor(&accelRT{cluster: fsmCluster, def: rt.def, offChip: rt.offChip}),
+		fsmCluster, ba.Obj, ev.Start, ev.Stride, m.austats, m.meter)
+	if err != nil {
+		return err
+	}
+	add(fsm, 2)
+	m.mmio.Record(core.CpDrainBuf)
+	m.accelMemElem += ev.Length
+	rt.outPorts[id] = &accessunit.OutPort{Buf: prodBuf}
+	return nil
+}
+
+// clusterOfElem returns the home cluster of obj[idx] (clamped into range).
+func (h *host) clusterOfElem(obj string, idx int64, elemBytes int) int {
+	m := h.m
+	r, ok := m.slab.Lookup(obj)
+	if !ok {
+		h.failf("clusterOfElem: unallocated object %q", obj)
+	}
+	addr := r.Base + idx*int64(elemBytes)
+	if addr < r.Base {
+		addr = r.Base
+	}
+	if addr >= r.End() {
+		addr = r.End() - 1
+	}
+	return m.hier.HomeCluster(addr)
+}
+
+// recordProgramMechanisms marks Table V coverage from the micro-program.
+func (h *host) recordProgramMechanisms(p microcode.Program) {
+	for _, op := range p {
+		switch op.Code {
+		case microcode.Consume:
+			h.m.mmio.Record(core.CpConsume)
+			h.m.mmio.Record(core.CpStep)
+		case microcode.Produce:
+			h.m.mmio.Record(core.CpProduce)
+			h.m.mmio.Record(core.CpStep)
+		case microcode.LoadObj:
+			h.m.mmio.Record(core.CpRead)
+		case microcode.StoreObj:
+			h.m.mmio.Record(core.CpWrite)
+		}
+	}
+}
+
+// launchInvariant reports whether a scalar-init expression has the same
+// value at every launch (no induction variables, no loads).
+func launchInvariant(e ir.Expr) bool {
+	ok := true
+	ir.WalkExpr(e, func(x ir.Expr) {
+		switch x.(type) {
+		case ir.IV, ir.Load, ir.Local:
+			ok = false
+		}
+	})
+	return ok
+}

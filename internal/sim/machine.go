@@ -1,0 +1,280 @@
+package sim
+
+import (
+	"fmt"
+
+	"distda/internal/accessunit"
+	"distda/internal/cache"
+	"distda/internal/core"
+	"distda/internal/dram"
+	"distda/internal/energy"
+	"distda/internal/engine"
+	"distda/internal/ir"
+	"distda/internal/noc"
+)
+
+// hostDiv converts 2 GHz host cycles to base cycles.
+var hostDiv = int64(engine.Div(2))
+
+// machine is the assembled system state for one run.
+type machine struct {
+	cfg    Config
+	kernel *ir.Kernel
+	params map[string]float64
+
+	meter *energy.Meter
+	mesh  *noc.Mesh
+	dmem  *dram.Memory
+	hier  *cache.Hierarchy
+	slab  *dram.Slab
+	data  map[string][]float64
+
+	austats *accessunit.Stats
+	priv    *privFetcher
+	mmio    core.IntrinsicStats
+	alloc   core.AllocationTable
+	buffers []*accessunit.Buffer
+
+	// Counters.
+	hostInstr      int64
+	hostLoads      int64
+	hostStores     int64
+	accelOps       int64
+	accelMemElem   int64 // stream elements + random accesses by accelerators
+	launches       int64
+	flushedObjs    map[string]bool
+	configured     map[int]bool // accel IDs whose cp_config was transferred
+	inflightWrites map[string]bool
+	scalarsSent    map[*core.AccelDef]bool
+
+	slotCycles  float64 // host issue-slot cycles
+	memCycles   float64 // host memory stall cycles
+	accelBase   int64   // engine base cycles spent in offloads
+	accelFreeAt float64 // host-cycle time when accelerator resources free
+	cycleAdjust int64   // parallel-section overlap credit (§VI-D)
+}
+
+// newMachine allocates the system and lays out the kernel's objects via the
+// slab allocator.
+func newMachine(cfg Config, k *ir.Kernel, params map[string]float64, data map[string][]float64) (*machine, error) {
+	meter := energy.NewMeter(energy.Default32nm())
+	mesh := noc.New(noc.DefaultConfig(), meter)
+	dmem := dram.NewMemory(dram.DefaultConfig(), meter)
+	ccfg := cache.DefaultConfig(meter.Table)
+	ccfg.L2Prefetch = cfg.HostPrefetch
+	if cfg.HostPrefDeg > 0 {
+		ccfg.PrefetchDegree = cfg.HostPrefDeg
+	}
+	hier, err := cache.New(ccfg, dmem, mesh, meter)
+	if err != nil {
+		return nil, err
+	}
+	slab, err := dram.NewSlab(0, 1<<31, 4096)
+	if err != nil {
+		return nil, err
+	}
+	m := &machine{
+		cfg: cfg, kernel: k, params: params,
+		meter: meter, mesh: mesh, dmem: dmem, hier: hier, slab: slab,
+		data:           data,
+		austats:        &accessunit.Stats{},
+		flushedObjs:    map[string]bool{},
+		configured:     map[int]bool{},
+		inflightWrites: map[string]bool{},
+		scalarsSent:    map[*core.AccelDef]bool{},
+	}
+	span := int64(64 << 10) // cache.DefaultConfig ClusterSpanBytes
+	for i, o := range k.Objects {
+		buf, ok := data[o.Name]
+		if !ok || len(buf) != o.Len {
+			return nil, fmt.Errorf("sim: object %q missing or mis-sized", o.Name)
+		}
+		if cfg.AllocSpread {
+			// Fig. 14 +A: start each object at a fresh cluster span so
+			// anchors spread across clusters.
+			target := (int64(i%hier.Clusters()) * span) % (span * int64(hier.Clusters()))
+			m.padSlabTo(target, span)
+		}
+		if _, err := slab.Alloc(o.Name, int64(o.Bytes())); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// padSlabTo inserts padding so the next allocation starts at an address
+// congruent to target modulo the cluster ring.
+func (m *machine) padSlabTo(target, span int64) {
+	// Allocate throwaway padding objects until the next base lines up.
+	for i := 0; ; i++ {
+		r, err := m.slab.Alloc(fmt.Sprintf("_pad%d_%d", target, i), 64)
+		if err != nil {
+			return
+		}
+		if (r.Base/span)%8 == (target/span)%8 {
+			return
+		}
+	}
+}
+
+// hostTimeline returns the host's own cycle count (issue slots, memory
+// stalls, waits) without in-flight accelerator work.
+func (m *machine) hostTimeline() float64 {
+	return m.slotCycles + m.memCycles + float64(m.cycleAdjust)
+}
+
+// syncAccel blocks the host until outstanding offloads complete (barriers,
+// chunk boundaries).
+func (m *machine) syncAccel() {
+	if wait := m.accelFreeAt - m.hostTimeline(); wait > 0 {
+		m.memCycles += wait
+	}
+	m.inflightWrites = map[string]bool{}
+}
+
+// joinIfWritten synchronizes with outstanding offloads before the host
+// touches an object they write.
+func (m *machine) joinIfWritten(obj string) {
+	if m.inflightWrites[obj] {
+		m.syncAccel()
+	}
+}
+
+// hostCycles returns the end-to-end cycle count: the host timeline or the
+// accelerator timeline, whichever is behind — launches without host
+// read-backs overlap with host execution (§V-B "the offload model allows
+// concurrent execution of the host and multiple accelerators").
+func (m *machine) hostCycles() int64 {
+	t := m.hostTimeline()
+	if m.accelFreeAt > t {
+		t = m.accelFreeAt
+	}
+	return int64(t)
+}
+
+// addr returns the physical address of obj[idx].
+func (m *machine) addr(obj string, idx int64) (int64, error) {
+	r, ok := m.slab.Lookup(obj)
+	if !ok {
+		return 0, fmt.Errorf("sim: unallocated object %q", obj)
+	}
+	decl, ok := m.kernel.Object(obj)
+	if !ok {
+		return 0, fmt.Errorf("sim: undeclared object %q", obj)
+	}
+	if idx < 0 || idx >= int64(decl.Len) {
+		return 0, fmt.Errorf("sim: index %d out of range for %q (len %d)", idx, obj, decl.Len)
+	}
+	return r.Base + idx*int64(decl.ElemBytes), nil
+}
+
+// simMemory adapts the machine to accessunit.Memory.
+type simMemory struct{ m *machine }
+
+func (s simMemory) Read(obj string, idx int64) (float64, error) {
+	if _, err := s.m.addr(obj, idx); err != nil {
+		return 0, err
+	}
+	return s.m.data[obj][idx], nil
+}
+
+func (s simMemory) Write(obj string, idx int64, v float64) error {
+	if _, err := s.m.addr(obj, idx); err != nil {
+		return err
+	}
+	s.m.data[obj][idx] = v
+	return nil
+}
+
+func (s simMemory) AddrOf(obj string, idx int64) (int64, error) { return s.m.addr(obj, idx) }
+
+func (s simMemory) ElemBytes(obj string) (int, error) {
+	decl, ok := s.m.kernel.Object(obj)
+	if !ok {
+		return 0, fmt.Errorf("sim: undeclared object %q", obj)
+	}
+	return decl.ElemBytes, nil
+}
+
+// clusterFetcher adapts the hierarchy to accessunit.Fetcher, converting
+// host-cycle latencies to base cycles. prefetchHalve models Fig. 14's
+// software prefetching (latency of random loads largely hidden).
+type clusterFetcher struct {
+	m             *machine
+	prefetchHalve bool
+}
+
+func (f clusterFetcher) Access(cluster int, addr int64, write bool, bytes int) int {
+	lat, _ := f.m.hier.ClusterAccess(cluster, addr, write, bytes)
+	if f.prefetchHalve && !write {
+		lat = lat/2 + 1
+		f.m.meter.Add(energy.CatAccel, f.m.meter.Table.PrefetchPJ)
+	}
+	return lat * int(hostDiv)
+}
+
+func (f clusterFetcher) LineBytes() int { return 64 }
+
+// privFetcher is the Mono-CA private cache in front of the L3 bus: probes
+// an 8 KB cache before issuing a centralized access from the accel node.
+type privFetcher struct {
+	m    *machine
+	priv *cache.Level
+	node int
+}
+
+func newPrivFetcher(m *machine, kb, node int) (*privFetcher, error) {
+	lvl, err := cache.NewLevel(cache.LevelConfig{
+		Name: "priv", SizeBytes: kb << 10, Ways: 4, LineBytes: 64,
+		Latency: 2, EnergyPJ: m.meter.Table.L1AccessPJ, EnergyCat: energy.CatAccel,
+	}, m.meter)
+	if err != nil {
+		return nil, err
+	}
+	return &privFetcher{m: m, priv: lvl, node: node}, nil
+}
+
+func (f *privFetcher) Access(cluster int, addr int64, write bool, bytes int) int {
+	lat := f.priv.Latency()
+	if f.priv.Access(addr, write) {
+		return lat * int(hostDiv)
+	}
+	l3lat, _ := f.m.hier.ClusterAccess(f.node, addr, write, bytes)
+	lat += l3lat
+	if ev, dirty, ok := f.priv.Insert(addr, write); ok && dirty {
+		f.m.hier.ClusterAccess(f.node, ev, true, 64)
+	}
+	return lat * int(hostDiv)
+}
+
+func (f *privFetcher) LineBytes() int { return 64 }
+
+// dramFetcher is the §VII off-chip extension path: an accelerator placed
+// at the memory controller reads and writes DRAM lines directly, paying
+// device latency but no NoC traversal and no L3 occupancy.
+type dramFetcher struct{ m *machine }
+
+func (f dramFetcher) Access(cluster int, addr int64, write bool, bytes int) int {
+	return f.m.dmem.Access(write) * int(hostDiv)
+}
+
+func (f dramFetcher) LineBytes() int { return 64 }
+
+// newBuffer creates and tracks a decoupling buffer.
+func (m *machine) newBuffer() (*accessunit.Buffer, error) {
+	b, err := accessunit.NewBuffer(m.cfg.BufElems, m.meter)
+	if err != nil {
+		return nil, err
+	}
+	m.buffers = append(m.buffers, b)
+	return b, nil
+}
+
+// intraBytes sums buffer-internal traffic (Fig. 9 "intra").
+func (m *machine) intraBytes() int64 {
+	var t int64
+	for _, b := range m.buffers {
+		t += (b.Pushes + b.Pops) * 8
+	}
+	return t
+}

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"testing"
+
+	"distda/internal/workloads"
+)
+
+// TestOffChipExtension exercises the §VII extension: with near-memory
+// placement enabled, partitions anchored at DRAM-resident objects move to
+// the memory controller. Results stay correct and on-chip NoC data traffic
+// drops for a large streaming workload.
+func TestOffChipExtension(t *testing.T) {
+	w := workloads.Pathfinder(workloads.ScaleBench) // 3 MB wall object
+	on, err := Run(w.Kernel, w.Params, w.NewData(), DistDAIO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DistDAOffChip()
+	off, err := Run(w.Kernel, w.Params, w.NewData(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !off.Validated {
+		t.Fatal("off-chip run not validated")
+	}
+	onNoC := on.NoCBytes["data"] + on.NoCBytes["ctrl"]
+	offNoC := off.NoCBytes["data"] + off.NoCBytes["ctrl"]
+	if offNoC >= onNoC {
+		t.Fatalf("off-chip placement did not reduce on-chip traffic: %d vs %d", offNoC, onNoC)
+	}
+	// L3 is no longer polluted by the big stream.
+	if off.CacheL3 >= on.CacheL3 {
+		t.Fatalf("off-chip L3 accesses %d not below on-chip %d", off.CacheL3, on.CacheL3)
+	}
+}
+
+// TestOffChipLeavesSmallObjectsOnChip checks the threshold: kernels whose
+// objects fit on chip are unaffected by the flag.
+func TestOffChipLeavesSmallObjectsOnChip(t *testing.T) {
+	k, params, gen := vecAddKernel(2048) // 16 KB objects
+	on, err := Run(k, params, gen(), DistDAIO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Run(k, params, gen(), DistDAOffChip())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.DRAM != off.DRAM {
+		t.Fatalf("DRAM accesses changed for on-chip working set: %d vs %d", on.DRAM, off.DRAM)
+	}
+}

@@ -1,0 +1,57 @@
+// Package stats provides the small numeric helpers the evaluation harness
+// uses: geometric means and normalization, matching how the paper
+// aggregates per-benchmark ratios.
+package stats
+
+import "math"
+
+// Geomean returns the geometric mean of vals, ignoring non-positive entries
+// (a ratio of zero would otherwise collapse the mean). Returns 0 for an
+// empty input.
+func Geomean(vals []float64) float64 {
+	sum := 0.0
+	n := 0
+	for _, v := range vals {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Normalize returns vals scaled so that base maps to 1. A zero base yields
+// zeros.
+func Normalize(vals []float64, base float64) []float64 {
+	out := make([]float64, len(vals))
+	if base == 0 {
+		return out
+	}
+	for i, v := range vals {
+		out[i] = v / base
+	}
+	return out
+}
+
+// Ratio returns a/b, 0 when b is 0.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Mean returns the arithmetic mean, 0 for empty input.
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}

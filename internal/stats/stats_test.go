@@ -1,0 +1,61 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); g != 4 {
+		t.Fatalf("Geomean(2,8) = %g", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Fatalf("Geomean(nil) = %g", g)
+	}
+	// Non-positive entries are skipped, not poisonous.
+	if g := Geomean([]float64{0, -3, 4}); g != 4 {
+		t.Fatalf("Geomean with zeros = %g", g)
+	}
+}
+
+func TestGeomeanBetweenMinAndMax(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var vals []float64
+		for _, r := range raw {
+			vals = append(vals, float64(r%1000)+1)
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		g := Geomean(vals)
+		lo, hi := vals[0], vals[0]
+		for _, v := range vals {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{2, 4, 8}, 4)
+	if out[0] != 0.5 || out[1] != 1 || out[2] != 2 {
+		t.Fatalf("Normalize = %v", out)
+	}
+	if z := Normalize([]float64{1, 2}, 0); z[0] != 0 || z[1] != 0 {
+		t.Fatalf("Normalize by zero = %v", z)
+	}
+}
+
+func TestRatioAndMean(t *testing.T) {
+	if Ratio(6, 3) != 2 || Ratio(1, 0) != 0 {
+		t.Fatal("Ratio")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 || Mean(nil) != 0 {
+		t.Fatal("Mean")
+	}
+}

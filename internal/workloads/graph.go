@@ -1,0 +1,226 @@
+package workloads
+
+import "distda/internal/ir"
+
+// BFS reproduces the level-synchronous breadth-first search of the
+// accelerator literature in edge-parallel (COO) form: per level one offload
+// streams the edge list and performs indirect level probes and predicated
+// frontier updates — the paper's irregular category. The edge-parallel
+// formulation gives each level a single long offload, the shape the
+// Dist-DA interface pipelines well.
+func BFS(s Scale) *Workload {
+	nodes := s.pick(64, 2048, 4096)
+	ef := s.pick(4, 16, 32)
+	r := rng("bfs")
+	rowptr, col := csr(r, nodes, ef)
+	m := len(col)
+	src := make([]float64, m)
+	for v := 0; v < nodes; v++ {
+		for e := int(rowptr[v]); e < int(rowptr[v+1]); e++ {
+			src[e] = float64(v)
+		}
+	}
+	maxLev := bfsLevels(rowptr, col, nodes)
+	k := &ir.Kernel{
+		Name:   "bfs",
+		Params: []string{"M", "D"},
+		Objects: []ir.ObjDecl{
+			{Name: "esrc", Len: m, ElemBytes: 8},
+			{Name: "col", Len: m, ElemBytes: 8},
+			{Name: "level", Len: nodes, ElemBytes: 8},
+		},
+		Body: []ir.Stmt{
+			ir.Loop("d", ir.C(0), ir.P("D"),
+				ir.Loop("e", ir.C(0), ir.P("M"),
+					ir.Set("v", ir.Ld("esrc", ir.V("e"))),
+					ir.Cond(ir.EqE(ir.Ld("level", ir.L("v")), ir.V("d")),
+						[]ir.Stmt{
+							ir.Set("n", ir.Ld("col", ir.V("e"))),
+							ir.Cond(ir.EqE(ir.Ld("level", ir.L("n")), ir.C(-1)),
+								[]ir.Stmt{ir.St("level", ir.L("n"), ir.AddE(ir.V("d"), ir.C(1)))}, nil),
+						}, nil),
+				),
+			),
+		},
+	}
+	gen := func() map[string][]float64 {
+		level := make([]float64, nodes)
+		for i := range level {
+			level[i] = -1
+		}
+		level[0] = 0
+		return map[string][]float64{
+			"esrc":  append([]float64{}, src...),
+			"col":   append([]float64{}, col...),
+			"level": level,
+		}
+	}
+	return &Workload{
+		Name:   "bfs",
+		Desc:   itoa(nodes) + " nodes, edge factor " + itoa(ef) + ", edge-parallel",
+		Kernel: k,
+		Params: map[string]float64{"M": float64(m), "D": float64(maxLev)},
+		Gen:    gen,
+	}
+}
+
+// BFSMT is the multithreading case-study variant: each level's edge scan is
+// chunked across threads (frontier updates touch distinct unvisited
+// vertices per level, and chunked sequential execution is deterministic).
+func BFSMT(s Scale) *Workload {
+	base := BFS(s)
+	inner := ir.Loops(base.Kernel.Body)[1]
+	k := &ir.Kernel{
+		Name:    "bfs-mt",
+		Params:  base.Kernel.Params,
+		Objects: base.Kernel.Objects,
+		Body: []ir.Stmt{
+			ir.Loop("d", ir.C(0), ir.P("D"),
+				&ir.For{IV: inner.IV, Lo: inner.Lo, Hi: inner.Hi, Step: inner.Step,
+					Parallel: true, Body: inner.Body},
+			),
+		},
+	}
+	return &Workload{Name: "bfs-mt", Desc: base.Desc, Kernel: k, Params: base.Params, Gen: base.Gen}
+}
+
+// bfsLevels computes the level count from node 0 (for the D parameter).
+func bfsLevels(rowptr, col []float64, nodes int) int {
+	level := make([]int, nodes)
+	for i := range level {
+		level[i] = -1
+	}
+	level[0] = 0
+	frontier := []int{0}
+	depth := 0
+	for len(frontier) > 0 {
+		var next []int
+		for _, v := range frontier {
+			for e := int(rowptr[v]); e < int(rowptr[v+1]); e++ {
+				n := int(col[e])
+				if level[n] == -1 {
+					level[n] = depth + 1
+					next = append(next, n)
+				}
+			}
+		}
+		frontier = next
+		depth++
+	}
+	return depth
+}
+
+// Pagerank reproduces the serial pull-based implementation: per vertex a
+// streamed edge scan with indirect rank/out-degree gathers, double-buffered
+// by parity.
+func Pagerank(s Scale) *Workload {
+	nodes := s.pick(64, 2048, 16384)
+	ef := s.pick(4, 16, 16)
+	iters := s.pick(2, 3, 10)
+	r := rng("pagerank")
+	rowptr, col := csr(r, nodes, ef)
+	edgeSum := func(rankObj string) []ir.Stmt {
+		return []ir.Stmt{
+			ir.Loop("e", ir.Ld("rowptr", ir.V("v")), ir.Ld("rowptr", ir.AddE(ir.V("v"), ir.C(1))),
+				ir.Set("u", ir.Ld("col", ir.V("e"))),
+				ir.Set("acc", ir.AddE(ir.L("acc"),
+					ir.DivE(ir.Ld(rankObj, ir.L("u")), ir.Ld("outdeg", ir.L("u"))))),
+			),
+		}
+	}
+	body := func(src, dst string) []ir.Stmt {
+		return append(
+			append([]ir.Stmt{ir.Set("acc", ir.C(0))}, edgeSum(src)...),
+			ir.St(dst, ir.V("v"),
+				ir.AddE(ir.DivE(ir.C(0.15), ir.P("N")), ir.MulE(ir.C(0.85), ir.L("acc")))),
+		)
+	}
+	k := &ir.Kernel{
+		Name:   "pagerank",
+		Params: []string{"N", "IT"},
+		Objects: []ir.ObjDecl{
+			{Name: "rowptr", Len: nodes + 1, ElemBytes: 8},
+			{Name: "col", Len: len(col), ElemBytes: 8},
+			{Name: "outdeg", Len: nodes, ElemBytes: 8},
+			{Name: "rankA", Len: nodes, ElemBytes: 8},
+			{Name: "rankB", Len: nodes, ElemBytes: 8},
+		},
+		Body: []ir.Stmt{
+			ir.Loop("it", ir.C(0), ir.P("IT"),
+				ir.Loop("v", ir.C(0), ir.P("N"),
+					ir.Cond(ir.EqE(ir.ModE(ir.V("it"), ir.C(2)), ir.C(0)),
+						body("rankA", "rankB"),
+						body("rankB", "rankA"),
+					),
+				),
+			),
+		},
+	}
+	gen := func() map[string][]float64 {
+		outdeg := make([]float64, nodes)
+		for i := range outdeg {
+			outdeg[i] = 1 // avoid zero divisors; incremented below
+		}
+		for _, c := range col {
+			outdeg[int(c)]++
+		}
+		rankA := make([]float64, nodes)
+		for i := range rankA {
+			rankA[i] = 1 / float64(nodes)
+		}
+		return map[string][]float64{
+			"rowptr": append([]float64{}, rowptr...),
+			"col":    append([]float64{}, col...),
+			"outdeg": outdeg,
+			"rankA":  rankA,
+			"rankB":  zeros(nodes),
+		}
+	}
+	return &Workload{
+		Name:   "pagerank",
+		Desc:   itoa(nodes) + " nodes, " + itoa(iters) + " iterations",
+		Kernel: k,
+		Params: map[string]float64{"N": float64(nodes), "IT": float64(iters)},
+		Gen:    gen,
+	}
+}
+
+// PointerChase walks a uniform random permutation cycle: the canonical
+// serialized-dependence workload (one random load per step feeding the
+// next address).
+func PointerChase(s Scale) *Workload {
+	n := s.pick(4096, 131072, 1<<20)
+	steps := s.pick(2048, 32768, 1<<20)
+	k := &ir.Kernel{
+		Name:   "pointer-chase",
+		Params: []string{"K"},
+		Objects: []ir.ObjDecl{
+			{Name: "next", Len: n, ElemBytes: 8},
+			{Name: "out", Len: 1, ElemBytes: 8},
+		},
+		Body: []ir.Stmt{
+			ir.Set("p", ir.C(0)),
+			ir.Loop("k", ir.C(0), ir.P("K"),
+				ir.Set("p", ir.Ld("next", ir.L("p"))),
+			),
+			ir.St("out", ir.C(0), ir.L("p")),
+		},
+	}
+	r := rng("pointer-chase")
+	gen := func() map[string][]float64 {
+		perm := r.Perm(n)
+		next := make([]float64, n)
+		// A single cycle through the permutation order.
+		for i := 0; i < n; i++ {
+			next[perm[i]] = float64(perm[(i+1)%n])
+		}
+		return map[string][]float64{"next": next, "out": {0}}
+	}
+	return &Workload{
+		Name:   "pointer-chase",
+		Desc:   itoa(n*8/1024) + " KB uniform distribution, " + itoa(steps) + " hops",
+		Kernel: k,
+		Params: map[string]float64{"K": float64(steps)},
+		Gen:    gen,
+	}
+}

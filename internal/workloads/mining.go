@@ -1,0 +1,113 @@
+package workloads
+
+import "distda/internal/ir"
+
+// PCA reproduces CortexSuite's principal-component preprocessing: per-column
+// mean computation and adjacent-column correlation, both column-major
+// traversals (stride-C streams) — the access pattern §VI-C singles out for
+// its shallow-hierarchy latency sensitivity.
+func PCA(s Scale) *Workload {
+	rows := s.pick(32, 512, 1024)
+	cols := s.pick(16, 96, 128)
+	colIdx := func(j ir.Expr) ir.Expr { return ir.AddE(ir.MulE(ir.V("i"), ir.P("C")), j) }
+	k := &ir.Kernel{
+		Name:   "pca",
+		Params: []string{"R", "C"},
+		Objects: []ir.ObjDecl{
+			{Name: "D", Len: rows * cols, ElemBytes: 8},
+			{Name: "mean", Len: cols, ElemBytes: 8},
+			{Name: "corr", Len: cols, ElemBytes: 8},
+		},
+		Body: []ir.Stmt{
+			// Column means (column-major stride-C stream).
+			ir.Loop("j", ir.C(0), ir.P("C"),
+				ir.Set("s", ir.C(0)),
+				ir.Loop("i", ir.C(0), ir.P("R"),
+					ir.Set("s", ir.AddE(ir.L("s"), ir.Ld("D", colIdx(ir.V("j"))))),
+				),
+				ir.St("mean", ir.V("j"), ir.DivE(ir.L("s"), ir.P("R"))),
+			),
+			// Adjacent-column correlation accumulators.
+			ir.Loop("j", ir.C(0), ir.SubE(ir.P("C"), ir.C(1)),
+				ir.Set("a", ir.C(0)),
+				ir.Loop("i", ir.C(0), ir.P("R"),
+					ir.Set("a", ir.AddE(ir.L("a"),
+						ir.MulE(
+							ir.SubE(ir.Ld("D", colIdx(ir.V("j"))), ir.Ld("mean", ir.V("j"))),
+							ir.SubE(ir.Ld("D", colIdx(ir.AddE(ir.V("j"), ir.C(1)))), ir.Ld("mean", ir.AddE(ir.V("j"), ir.C(1))))))),
+				),
+				ir.St("corr", ir.V("j"), ir.DivE(ir.L("a"), ir.P("R"))),
+			),
+		},
+	}
+	r := rng("pca")
+	gen := func() map[string][]float64 {
+		return map[string][]float64{
+			"D":    randUnit(r, rows*cols),
+			"mean": zeros(cols),
+			"corr": zeros(cols),
+		}
+	}
+	return &Workload{
+		Name:   "pca",
+		Desc:   dims(rows, cols) + " samples, column-major",
+		Kernel: k,
+		Params: map[string]float64{"R": float64(rows), "C": float64(cols)},
+		Gen:    gen,
+	}
+}
+
+// SpMV is the §VI-D case-study benchmark: CSR sparse matrix-vector
+// multiplication with short inner loops that do not amortize naive
+// distributed offload (Dist-DA-B's 0.44x) until the loop nest is localized.
+func SpMV(s Scale) *Workload {
+	rows := s.pick(64, 1024, 4096)
+	nnzPerRow := s.pick(6, 16, 20)
+	r := rng("spmv")
+	rowptr := make([]float64, rows+1)
+	for v := 0; v < rows; v++ {
+		rowptr[v+1] = rowptr[v] + float64(1+r.Intn(2*nnzPerRow-1))
+	}
+	nnz := int(rowptr[rows])
+	k := &ir.Kernel{
+		Name:   "spmv",
+		Params: []string{"R"},
+		Objects: []ir.ObjDecl{
+			{Name: "rowptr", Len: rows + 1, ElemBytes: 8},
+			{Name: "colidx", Len: nnz, ElemBytes: 8},
+			{Name: "val", Len: nnz, ElemBytes: 8},
+			{Name: "x", Len: rows, ElemBytes: 8},
+			{Name: "y", Len: rows, ElemBytes: 8},
+		},
+		Body: []ir.Stmt{
+			ir.Loop("row", ir.C(0), ir.P("R"),
+				ir.Set("acc", ir.C(0)),
+				ir.Loop("e", ir.Ld("rowptr", ir.V("row")), ir.Ld("rowptr", ir.AddE(ir.V("row"), ir.C(1))),
+					ir.Set("acc", ir.AddE(ir.L("acc"),
+						ir.MulE(ir.Ld("val", ir.V("e")), ir.Ld("x", ir.Ld("colidx", ir.V("e")))))),
+				),
+				ir.St("y", ir.V("row"), ir.L("acc")),
+			),
+		},
+	}
+	gen := func() map[string][]float64 {
+		colidx := make([]float64, nnz)
+		for i := range colidx {
+			colidx[i] = float64(r.Intn(rows))
+		}
+		return map[string][]float64{
+			"rowptr": append([]float64{}, rowptr...),
+			"colidx": colidx,
+			"val":    randUnit(r, nnz),
+			"x":      randUnit(r, rows),
+			"y":      zeros(rows),
+		}
+	}
+	return &Workload{
+		Name:   "spmv",
+		Desc:   itoa(rows) + " rows CSR, ~" + itoa(nnzPerRow) + " nnz/row",
+		Kernel: k,
+		Params: map[string]float64{"R": float64(rows)},
+		Gen:    gen,
+	}
+}

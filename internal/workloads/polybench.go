@@ -1,0 +1,236 @@
+package workloads
+
+import "distda/internal/ir"
+
+// FDTD2D reproduces Polybench's 2-D finite-difference time-domain kernel:
+// three streaming field-update sweeps per time step, each an in-place
+// distance-0 update reading a neighboring field.
+func FDTD2D(s Scale) *Workload {
+	nx := s.pick(24, 160, 256)
+	ny := s.pick(32, 192, 256)
+	t := s.pick(2, 3, 10)
+	n := nx * ny
+	idx := ir.Idx2(ir.V("i"), ir.P("NY"), ir.V("j"))
+	k := &ir.Kernel{
+		Name:   "fdtd-2d",
+		Params: []string{"NX", "NY", "T"},
+		Objects: []ir.ObjDecl{
+			{Name: "ex", Len: n, ElemBytes: 8},
+			{Name: "ey", Len: n, ElemBytes: 8},
+			{Name: "hz", Len: n, ElemBytes: 8},
+		},
+		Body: []ir.Stmt{
+			ir.Loop("t", ir.C(0), ir.P("T"),
+				ir.Loop("i", ir.C(1), ir.P("NX"),
+					ir.Loop("j", ir.C(0), ir.P("NY"),
+						ir.St("ey", idx, ir.SubE(ir.Ld("ey", idx),
+							ir.MulE(ir.C(0.5), ir.SubE(ir.Ld("hz", idx), ir.Ld("hz", ir.SubE(idx, ir.P("NY"))))))),
+					),
+				),
+				ir.Loop("i", ir.C(0), ir.P("NX"),
+					ir.Loop("j", ir.C(1), ir.P("NY"),
+						ir.St("ex", idx, ir.SubE(ir.Ld("ex", idx),
+							ir.MulE(ir.C(0.5), ir.SubE(ir.Ld("hz", idx), ir.Ld("hz", ir.SubE(idx, ir.C(1))))))),
+					),
+				),
+				ir.Loop("i", ir.C(0), ir.SubE(ir.P("NX"), ir.C(1)),
+					ir.Loop("j", ir.C(0), ir.SubE(ir.P("NY"), ir.C(1)),
+						ir.St("hz", idx, ir.SubE(ir.Ld("hz", idx),
+							ir.MulE(ir.C(0.7),
+								ir.AddE(ir.SubE(ir.Ld("ex", ir.AddE(idx, ir.C(1))), ir.Ld("ex", idx)),
+									ir.SubE(ir.Ld("ey", ir.AddE(idx, ir.P("NY"))), ir.Ld("ey", idx)))))),
+					),
+				),
+			),
+		},
+	}
+	r := rng("fdtd-2d")
+	gen := func() map[string][]float64 {
+		return map[string][]float64{
+			"ex": randUnit(r, n), "ey": randUnit(r, n), "hz": randUnit(r, n),
+		}
+	}
+	return &Workload{
+		Name:   "fdtd-2d",
+		Desc:   "FDTD fields " + dims(nx, ny) + ", " + itoa(t) + " steps",
+		Kernel: k,
+		Params: map[string]float64{"NX": float64(nx), "NY": float64(ny), "T": float64(t)},
+		Gen:    gen,
+	}
+}
+
+// Cholesky reproduces Polybench's in-place factorization: per (j, i) pair a
+// streamed dot-product reduction over the already-factored prefix, with the
+// scalar updates on the host. Its many short launches give the highest
+// %init in Table VI.
+func Cholesky(s Scale) *Workload {
+	n := s.pick(24, 160, 360)
+	rowJ := func(kv ir.Expr) ir.Expr { return ir.AddE(ir.MulE(ir.V("j"), ir.P("N")), kv) }
+	k := &ir.Kernel{
+		Name:    "cholesky",
+		Params:  []string{"N"},
+		Objects: []ir.ObjDecl{{Name: "A", Len: n * n, ElemBytes: 8}},
+		Body: []ir.Stmt{
+			ir.Loop("j", ir.C(0), ir.P("N"),
+				ir.Set("sum", ir.C(0)),
+				ir.Loop("k", ir.C(0), ir.V("j"),
+					ir.Set("sum", ir.AddE(ir.L("sum"), ir.MulE(ir.Ld("A", rowJ(ir.V("k"))), ir.Ld("A", rowJ(ir.V("k")))))),
+				),
+				ir.St("A", rowJ(ir.V("j")), ir.SqrtE(ir.SubE(ir.Ld("A", rowJ(ir.V("j"))), ir.L("sum")))),
+				ir.Loop("i", ir.AddE(ir.V("j"), ir.C(1)), ir.P("N"),
+					ir.Set("s2", ir.C(0)),
+					ir.Loop("k", ir.C(0), ir.V("j"),
+						ir.Set("s2", ir.AddE(ir.L("s2"),
+							ir.MulE(ir.Ld("A", ir.AddE(ir.MulE(ir.V("i"), ir.P("N")), ir.V("k"))),
+								ir.Ld("A", rowJ(ir.V("k")))))),
+					),
+					ir.St("A", ir.AddE(ir.MulE(ir.V("i"), ir.P("N")), ir.V("j")),
+						ir.DivE(ir.SubE(ir.Ld("A", ir.AddE(ir.MulE(ir.V("i"), ir.P("N")), ir.V("j"))), ir.L("s2")),
+							ir.Ld("A", rowJ(ir.V("j"))))),
+				),
+			),
+		},
+	}
+	r := rng("cholesky")
+	gen := func() map[string][]float64 {
+		// Symmetric positive definite: A = B·Bᵀ + n·I.
+		b := randUnit(r, n*n)
+		a := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				var v float64
+				for t := 0; t < n; t++ {
+					v += b[i*n+t] * b[j*n+t]
+				}
+				if i == j {
+					v += float64(n)
+				}
+				a[i*n+j] = v
+				a[j*n+i] = v
+			}
+		}
+		return map[string][]float64{"A": a}
+	}
+	return &Workload{
+		Name:   "cholesky",
+		Desc:   "SPD matrix " + dims(n, n),
+		Kernel: k,
+		Params: map[string]float64{"N": float64(n)},
+		Gen:    gen,
+	}
+}
+
+// ADI reproduces Polybench's alternating-direction-implicit sweeps: a
+// forward row sweep with a distance-1 recurrence (store-to-load forwarding)
+// followed by the same along columns (stride-N streams).
+func ADI(s Scale) *Workload {
+	n := s.pick(24, 160, 1024)
+	t := s.pick(1, 2, 4)
+	idxRow := ir.Idx2(ir.V("i"), ir.P("N"), ir.V("j"))
+	idxCol := ir.Idx2(ir.V("i2"), ir.P("N"), ir.V("j2"))
+	k := &ir.Kernel{
+		Name:   "adi",
+		Params: []string{"N", "T"},
+		Objects: []ir.ObjDecl{
+			{Name: "X", Len: n * n, ElemBytes: 8},
+			{Name: "Acoef", Len: n * n, ElemBytes: 8},
+			{Name: "B", Len: n * n, ElemBytes: 8},
+		},
+		Body: []ir.Stmt{
+			ir.Loop("t", ir.C(0), ir.P("T"),
+				// Row sweep: X[i][j] -= X[i][j-1]*A[i][j]/B[i][j-1];
+				//            B[i][j] -= A[i][j]*A[i][j]/B[i][j-1].
+				ir.Loop("i", ir.C(0), ir.P("N"),
+					ir.Loop("j", ir.C(1), ir.P("N"),
+						ir.St("X", idxRow, ir.SubE(ir.Ld("X", idxRow),
+							ir.DivE(ir.MulE(ir.Ld("X", ir.SubE(idxRow, ir.C(1))), ir.Ld("Acoef", idxRow)),
+								ir.Ld("B", ir.SubE(idxRow, ir.C(1)))))),
+						ir.St("B", idxRow, ir.SubE(ir.Ld("B", idxRow),
+							ir.DivE(ir.MulE(ir.Ld("Acoef", idxRow), ir.Ld("Acoef", idxRow)),
+								ir.Ld("B", ir.SubE(idxRow, ir.C(1)))))),
+					),
+				),
+				// Column sweep: the same recurrence down each column
+				// (innermost i2: stride-N streams with distance-1 forward).
+				ir.Loop("j2", ir.C(0), ir.P("N"),
+					ir.Loop("i2", ir.C(1), ir.P("N"),
+						ir.St("X", idxCol, ir.SubE(ir.Ld("X", idxCol),
+							ir.DivE(ir.MulE(ir.Ld("X", ir.SubE(idxCol, ir.P("N"))), ir.Ld("Acoef", idxCol)),
+								ir.Ld("B", ir.SubE(idxCol, ir.P("N")))))),
+						ir.St("B", idxCol, ir.SubE(ir.Ld("B", idxCol),
+							ir.DivE(ir.MulE(ir.Ld("Acoef", idxCol), ir.Ld("Acoef", idxCol)),
+								ir.Ld("B", ir.SubE(idxCol, ir.P("N")))))),
+					),
+				),
+			),
+		},
+	}
+	r := rng("adi")
+	gen := func() map[string][]float64 {
+		b := make([]float64, n*n)
+		for i := range b {
+			b[i] = 1 + r.Float64() // keep divisors away from zero
+		}
+		a := make([]float64, n*n)
+		for i := range a {
+			a[i] = 0.1 * r.Float64()
+		}
+		return map[string][]float64{"X": randUnit(r, n*n), "Acoef": a, "B": b}
+	}
+	return &Workload{
+		Name:   "adi",
+		Desc:   dims(n, n) + " matrix, " + itoa(t) + " rounds",
+		Kernel: k,
+		Params: map[string]float64{"N": float64(n), "T": float64(t)},
+		Gen:    gen,
+	}
+}
+
+// Seidel2D reproduces Polybench's in-place 9-point Gauss-Seidel stencil:
+// the left neighbor is a distance-1 forwarded recurrence; the previous
+// row's values fall outside the launch's write window and stream as
+// already-updated memory.
+func Seidel2D(s Scale) *Workload {
+	n := s.pick(24, 256, 1000)
+	t := s.pick(2, 2, 4)
+	idx := ir.Idx2(ir.V("i"), ir.P("N"), ir.V("j"))
+	at := func(di, dj int) ir.Expr {
+		e := idx
+		if di != 0 {
+			e = ir.AddE(e, ir.MulE(ir.C(float64(di)), ir.P("N")))
+		}
+		if dj != 0 {
+			e = ir.AddE(e, ir.C(float64(dj)))
+		}
+		return e
+	}
+	sum := ir.Ld("A", at(-1, -1))
+	for _, d := range [][2]int{{-1, 0}, {-1, 1}, {0, -1}, {0, 0}, {0, 1}, {1, -1}, {1, 0}, {1, 1}} {
+		sum = ir.AddE(sum, ir.Ld("A", at(d[0], d[1])))
+	}
+	k := &ir.Kernel{
+		Name:    "seidel-2d",
+		Params:  []string{"N", "T"},
+		Objects: []ir.ObjDecl{{Name: "A", Len: n * n, ElemBytes: 8}},
+		Body: []ir.Stmt{
+			ir.Loop("t", ir.C(0), ir.P("T"),
+				ir.Loop("i", ir.C(1), ir.SubE(ir.P("N"), ir.C(1)),
+					ir.Loop("j", ir.C(1), ir.SubE(ir.P("N"), ir.C(1)),
+						ir.St("A", idx, ir.DivE(sum, ir.C(9))),
+					),
+				),
+			),
+		},
+	}
+	r := rng("seidel-2d")
+	gen := func() map[string][]float64 {
+		return map[string][]float64{"A": randUnit(r, n*n)}
+	}
+	return &Workload{
+		Name:   "seidel-2d",
+		Desc:   dims(n, n) + " matrix, " + itoa(t) + " sweeps",
+		Kernel: k,
+		Params: map[string]float64{"N": float64(n), "T": float64(t)},
+		Gen:    gen,
+	}
+}

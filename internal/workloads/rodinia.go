@@ -1,0 +1,169 @@
+package workloads
+
+import "distda/internal/ir"
+
+const bigCost = 1 << 20
+
+// pathfinderBody builds one row-relaxation inner loop reading the src
+// buffer (padded by one sentinel cell on each side) and writing dst.
+func pathfinderBody(src, dst string) []ir.Stmt {
+	wallIdx := ir.Idx2(ir.V("t"), ir.P("W"), ir.V("j"))
+	return []ir.Stmt{
+		ir.Set("m3", ir.MinE(ir.Ld(src, ir.V("j")),
+			ir.MinE(ir.Ld(src, ir.AddE(ir.V("j"), ir.C(1))), ir.Ld(src, ir.AddE(ir.V("j"), ir.C(2)))))),
+		ir.St(dst, ir.AddE(ir.V("j"), ir.C(1)), ir.AddE(ir.Ld("wall", wallIdx), ir.L("m3"))),
+	}
+}
+
+// Pathfinder reproduces Rodinia's dynamic-programming grid walk: each row's
+// cost is the wall cost plus the minimum of the three parent cells. The two
+// row buffers alternate by parity (double buffering as two objects so each
+// inner loop reads one stream and writes another).
+func Pathfinder(s Scale) *Workload {
+	rows := s.pick(16, 96, 384)
+	cols := s.pick(64, 4096, 2048)
+	k := &ir.Kernel{
+		Name:   "pathfinder",
+		Params: []string{"T", "W"},
+		Objects: []ir.ObjDecl{
+			{Name: "wall", Len: rows * cols, ElemBytes: 8},
+			{Name: "bufA", Len: cols + 2, ElemBytes: 8},
+			{Name: "bufB", Len: cols + 2, ElemBytes: 8},
+			{Name: "result", Len: cols, ElemBytes: 8},
+		},
+		Body: append(pathfinderInit(),
+			ir.Loop("t", ir.C(1), ir.P("T"),
+				ir.Cond(ir.EqE(ir.ModE(ir.V("t"), ir.C(2)), ir.C(1)),
+					[]ir.Stmt{ir.Loop("j", ir.C(0), ir.P("W"), pathfinderBody("bufA", "bufB")...)},
+					[]ir.Stmt{ir.Loop("j", ir.C(0), ir.P("W"), pathfinderBody("bufB", "bufA")...)},
+				),
+			),
+			// Copy the final row (parity of T-1) out.
+			ir.Cond(ir.EqE(ir.ModE(ir.SubE(ir.P("T"), ir.C(1)), ir.C(2)), ir.C(0)),
+				[]ir.Stmt{ir.Loop("j", ir.C(0), ir.P("W"),
+					ir.St("result", ir.V("j"), ir.Ld("bufA", ir.AddE(ir.V("j"), ir.C(1)))))},
+				[]ir.Stmt{ir.Loop("j", ir.C(0), ir.P("W"),
+					ir.St("result", ir.V("j"), ir.Ld("bufB", ir.AddE(ir.V("j"), ir.C(1)))))},
+			),
+		),
+	}
+	r := rng("pathfinder")
+	gen := func() map[string][]float64 {
+		bufA := make([]float64, cols+2)
+		bufB := make([]float64, cols+2)
+		bufA[0], bufA[cols+1] = bigCost, bigCost
+		bufB[0], bufB[cols+1] = bigCost, bigCost
+		return map[string][]float64{
+			"wall": randInts(r, rows*cols, 10),
+			"bufA": bufA, "bufB": bufB,
+			"result": zeros(cols),
+		}
+	}
+	return &Workload{
+		Name:   "pathfinder",
+		Desc:   dims(rows, cols) + " cost grid",
+		Kernel: k,
+		Params: map[string]float64{"T": float64(rows), "W": float64(cols)},
+		Gen:    gen,
+	}
+}
+
+// pathfinderInit seeds bufA from wall row 0.
+func pathfinderInit() []ir.Stmt {
+	return []ir.Stmt{
+		ir.Loop("j0", ir.C(0), ir.P("W"),
+			ir.St("bufA", ir.AddE(ir.V("j0"), ir.C(1)), ir.Ld("wall", ir.V("j0"))),
+		),
+	}
+}
+
+// PathfinderMT is the multithreading case-study variant: each row's columns
+// are relaxed in parallel blocks (reads touch only the previous row's
+// buffer, so blocks are independent).
+func PathfinderMT(s Scale) *Workload {
+	base := Pathfinder(s)
+	cols := int(base.Params["W"])
+	blocks := 8
+	bs := cols / blocks
+	mkBlock := func(src, dst string) []ir.Stmt {
+		lo := ir.MulE(ir.V("b"), ir.P("BS"))
+		hi := ir.MulE(ir.AddE(ir.V("b"), ir.C(1)), ir.P("BS"))
+		return []ir.Stmt{ir.ParLoop("b", ir.C(0), ir.P("NB"),
+			ir.Loop("j", lo, hi, pathfinderBody(src, dst)...),
+		)}
+	}
+	k := &ir.Kernel{
+		Name:    "pathfinder-mt",
+		Params:  []string{"T", "W", "NB", "BS"},
+		Objects: base.Kernel.Objects,
+		Body: append(pathfinderInit(),
+			ir.Loop("t", ir.C(1), ir.P("T"),
+				ir.Cond(ir.EqE(ir.ModE(ir.V("t"), ir.C(2)), ir.C(1)),
+					mkBlock("bufA", "bufB"),
+					mkBlock("bufB", "bufA"),
+				),
+			),
+		),
+	}
+	params := map[string]float64{
+		"T": base.Params["T"], "W": base.Params["W"],
+		"NB": float64(blocks), "BS": float64(bs),
+	}
+	return &Workload{Name: "pathfinder-mt", Desc: base.Desc + ", blocked", Kernel: k, Params: params, Gen: base.Gen}
+}
+
+// NW reproduces Rodinia's Needleman-Wunsch alignment: a row-wise sweep of
+// the DP matrix where the left neighbor is a distance-1 forwarded
+// recurrence and the previous row streams as memory.
+func NW(s Scale) *Workload {
+	n := s.pick(32, 320, 724)
+	idx := ir.Idx2(ir.V("i"), ir.P("N"), ir.V("j"))
+	k := &ir.Kernel{
+		Name:   "nw",
+		Params: []string{"N", "P"},
+		Objects: []ir.ObjDecl{
+			{Name: "M", Len: n * n, ElemBytes: 8},
+			{Name: "S", Len: n * n, ElemBytes: 8}, // similarity (precomputed)
+		},
+		Body: []ir.Stmt{
+			ir.Loop("i", ir.C(1), ir.P("N"),
+				ir.Loop("j", ir.C(1), ir.P("N"),
+					ir.Set("diag", ir.AddE(ir.Ld("M", ir.SubE(ir.SubE(idx, ir.P("N")), ir.C(1))), ir.Ld("S", idx))),
+					ir.Set("up", ir.SubE(ir.Ld("M", ir.SubE(idx, ir.P("N"))), ir.P("P"))),
+					ir.Set("lft", ir.SubE(ir.Ld("M", ir.SubE(idx, ir.C(1))), ir.P("P"))),
+					ir.St("M", idx, ir.MaxE(ir.L("diag"), ir.MaxE(ir.L("up"), ir.L("lft")))),
+				),
+			),
+		},
+	}
+	r := rng("nw")
+	gen := func() map[string][]float64 {
+		m := make([]float64, n*n)
+		const penalty = 10
+		for i := 0; i < n; i++ {
+			m[i*n] = -float64(i) * penalty
+			m[i] = -float64(i) * penalty
+		}
+		// Similarity from two random sequences over a blosum-like table.
+		seq1 := randInts(r, n, 20)
+		seq2 := randInts(r, n, 20)
+		sim := make([]float64, n*n)
+		for i := 1; i < n; i++ {
+			for j := 1; j < n; j++ {
+				if seq1[i] == seq2[j] {
+					sim[i*n+j] = 5
+				} else {
+					sim[i*n+j] = -3
+				}
+			}
+		}
+		return map[string][]float64{"M": m, "S": sim}
+	}
+	return &Workload{
+		Name:   "nw",
+		Desc:   "alignment matrix " + dims(n, n),
+		Kernel: k,
+		Params: map[string]float64{"N": float64(n), "P": 10},
+		Gen:    gen,
+	}
+}

@@ -1,0 +1,133 @@
+package workloads
+
+import "distda/internal/ir"
+
+// Disparity reproduces SD-VBS stereo disparity's hot loop: for each
+// candidate shift, a per-pixel absolute difference against the shifted
+// right image with a running minimum update. The paper's 288x352 input
+// becomes H x W here. The min-update is written in select form (the
+// compiler's if-conversion target), so best and disp are distance-0
+// in-place streams.
+func Disparity(s Scale) *Workload {
+	h := s.pick(24, 128, 288)
+	w := s.pick(48, 256, 352)
+	shifts := s.pick(4, 8, 16)
+	n := h * w
+	idx := ir.Idx2(ir.V("i"), ir.P("W"), ir.V("j"))
+	k := &ir.Kernel{
+		Name:   "disparity",
+		Params: []string{"H", "W", "S"},
+		Objects: []ir.ObjDecl{
+			{Name: "left", Len: n, ElemBytes: 8},
+			{Name: "right", Len: n, ElemBytes: 8},
+			{Name: "best", Len: n, ElemBytes: 8},
+			{Name: "disp", Len: n, ElemBytes: 8},
+		},
+		Body: []ir.Stmt{
+			ir.Loop("s", ir.C(0), ir.P("S"),
+				ir.Loop("i", ir.C(0), ir.P("H"),
+					ir.Loop("j", ir.C(0), ir.SubE(ir.P("W"), ir.P("S")),
+						ir.Set("d", ir.AbsE(ir.SubE(ir.Ld("left", idx), ir.Ld("right", ir.AddE(idx, ir.V("s")))))),
+						ir.Set("better", ir.LtE(ir.L("d"), ir.Ld("best", idx))),
+						ir.St("best", idx, ir.SelE(ir.L("better"), ir.L("d"), ir.Ld("best", idx))),
+						ir.St("disp", idx, ir.SelE(ir.L("better"), ir.V("s"), ir.Ld("disp", idx))),
+					),
+				),
+			),
+		},
+	}
+	r := rng("disparity")
+	gen := func() map[string][]float64 {
+		left := randInts(r, n, 256)
+		right := make([]float64, n)
+		// The right image is the left shifted by a hidden disparity plus
+		// noise, so min-SAD has structure.
+		hidden := 3 % shifts
+		for i := 0; i < h; i++ {
+			for j := 0; j < w; j++ {
+				src := i*w + j - hidden
+				if j-hidden >= 0 {
+					right[i*w+j] = left[src] + float64(r.Intn(3))
+				} else {
+					right[i*w+j] = float64(r.Intn(256))
+				}
+			}
+		}
+		best := make([]float64, n)
+		for i := range best {
+			best[i] = 1 << 20
+		}
+		return map[string][]float64{"left": left, "right": right, "best": best, "disp": zeros(n)}
+	}
+	return &Workload{
+		Name:   "disparity",
+		Desc:   "stereo disparity, images " + dims(h, w),
+		Kernel: k,
+		Params: map[string]float64{"H": float64(h), "W": float64(w), "S": float64(shifts)},
+		Gen:    gen,
+	}
+}
+
+// Tracking reproduces SD-VBS feature tracking's gradient/tensor stage:
+// central-difference image gradients feeding three product images — a
+// multi-output streaming kernel whose sub-computations the Dist-DA
+// partitioner spreads across the output objects' homes.
+func Tracking(s Scale) *Workload {
+	h := s.pick(24, 128, 288)
+	w := s.pick(48, 256, 352)
+	n := h * w
+	idx := ir.Idx2(ir.V("i"), ir.P("W"), ir.V("j"))
+	k := &ir.Kernel{
+		Name:   "tracking",
+		Params: []string{"H", "W"},
+		Objects: []ir.ObjDecl{
+			{Name: "img", Len: n, ElemBytes: 8},
+			{Name: "ixx", Len: n, ElemBytes: 8},
+			{Name: "iyy", Len: n, ElemBytes: 8},
+			{Name: "ixy", Len: n, ElemBytes: 8},
+		},
+		Body: []ir.Stmt{
+			ir.Loop("i", ir.C(1), ir.SubE(ir.P("H"), ir.C(1)),
+				ir.Loop("j", ir.C(1), ir.SubE(ir.P("W"), ir.C(1)),
+					ir.Set("gx", ir.MulE(ir.SubE(ir.Ld("img", ir.AddE(idx, ir.C(1))), ir.Ld("img", ir.SubE(idx, ir.C(1)))), ir.C(0.5))),
+					ir.Set("gy", ir.MulE(ir.SubE(ir.Ld("img", ir.AddE(idx, ir.P("W"))), ir.Ld("img", ir.SubE(idx, ir.P("W")))), ir.C(0.5))),
+					ir.St("ixx", idx, ir.MulE(ir.L("gx"), ir.L("gx"))),
+					ir.St("iyy", idx, ir.MulE(ir.L("gy"), ir.L("gy"))),
+					ir.St("ixy", idx, ir.MulE(ir.L("gx"), ir.L("gy"))),
+				),
+			),
+		},
+	}
+	r := rng("tracking")
+	gen := func() map[string][]float64 {
+		return map[string][]float64{
+			"img": randInts(r, n, 256),
+			"ixx": zeros(n), "iyy": zeros(n), "ixy": zeros(n),
+		}
+	}
+	return &Workload{
+		Name:   "tracking",
+		Desc:   "feature tracking gradients, image " + dims(h, w),
+		Kernel: k,
+		Params: map[string]float64{"H": float64(h), "W": float64(w)},
+		Gen:    gen,
+	}
+}
+
+func dims(h, w int) string {
+	return itoa(h) + "x" + itoa(w)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
