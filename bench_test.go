@@ -12,6 +12,7 @@ package distda_test
 
 import (
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -48,6 +49,32 @@ func sharedMatrix(b *testing.B) *exp.Matrix {
 		b.Fatal(matrixErr)
 	}
 	return matrix
+}
+
+// BenchmarkReproMatrixSerial / BenchmarkReproMatrixParallel time one full
+// workload × configuration matrix build end to end — the dominant cost of a
+// distda-repro run. Serial pins the worker pool to one goroutine; Parallel
+// uses one worker per available CPU (what distda-repro does by default).
+// Both paths produce bit-identical matrices (see internal/exp tests), so
+// ns/op is directly comparable. Run with -benchtime=1x for a single timed
+// build:
+//
+//	go test -bench='ReproMatrix' -benchtime=1x
+func benchReproMatrix(b *testing.B, workers int) {
+	b.Helper()
+	scale := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.BuildMatrixParallel(scale, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReproMatrixSerial(b *testing.B) { benchReproMatrix(b, 1) }
+
+func BenchmarkReproMatrixParallel(b *testing.B) {
+	benchReproMatrix(b, runtime.GOMAXPROCS(0))
 }
 
 // runOne simulates a representative workload under a configuration once per

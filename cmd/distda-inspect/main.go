@@ -30,12 +30,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	scale := workloads.ScaleBench
+	var scale workloads.Scale
 	switch *scaleName {
 	case "test":
 		scale = workloads.ScaleTest
+	case "bench":
+		scale = workloads.ScaleBench
 	case "paper":
 		scale = workloads.ScalePaper
+	default:
+		fatal(fmt.Errorf("unknown scale %q (want test, bench or paper)", *scaleName))
 	}
 	var w *workloads.Workload
 	var err error

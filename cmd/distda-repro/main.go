@@ -36,6 +36,7 @@ func main() {
 	params := flag.Bool("params", false, "print Table III parameters")
 	area := flag.Bool("area", false, "print the area model")
 	offchip := flag.Bool("offchip", false, "evaluate the §VII off-chip placement extension")
+	parallel := flag.Int("parallel", 0, "worker count for the experiment matrix (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
 	flag.Var(&figs, "fig", "figure to regenerate (7, 8, 9, 10, 11a, 11b, 12a, 12b, 13, 14); repeatable")
 	flag.Var(&tabs, "tab", "table to regenerate (3, 4, 5, 6); repeatable")
 	flag.Parse()
@@ -62,7 +63,7 @@ func main() {
 	needMatrix := func() *exp.Matrix {
 		if matrix == nil {
 			fmt.Fprintf(os.Stderr, "building %s-scale workload x configuration matrix (12 x 6 runs)...\n", scale)
-			m, err := exp.BuildMatrix(scale)
+			m, err := exp.BuildMatrixParallel(scale, *parallel)
 			if err != nil {
 				fatal(err)
 			}

@@ -26,6 +26,7 @@ func main() {
 	scaleName := flag.String("scale", "bench", "input scale: test, bench, paper")
 	ghz := flag.Int("ghz", 0, "override accelerator clock (1, 2, 3)")
 	threads := flag.Int("threads", 1, "software threads for parallel-annotated loops")
+	naive := flag.Bool("naive-engine", false, "use the reference one-tick-at-a-time engine scheduler (bit-identical results, slower)")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
 
@@ -57,6 +58,7 @@ func main() {
 	if *ghz != 0 {
 		cfg = cfg.WithClock(*ghz)
 	}
+	cfg.NaiveEngine = *naive
 	res, err := sim.RunThreads(w.Kernel, w.Params, w.NewData(), cfg, *threads)
 	if err != nil {
 		fatal(err)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"distda/internal/energy"
+	"distda/internal/engine"
 )
 
 // Stats aggregates the Fig. 9 traffic categories for one simulated run.
@@ -133,6 +134,29 @@ func (f *StreamIn) Step(now int64) bool {
 	return progress
 }
 
+// NextEvent implements engine.Hinter: the fill FSM's next effect is a
+// delivery, an issue, or the end-of-stream close — all immediate when
+// possible — otherwise the head in-flight line's arrival; with nothing in
+// flight and no headroom it is blocked on the consumer.
+func (f *StreamIn) NextEvent(now int64) int64 {
+	if f.closed {
+		return 0
+	}
+	if len(f.pending) > 0 && f.pending[0].arrival <= now && f.buf.CanPush() {
+		return 0 // arrived line, buffer space: deliver now
+	}
+	if f.issued < f.length && len(f.pending) < maxInflight && f.headroom() > 0 {
+		return 0 // can issue the next line fetch now
+	}
+	if f.issued >= f.length && len(f.pending) == 0 {
+		return 0 // end of stream: close now
+	}
+	if len(f.pending) > 0 && f.pending[0].arrival > now {
+		return f.pending[0].arrival // line in flight
+	}
+	return engine.Never // full buffer: blocked on the consumer
+}
+
 // headroom estimates free buffer space beyond in-flight elements so the
 // fill FSM throttles on back-pressure (§V-B).
 func (f *StreamIn) headroom() int64 {
@@ -148,7 +172,14 @@ func (f *StreamIn) headroom() int64 {
 // reuse; new lines cost a D-A line transfer.
 func (f *StreamIn) issueLine(now int64) bool {
 	lineBytes := int64(f.fetch.LineBytes())
-	var vals []float64
+	// Pre-size for the most elements one line can carry: the append loop
+	// below never crosses a line, so this avoids the grow-and-copy churn a
+	// nil slice pays per issued line (profile-visible across the repro).
+	capElems := lineBytes / f.elemBytes
+	if capElems < 1 {
+		capElems = 1
+	}
+	vals := make([]float64, 0, capElems)
 	var issueLat int
 	newLine := false
 	for f.issued < f.length {
@@ -268,6 +299,22 @@ func (f *StreamOut) Step(now int64) bool {
 	}
 	f.drained++
 	return true
+}
+
+// NextEvent implements engine.Hinter: the drain FSM acts as soon as its
+// write port frees up and an element (or the end-of-stream mark) is
+// available; an empty, still-open buffer blocks it on the producer.
+func (f *StreamOut) NextEvent(now int64) int64 {
+	if f.closed {
+		return 0
+	}
+	if now < f.busyUntil {
+		return f.busyUntil // write port busy
+	}
+	if f.buf.Drained(f.reader) || f.buf.CanPop(f.reader) {
+		return 0
+	}
+	return engine.Never // waiting on the producer
 }
 
 func min(a, b int) int {

@@ -1,6 +1,9 @@
 package accessunit
 
-import "distda/internal/noc"
+import (
+	"distda/internal/engine"
+	"distda/internal/noc"
+)
 
 // Link realizes one producer→consumer channel across access units (Fig. 4):
 // the producer's cp_produce lands in its local buffer; the link moves
@@ -45,6 +48,31 @@ func NewLink(src, dst *Buffer, mesh *noc.Mesh, srcNode, dstNode, elemBytes int, 
 
 // Done reports that the producer closed and everything was delivered.
 func (l *Link) Done() bool { return l.closed }
+
+// NextEvent implements engine.Hinter: the link acts immediately when it
+// can deliver an arrived element, inject a new one within its credit
+// window, or propagate end-of-stream; otherwise its next self-scheduled
+// event is the head in-flight element's arrival, and with nothing in
+// flight it is blocked on its endpoints.
+func (l *Link) NextEvent(now int64) int64 {
+	if l.closed {
+		return 0
+	}
+	if len(l.pending) > 0 && l.pending[0].t <= now && l.dst.CanPush() {
+		return 0 // deliver now
+	}
+	if len(l.pending) < linkInflight && l.src.CanPop(l.srcReader) &&
+		l.dst.Occupancy()+int64(len(l.pending)) < int64(l.dst.Cap()) {
+		return 0 // inject now
+	}
+	if len(l.pending) == 0 && l.src.Drained(l.srcReader) {
+		return 0 // propagate end-of-stream now
+	}
+	if len(l.pending) > 0 && l.pending[0].t > now {
+		return l.pending[0].t // element in flight
+	}
+	return engine.Never // blocked on producer pushes or consumer pops
+}
 
 // Step advances one uncore clock.
 func (l *Link) Step(now int64) bool {

@@ -6,6 +6,7 @@ import (
 	"distda/internal/accessunit"
 	"distda/internal/core"
 	"distda/internal/energy"
+	"distda/internal/engine"
 	"distda/internal/ir"
 	"distda/internal/microcode"
 )
@@ -22,17 +23,27 @@ type Fabric struct {
 	trips   int64 // -1: while-input
 	iter    int64
 
-	inputs  map[int]*accessunit.InPort
-	outputs map[int]*accessunit.OutPort
-	random  *accessunit.RandomPort
-	meter   *energy.Meter
+	// inputs / outputs are indexed by access id: core.Validate guarantees
+	// the ids are dense (0..n-1), so a slice index replaces the map lookup
+	// on the per-iteration operand paths. Unwired accesses hold nil.
+	inputs  []*accessunit.InPort
+	outputs []*accessunit.OutPort
+	// tripIn caches the while-input watched port (nil unless trips < 0 and
+	// the access is wired).
+	tripIn *accessunit.InPort
+	random *accessunit.RandomPort
+	meter  *energy.Meter
 
 	div int64 // fabric clock divisor (base cycles per fabric cycle)
 
 	nextStart int64
 	inflight  []flight
-	consumes  map[int]int // per input access-id: consumes per iteration
-	done      bool
+	// consumes lists each consumed input access and its consumes per
+	// iteration, in ascending access order (a slice instead of a map keeps
+	// the per-initiation operand scan cheap and its order deterministic).
+	consumes []consumeReq
+	nprod    int // produce ops per iteration: pre-sizes each flight's outs
+	done     bool
 
 	// Counters.
 	Ops   int64
@@ -49,6 +60,12 @@ type outVal struct {
 	v      float64
 }
 
+// consumeReq is one input access the fabric pops from each iteration.
+type consumeReq struct {
+	access int
+	n      int64 // operands consumed per iteration
+}
+
 // NewFabric maps def's program onto g and returns the executor. trips < 0
 // selects while-input orchestration.
 func NewFabric(def *core.AccelDef, g GridConfig, trips int64,
@@ -61,22 +78,60 @@ func NewFabric(def *core.AccelDef, g GridConfig, trips int64,
 	if div <= 0 {
 		return nil, fmt.Errorf("cgra: invalid clock divisor %d", div)
 	}
-	consumes := map[int]int{}
-	for _, op := range def.Program {
-		if op.Code == microcode.Consume {
-			consumes[op.Access]++
+	n := len(def.Accesses)
+	cnt := make([]int64, n)
+	for oi := range def.Program {
+		op := &def.Program[oi]
+		switch op.Code {
+		case microcode.Consume, microcode.Produce:
+			if op.Access < 0 || op.Access >= n {
+				return nil, fmt.Errorf("cgra: accel %d: access id %d out of range [0,%d)", def.ID, op.Access, n)
+			}
+			if op.Code == microcode.Consume {
+				cnt[op.Access]++
+			}
 		}
 	}
-	for acc := range consumes {
-		if _, ok := inputs[acc]; !ok {
+	nprod := 0
+	for oi := range def.Program {
+		if def.Program[oi].Code == microcode.Produce {
+			nprod++
+		}
+	}
+	f := &Fabric{
+		def: def, prog: def.Program, mapping: m, trips: trips,
+		inputs:  make([]*accessunit.InPort, n),
+		outputs: make([]*accessunit.OutPort, n),
+		random:  random,
+		div:     div, meter: meter, nprod: nprod,
+	}
+	for id, p := range inputs {
+		if id < 0 || id >= n {
+			return nil, fmt.Errorf("cgra: accel %d: input access id %d out of range [0,%d)", def.ID, id, n)
+		}
+		f.inputs[id] = p
+	}
+	for id, p := range outputs {
+		if id < 0 || id >= n {
+			return nil, fmt.Errorf("cgra: accel %d: output access id %d out of range [0,%d)", def.ID, id, n)
+		}
+		f.outputs[id] = p
+	}
+	for acc, c := range cnt {
+		if c == 0 {
+			continue
+		}
+		if f.inputs[acc] == nil {
 			return nil, fmt.Errorf("cgra: accel %d: access %d consumed but not wired", def.ID, acc)
 		}
+		f.consumes = append(f.consumes, consumeReq{access: acc, n: c})
 	}
-	return &Fabric{
-		def: def, prog: def.Program, mapping: m, trips: trips,
-		inputs: inputs, outputs: outputs, random: random,
-		div: div, meter: meter, consumes: consumes,
-	}, nil
+	if trips < 0 {
+		if t := def.Trip.InputAccess; t >= 0 && t < n {
+			f.tripIn = f.inputs[t]
+		}
+	}
+	return f, nil
 }
 
 // Mapping returns the modulo schedule chosen for this fabric.
@@ -93,6 +148,9 @@ func (f *Fabric) Done() bool { return f.done }
 
 func (f *Fabric) finish() {
 	for _, p := range f.outputs {
+		if p == nil {
+			continue
+		}
 		if !p.Buf.Closed() {
 			p.Buf.Close()
 		}
@@ -137,7 +195,7 @@ func (f *Fabric) Step(now int64) bool {
 		return progress
 	}
 	if f.trips < 0 {
-		p := f.inputs[f.def.Trip.InputAccess]
+		p := f.tripIn
 		if p == nil {
 			panic(fmt.Sprintf("cgra: accel %d: while-input access not wired", f.def.ID))
 		}
@@ -150,9 +208,9 @@ func (f *Fabric) Step(now int64) bool {
 	if now < f.nextStart {
 		return true
 	}
-	for acc, n := range f.consumes {
-		p := f.inputs[acc]
-		if p.Buf.Level(p.Reader) < int64(n) {
+	for _, cr := range f.consumes {
+		p := f.inputs[cr.access]
+		if p.Buf.Level(p.Reader) < cr.n {
 			if p.Buf.Drained(p.Reader) && f.trips < 0 {
 				return progress // will terminate on the drained check above
 			}
@@ -163,12 +221,63 @@ func (f *Fabric) Step(now int64) bool {
 	return true
 }
 
+// NextEvent implements engine.Hinter: the fabric's next effect is the
+// earlier of the head in-flight iteration's completion and the next
+// initiation slot — immediate when a delivery, a completion check, or an
+// operand-ready initiation can happen now, Never when it is blocked on
+// operand arrival or on output back-pressure with nothing in the
+// pipeline about to mature.
+func (f *Fabric) NextEvent(now int64) int64 {
+	if f.done {
+		return 0
+	}
+	lb := engine.Never
+	if len(f.inflight) > 0 {
+		head := &f.inflight[0]
+		if head.ready > now {
+			lb = head.ready // pipeline timer: delivery matures then
+		} else if len(head.outs) == 0 || f.outputs[head.outs[0].access].Buf.CanPush() {
+			return 0 // can deliver (or pop the completed flight) now
+		}
+		// else: delivery blocked on the consumer; initiation may still go.
+	} else {
+		if f.trips >= 0 && f.iter >= f.trips {
+			return 0 // counted trips done, pipeline empty: will finish
+		}
+		if f.trips < 0 {
+			if p := f.tripIn; p != nil && p.Buf.Drained(p.Reader) {
+				return 0 // watched input drained, pipeline empty: will finish
+			}
+		}
+	}
+	if f.trips >= 0 && f.iter >= f.trips {
+		return lb // no more initiations: only delivery events remain
+	}
+	if now < f.nextStart {
+		if f.nextStart < lb {
+			lb = f.nextStart // II schedule: next initiation slot
+		}
+		return lb
+	}
+	for _, cr := range f.consumes {
+		p := f.inputs[cr.access]
+		if p.Buf.Level(p.Reader) < cr.n {
+			return lb // waiting on operands (or drained: caught above next edge)
+		}
+	}
+	return 0 // can initiate now
+}
+
 // startIteration functionally executes one iteration and schedules its
 // completion Depth fabric cycles (plus random-access latency) later.
 func (f *Fabric) startIteration(now int64) {
 	var outs []outVal
+	if f.nprod > 0 {
+		outs = make([]outVal, 0, f.nprod)
+	}
 	extraLat := int64(0)
-	for _, op := range f.prog {
+	for oi := range f.prog {
+		op := &f.prog[oi]
 		if op.Pred >= 0 && f.regs[op.Pred] == 0 {
 			continue // predicated off (channel ops are never predicated)
 		}
@@ -232,10 +341,10 @@ func (f *Fabric) startIteration(now int64) {
 	f.Iters++
 }
 
-func (f *Fabric) countOp(op microcode.Op) {
+func (f *Fabric) countOp(op *microcode.Op) {
 	f.Ops++
 	if f.meter != nil {
-		t := f.meter.Table
+		t := &f.meter.Table // by pointer: the table is ~17 words, copied per op otherwise
 		e := t.CGRAOpPJ
 		switch op.Class() {
 		case ir.ClassInt:

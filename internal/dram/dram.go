@@ -69,11 +69,22 @@ func (r Region) Contains(addr int64) bool { return addr >= r.Base && addr < r.En
 // Slab is a bump allocator over a large contiguous accelerator-visible
 // arena. Objects are page-aligned so the per-object translation block in
 // each accelerator is a single base register (§IV-D).
+//
+// Allocations are held in a slice in allocation order: a kernel owns at
+// most a handful of objects, and Lookup sits on the simulator's per-access
+// translation path where a linear scan over short names beats the string
+// hash a map lookup pays (it was a visible slice of the whole-repro
+// profile).
 type Slab struct {
-	arena Region
-	next  int64
-	align int64
-	byNam map[string]Region
+	arena  Region
+	next   int64
+	align  int64
+	allocs []alloc
+}
+
+type alloc struct {
+	name string
+	r    Region
 }
 
 // NewSlab creates a slab allocator over [base, base+size) with the given
@@ -89,13 +100,12 @@ func NewSlab(base, size, align int64) (*Slab, error) {
 		arena: Region{Base: base, Bytes: size},
 		next:  base,
 		align: align,
-		byNam: map[string]Region{},
 	}, nil
 }
 
 // Alloc reserves bytes for the named object and returns its region.
 func (s *Slab) Alloc(name string, bytes int64) (Region, error) {
-	if _, ok := s.byNam[name]; ok {
+	if _, ok := s.Lookup(name); ok {
 		return Region{}, fmt.Errorf("dram: object %q already allocated", name)
 	}
 	if bytes <= 0 {
@@ -107,22 +117,26 @@ func (s *Slab) Alloc(name string, bytes int64) (Region, error) {
 			bytes, name, s.arena.End()-base)
 	}
 	r := Region{Base: base, Bytes: bytes}
-	s.byNam[name] = r
+	s.allocs = append(s.allocs, alloc{name: name, r: r})
 	s.next = base + bytes
 	return r, nil
 }
 
 // Lookup returns the region of a named object.
 func (s *Slab) Lookup(name string) (Region, bool) {
-	r, ok := s.byNam[name]
-	return r, ok
+	for i := range s.allocs {
+		if s.allocs[i].name == name {
+			return s.allocs[i].r, true
+		}
+	}
+	return Region{}, false
 }
 
 // Objects returns allocated object names, sorted.
 func (s *Slab) Objects() []string {
-	out := make([]string, 0, len(s.byNam))
-	for n := range s.byNam {
-		out = append(out, n)
+	out := make([]string, 0, len(s.allocs))
+	for _, a := range s.allocs {
+		out = append(out, a.name)
 	}
 	sort.Strings(out)
 	return out
@@ -131,14 +145,14 @@ func (s *Slab) Objects() []string {
 // Reset frees everything (end of kernel context).
 func (s *Slab) Reset() {
 	s.next = s.arena.Base
-	s.byNam = map[string]Region{}
+	s.allocs = s.allocs[:0]
 }
 
 // OwnerOf returns the name of the object containing addr, if any.
 func (s *Slab) OwnerOf(addr int64) (string, bool) {
-	for n, r := range s.byNam {
-		if r.Contains(addr) {
-			return n, true
+	for _, a := range s.allocs {
+		if a.r.Contains(addr) {
+			return a.name, true
 		}
 	}
 	return "", false

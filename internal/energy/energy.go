@@ -71,10 +71,17 @@ func Default32nm() Table {
 	}
 }
 
-// Meter accumulates energy by component category.
+// Meter accumulates energy by component category. The canonical
+// categories are backed by fixed array slots: Add sits on the per-event
+// hot path of every simulated cache access, buffer touch and ALU op, and
+// a map assignment there (string hash + probe) showed up as the single
+// largest cost in the whole-repro CPU profile. Non-canonical categories
+// fall back to a map so the API stays open.
 type Meter struct {
-	Table Table
-	pj    map[string]float64
+	Table   Table
+	slots   [numCats]float64
+	touched [numCats]bool // category has been Added (even with 0 pJ)
+	pj      map[string]float64
 }
 
 // NewMeter returns a meter over the given table.
@@ -84,29 +91,49 @@ func NewMeter(t Table) *Meter {
 
 // Add accumulates pJ picojoules under the named category.
 func (m *Meter) Add(category string, pj float64) {
+	if i := catIndex(category); i >= 0 {
+		m.slots[i] += pj
+		m.touched[i] = true
+		return
+	}
 	m.pj[category] += pj
 }
 
 // AddN accumulates n events of cost each pJ.
 func (m *Meter) AddN(category string, n int64, each float64) {
-	m.pj[category] += float64(n) * each
+	m.Add(category, float64(n)*each)
 }
 
 // Get returns the accumulated picojoules for a category.
-func (m *Meter) Get(category string) float64 { return m.pj[category] }
+func (m *Meter) Get(category string) float64 {
+	if i := catIndex(category); i >= 0 {
+		return m.slots[i]
+	}
+	return m.pj[category]
+}
 
-// TotalPJ returns the grand total in picojoules.
+// TotalPJ returns the grand total in picojoules. The sum runs in sorted
+// category order: map iteration order is random per run, and float
+// addition is not associative, so a map-order sum would make the low
+// bits of the total differ between otherwise identical runs — breaking
+// bit-exact reproducibility of rendered reports.
 func (m *Meter) TotalPJ() float64 {
 	t := 0.0
-	for _, v := range m.pj {
-		t += v
+	for _, c := range m.Categories() {
+		t += m.Get(c)
 	}
 	return t
 }
 
-// Categories returns the category names, sorted.
+// Categories returns the names of every category that has been charged
+// at least once, sorted.
 func (m *Meter) Categories() []string {
-	out := make([]string, 0, len(m.pj))
+	out := make([]string, 0, numCats+len(m.pj))
+	for i, name := range catNames {
+		if m.touched[i] {
+			out = append(out, name)
+		}
+	}
 	for k := range m.pj {
 		out = append(out, k)
 	}
@@ -118,7 +145,7 @@ func (m *Meter) Categories() []string {
 func (m *Meter) String() string {
 	var b strings.Builder
 	for _, c := range m.Categories() {
-		fmt.Fprintf(&b, "%-12s %12.1f pJ\n", c, m.pj[c])
+		fmt.Fprintf(&b, "%-12s %12.1f pJ\n", c, m.Get(c))
 	}
 	fmt.Fprintf(&b, "%-12s %12.1f pJ\n", "total", m.TotalPJ())
 	return b.String()
@@ -136,6 +163,40 @@ const (
 	CatBuffer = "buffer"
 	CatMMIO   = "mmio"
 )
+
+// catNames lists the canonical categories in slot order.
+var catNames = [...]string{
+	CatHost, CatL1, CatL2, CatL3, CatDRAM, CatNoC, CatAccel, CatBuffer, CatMMIO,
+}
+
+const numCats = len(catNames)
+
+// catIndex maps a canonical category name to its accumulator slot, or -1.
+// A string switch compiles to length dispatch plus a handful of compares —
+// far cheaper than the hash a map assignment would pay per event.
+func catIndex(category string) int {
+	switch category {
+	case CatHost:
+		return 0
+	case CatL1:
+		return 1
+	case CatL2:
+		return 2
+	case CatL3:
+		return 3
+	case CatDRAM:
+		return 4
+	case CatNoC:
+		return 5
+	case CatAccel:
+		return 6
+	case CatBuffer:
+		return 7
+	case CatMMIO:
+		return 8
+	}
+	return -1
+}
 
 // Area model (§VI-E). Areas in mm² at 32 nm, matching the paper's overhead
 // accounting: an in-order accelerator complex is 1.9 % of one L3 cache

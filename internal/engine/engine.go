@@ -2,9 +2,22 @@
 // on their own clock edges derived from a common base clock, so a 2 GHz
 // host, 1 GHz CGRA fabric and 3 GHz sensitivity configurations coexist in
 // one run (base tick = 1/6 ns).
+//
+// The default scheduler is event-driven: components that can predict their
+// next observable effect implement the optional Hinter interface, and the
+// engine fast-forwards over base cycles in which no live component can act
+// instead of polling every component on every tick. Components are
+// partitioned into per-divisor rings so a tick touches only due, live
+// components; finished components are removed (order-preservingly) from
+// their ring. The resulting cycle counts, per-component effect sequences
+// and counters are bit-identical to the naive one-tick-at-a-time loop
+// (Engine.Naive), which is kept as the differential-testing reference.
 package engine
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // BaseGHz is the base clock. Divisors: 6 GHz base → 1 GHz = 6, 2 GHz = 3,
 // 3 GHz = 2.
@@ -22,73 +35,263 @@ func Div(ghz int) int {
 // of the component's clock with the current base cycle; it returns whether
 // the component made forward progress (consumed/produced/retired/counted
 // down a latency). Done reports completion.
+//
+// Contract: Done may only transition as a result of the component's own
+// Step. (All in-tree components satisfy this; it lets the engine track
+// completion incrementally instead of rescanning every component each
+// tick.)
 type Component interface {
 	Step(now int64) (progress bool)
 	Done() bool
 }
 
-// clocked pairs a component with its divisor.
-type clocked struct {
-	c   Component
-	div int64
+// Never is the NextEvent sentinel for "blocked on another component": the
+// component will have no observable effect at any future edge unless some
+// other component acts first. If every live component reports Never the
+// engine declares deadlock.
+const Never = int64(math.MaxInt64)
+
+// Hinter is the optional fast-forward interface. NextEvent returns a lower
+// bound on the base cycle of the component's next observable effect
+// (state change, counter update, or completion), assuming no other
+// component acts in the meantime:
+//
+//   - A value <= now means "poll me": step the component at its next clock
+//     edge. Returning 0 is always safe.
+//   - A future value T means the component is certain to be a no-op at
+//     every one of its clock edges strictly before T (e.g. a latency timer
+//     expiring at T). It must never be later than the true next effect;
+//     claims must be monotone in the sense that re-asking at a later cycle
+//     (with no intervening external action) never yields an earlier-passed
+//     opportunity.
+//   - Never means the component is blocked on a peer (empty input, full
+//     output) and has no self-scheduled future event.
+//
+// The engine re-queries NextEvent on every processed cycle, so claims only
+// need to hold under the no-external-action assumption; they may become
+// stale the moment another component steps.
+type Hinter interface {
+	NextEvent(now int64) int64
+}
+
+// entry is one registered component.
+type entry struct {
+	c    Component
+	hint Hinter // nil when c does not implement Hinter
+	div  int64
+	id   int // registration order; defines intra-cycle step order
+}
+
+// ring groups the live components sharing one clock divisor, in
+// registration order.
+type ring struct {
+	div  int64
+	ents []*entry
+	// hot rotates nextWake's sweep start to the entry that most recently
+	// settled the wake-up cycle: in steady pipeline phases the same busy
+	// component keeps doing so, which lets the bounded sweep finish after
+	// a single hint query. Purely a performance cursor — claims are
+	// combined by min, so sweep order never affects the result.
+	hot int
 }
 
 // Engine drives a set of components to completion.
 type Engine struct {
-	comps []clocked
-	now   int64
+	rings  []*ring
+	byDiv  map[int64]*ring
+	seen   map[Component]bool
+	nextID int
+	live   int   // registered components not yet removed as done
+	maxDiv int64 // max divisor ever registered (hoisted from the run loop)
+	now    int64
+
+	running bool
+
+	// Naive selects the reference one-tick-at-a-time scheduler: every base
+	// cycle is visited and every live component is inspected (and stepped
+	// when due). It is kept for differential testing against the default
+	// event-driven fast-forward scheduler; both produce identical cycle
+	// counts and component effect sequences. On error paths (deadlock vs.
+	// budget exhaustion in the same window) the two schedulers may report
+	// the failure at slightly different base cycles.
+	Naive bool
 }
 
 // New returns an empty engine.
-func New() *Engine { return &Engine{} }
+func New() *Engine {
+	return &Engine{
+		byDiv:  map[int64]*ring{},
+		seen:   map[Component]bool{},
+		maxDiv: 1,
+	}
+}
 
-// Add registers a component clocked at ghz.
+// Add registers a component clocked at ghz. It panics when called while
+// Run is in progress (components joining mid-run would see torn scheduler
+// state) and when the same component is registered twice. Adding more
+// components between Runs is legal; their clock edges continue from the
+// engine's running base clock.
 func (e *Engine) Add(c Component, ghz int) {
-	e.comps = append(e.comps, clocked{c: c, div: int64(Div(ghz))})
+	if e.running {
+		panic("engine: Add called during Run")
+	}
+	if c == nil {
+		panic("engine: Add of nil component")
+	}
+	if e.seen == nil { // zero-value Engine
+		e.byDiv = map[int64]*ring{}
+		e.seen = map[Component]bool{}
+		e.maxDiv = 1
+	}
+	if e.seen[c] {
+		panic(fmt.Sprintf("engine: component %T registered twice", c))
+	}
+	e.seen[c] = true
+	div := int64(Div(ghz))
+	r := e.byDiv[div]
+	if r == nil {
+		r = &ring{div: div}
+		e.byDiv[div] = r
+		// Keep rings sorted by ascending divisor: the fastest clock owns
+		// the earliest possible edge, so nextWake's bounded sweep can
+		// terminate after inspecting it in the common case.
+		at := len(e.rings)
+		for i, o := range e.rings {
+			if div < o.div {
+				at = i
+				break
+			}
+		}
+		e.rings = append(e.rings, nil)
+		copy(e.rings[at+1:], e.rings[at:])
+		e.rings[at] = r
+	}
+	ent := &entry{c: c, div: div, id: e.nextID}
+	e.nextID++
+	if h, ok := c.(Hinter); ok {
+		ent.hint = h
+	}
+	r.ents = append(r.ents, ent)
+	e.live++
+	if div > e.maxDiv {
+		e.maxDiv = div
+	}
 }
 
 // Now returns the current base cycle.
 func (e *Engine) Now() int64 { return e.now }
 
+// Live returns the number of registered components not yet finished.
+func (e *Engine) Live() int { return e.live }
+
 // deadlockWindow is how many consecutive progress-free base cycles (with
 // incomplete components) are treated as deadlock. Every legitimate wait in
-// the model counts down a timer and therefore reports progress, so a small
-// window suffices.
+// the model counts down a timer and therefore reports progress (or, under
+// the fast-forward scheduler, claims a future event), so a small window
+// suffices.
 const deadlockWindow = 8
 
 // Run advances until every component is done, returning the elapsed base
 // cycles. It fails on deadlock or when maxBaseCycles elapses.
 func (e *Engine) Run(maxBaseCycles int64) (int64, error) {
-	start := e.now
-	idle := 0
-	for {
-		allDone := true
-		for _, cc := range e.comps {
-			if !cc.c.Done() {
-				allDone = false
-				break
+	if e.running {
+		panic("engine: Run re-entered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	e.pruneDone()
+	if e.Naive {
+		return e.runNaive(maxBaseCycles)
+	}
+	return e.runFast(maxBaseCycles)
+}
+
+// pruneDone drops components that are already finished before the loop
+// starts (components normally leave their ring at the step that completes
+// them).
+func (e *Engine) pruneDone() {
+	for _, r := range e.rings {
+		w := 0
+		for _, ent := range r.ents {
+			if ent.c.Done() {
+				e.live--
+				continue
 			}
+			r.ents[w] = ent
+			w++
 		}
-		if allDone {
+		r.ents = r.ents[:w]
+	}
+}
+
+// runFast is the event-driven scheduler: it processes only base cycles at
+// which some live component may act and jumps the clock directly to the
+// earliest claimed pending edge otherwise.
+func (e *Engine) runFast(maxBaseCycles int64) (int64, error) {
+	start := e.now
+	var idle int64
+	window := int64(deadlockWindow) * e.maxDiv
+	for {
+		if e.live == 0 {
 			return e.now - start, nil
 		}
 		if e.now-start >= maxBaseCycles {
 			return e.now - start, fmt.Errorf("engine: exceeded %d base cycles", maxBaseCycles)
 		}
-		progress := false
-		for _, cc := range e.comps {
-			if e.now%cc.div != 0 || cc.c.Done() {
-				continue
+		progress := e.stepDue()
+		if e.live == 0 {
+			// The completing step happened this cycle; the naive loop
+			// detects completion at the top of the next one.
+			e.now++
+			return e.now - start, nil
+		}
+		next, future := e.nextWake(progress)
+		if next == Never {
+			return e.now - start, fmt.Errorf("engine: deadlock at base cycle %d (%s)", e.now, e.describeStuck())
+		}
+		if progress || future {
+			idle = 0
+		} else {
+			// Pure polling with no progress: account every skipped base
+			// cycle, exactly as the naive per-cycle loop would.
+			idle += next - e.now
+			if idle > window {
+				return e.now - start, fmt.Errorf("engine: deadlock at base cycle %d (%s)", e.now, e.describeStuck())
 			}
-			if cc.c.Step(e.now) {
-				progress = true
-			}
+		}
+		if lim := start + maxBaseCycles; next > lim {
+			next = lim // land on the budget boundary, like the naive loop
+		}
+		e.now = next
+	}
+}
+
+// runNaive is the reference scheduler: one base cycle at a time. Relative
+// to the original loop it keeps the incremental bookkeeping (completion
+// via the live counter, maxDiv hoisted out of the idle path, finished
+// components removed from their ring) but visits every cycle and inspects
+// every live component.
+func (e *Engine) runNaive(maxBaseCycles int64) (int64, error) {
+	start := e.now
+	var idle int64
+	window := int64(deadlockWindow) * e.maxDiv
+	for {
+		if e.live == 0 {
+			return e.now - start, nil
+		}
+		if e.now-start >= maxBaseCycles {
+			return e.now - start, fmt.Errorf("engine: exceeded %d base cycles", maxBaseCycles)
+		}
+		progress := e.stepDue()
+		if e.live == 0 {
+			e.now++
+			return e.now - start, nil
 		}
 		if progress {
 			idle = 0
 		} else {
 			idle++
-			if idle > deadlockWindow*int(maxDiv(e.comps)) {
+			if idle > window {
 				return e.now - start, fmt.Errorf("engine: deadlock at base cycle %d (%s)", e.now, e.describeStuck())
 			}
 		}
@@ -96,22 +299,178 @@ func (e *Engine) Run(maxBaseCycles int64) (int64, error) {
 	}
 }
 
-func maxDiv(comps []clocked) int64 {
-	var m int64 = 1
-	for _, c := range comps {
-		if c.div > m {
-			m = c.div
+// stepDue steps every live component whose clock edge falls on the current
+// base cycle, in registration order across rings, removing components that
+// finish. Returns whether any step reported progress.
+func (e *Engine) stepDue() bool {
+	// Collect the rings with an edge this cycle. Divisors divide BaseGHz,
+	// so there are at most four.
+	var due [8]*ring
+	nd := 0
+	for _, r := range e.rings {
+		if e.now%r.div == 0 && len(r.ents) > 0 {
+			if nd == len(due) {
+				panic("engine: too many distinct divisors")
+			}
+			due[nd] = r
+			nd++
 		}
 	}
-	return m
+	if nd == 0 {
+		return false
+	}
+	if nd == 1 {
+		return e.stepRing(due[0])
+	}
+	// k-way merge by registration id so intra-cycle step order matches the
+	// flat registration-order loop (observable through shared buffers).
+	progress := false
+	var rd, wr [8]int
+	for {
+		best, bestID := -1, int(^uint(0)>>1)
+		for i := 0; i < nd; i++ {
+			if rd[i] < len(due[i].ents) && due[i].ents[rd[i]].id < bestID {
+				best, bestID = i, due[i].ents[rd[i]].id
+			}
+		}
+		if best < 0 {
+			break
+		}
+		r := due[best]
+		ent := r.ents[rd[best]]
+		rd[best]++
+		if ent.c.Done() { // finished without stepping (defensive)
+			e.live--
+			continue
+		}
+		if ent.c.Step(e.now) {
+			progress = true
+		}
+		if ent.c.Done() {
+			e.live--
+			continue
+		}
+		r.ents[wr[best]] = ent
+		wr[best]++
+	}
+	for i := 0; i < nd; i++ {
+		due[i].ents = due[i].ents[:wr[i]]
+	}
+	return progress
+}
+
+// stepRing steps one ring's components in order, compacting out the ones
+// that finish.
+func (e *Engine) stepRing(r *ring) bool {
+	progress := false
+	w := 0
+	for _, ent := range r.ents {
+		if ent.c.Done() {
+			e.live--
+			continue
+		}
+		if ent.c.Step(e.now) {
+			progress = true
+		}
+		if ent.c.Done() {
+			e.live--
+			continue
+		}
+		r.ents[w] = ent
+		w++
+	}
+	r.ents = r.ents[:w]
+	return progress
+}
+
+// nextWake collects a fresh NextEvent claim from every live component and
+// returns the earliest base cycle at which any of them may act (aligned up
+// to the claimant's own clock edge, and never before now+1). future
+// reports whether some component holds a genuine scheduled future event
+// (as opposed to merely asking to be polled), which distinguishes latency
+// countdowns from dead polling when accounting idle cycles. Components
+// found finished are removed.
+//
+// progress reports whether the just-processed cycle stepped anything. In
+// that case the idle counter resets regardless of the future flag, so the
+// sweep may stop as soon as the running minimum reaches the earliest
+// possible next clock edge — no later claim can beat it. Each ring's
+// sweep starts at the entry that most recently settled the wake-up (its
+// hot cursor): in steady pipeline phases that is the same busy component
+// again, so dense phases pay a single hint query per cycle.
+//
+// The sweep is read-only: components finish only inside their own Step
+// (see the Component contract), so stepDue and pruneDone own all ring
+// removals and claims may be collected in any order (min is commutative).
+func (e *Engine) nextWake(progress bool) (next int64, future bool) {
+	next = Never
+	bound := int64(-1)
+	if progress {
+		bound = e.earliestEdge()
+	}
+	for _, r := range e.rings {
+		n := len(r.ents)
+		start := r.hot
+		if start >= n {
+			start = 0
+		}
+		for k := 0; k < n; k++ {
+			i := start + k
+			if i >= n {
+				i -= n
+			}
+			ent := r.ents[i]
+			if ent.c.Done() { // defensive; stepDue removes it at its next edge
+				continue
+			}
+			var claim int64
+			if ent.hint != nil {
+				claim = ent.hint.NextEvent(e.now)
+			}
+			if claim == Never {
+				continue // blocked on a peer: contributes no wake-up
+			}
+			if claim > e.now {
+				future = true
+			}
+			t := claim
+			if t <= e.now {
+				t = e.now + 1
+			}
+			if rem := t % r.div; rem != 0 {
+				t += r.div - rem // align up to the component's next edge
+			}
+			if t < next {
+				next = t
+				if next <= bound {
+					r.hot = i
+					return next, future
+				}
+			}
+		}
+	}
+	return next, future
+}
+
+// earliestEdge returns the earliest base cycle after now that is a clock
+// edge of some non-empty ring — the floor on any nextWake answer.
+func (e *Engine) earliestEdge() int64 {
+	bound := Never
+	for _, r := range e.rings {
+		if len(r.ents) == 0 {
+			continue
+		}
+		t := e.now + 1
+		if rem := t % r.div; rem != 0 {
+			t += r.div - rem
+		}
+		if t < bound {
+			bound = t
+		}
+	}
+	return bound
 }
 
 func (e *Engine) describeStuck() string {
-	n := 0
-	for _, cc := range e.comps {
-		if !cc.c.Done() {
-			n++
-		}
-	}
-	return fmt.Sprintf("%d components incomplete", n)
+	return fmt.Sprintf("%d components incomplete", e.live)
 }

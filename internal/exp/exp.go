@@ -5,7 +5,10 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
+	"distda/internal/compiler"
 	"distda/internal/ir"
 	"distda/internal/report"
 	"distda/internal/sim"
@@ -22,22 +25,120 @@ type Matrix struct {
 }
 
 // BuildMatrix runs all twelve benchmarks under the six tested
-// configurations.
+// configurations, fanning the cells out over GOMAXPROCS workers. The
+// collected results (and therefore every rendered table) are byte-identical
+// to a serial run.
 func BuildMatrix(scale workloads.Scale) (*Matrix, error) {
+	return BuildMatrixParallel(scale, 0)
+}
+
+// compileSlot lazily compiles one (workload, compiler-options) pair so
+// configurations sharing a lowering mode reuse a single read-only artifact
+// across workers.
+type compileSlot struct {
+	once sync.Once
+	c    *compiler.Compiled
+	err  error
+}
+
+// BuildMatrixParallel is BuildMatrix with an explicit worker count
+// (<= 0 selects GOMAXPROCS). Each (workload, configuration) cell is an
+// independent, self-contained simulation; workload inputs are drawn
+// serially up front (the generators share seeded RNG state across NewData
+// calls, so per-cell data must follow the serial nested-loop order) and
+// results land in cell-indexed slots, making the output deterministic and
+// independent of the worker count or scheduling.
+func BuildMatrixParallel(scale workloads.Scale, workers int) (*Matrix, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	m := &Matrix{
 		Scale:     scale,
 		Workloads: workloads.All(scale),
 		Configs:   sim.AllPaperConfigs(),
 		Res:       map[string]map[string]*sim.Result{},
 	}
-	for _, w := range m.Workloads {
-		m.Res[w.Name] = map[string]*sim.Result{}
-		for _, cfg := range m.Configs {
-			r, err := sim.Run(w.Kernel, w.Params, w.NewData(), cfg)
-			if err != nil {
+	nw, nc := len(m.Workloads), len(m.Configs)
+
+	// Inputs: serial pre-generation in serial-run order.
+	data := make([][]map[string][]float64, nw)
+	for i, w := range m.Workloads {
+		data[i] = make([]map[string][]float64, nc)
+		for j := range m.Configs {
+			data[i][j] = w.NewData()
+		}
+	}
+	// Compilation: one memo slot per (workload, compiler options).
+	comp := make([][]*compileSlot, nw)
+	for i, w := range m.Workloads {
+		comp[i] = make([]*compileSlot, nc)
+		byOpts := map[compiler.Options]*compileSlot{}
+		for j, cfg := range m.Configs {
+			if cfg.Substrate == sim.SubNone {
+				continue
+			}
+			opts := sim.CompileOptions(cfg)
+			slot, ok := byOpts[opts]
+			if !ok {
+				slot = &compileSlot{}
+				byOpts[opts] = slot
+			}
+			comp[i][j] = slot
+		}
+		_ = w
+	}
+
+	// Fan the cells out over the worker pool; collect into cell-indexed
+	// slots so assembly below runs in deterministic serial order.
+	res := make([][]*sim.Result, nw)
+	errs := make([][]error, nw)
+	for i := range res {
+		res[i] = make([]*sim.Result, nc)
+		errs[i] = make([]error, nc)
+	}
+	type cell struct{ i, j int }
+	jobs := make(chan cell)
+	var wg sync.WaitGroup
+	for n := 0; n < workers; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				w, cfg := m.Workloads[c.i], m.Configs[c.j]
+				var compiled *compiler.Compiled
+				if slot := comp[c.i][c.j]; slot != nil {
+					slot.once.Do(func() {
+						slot.c, slot.err = compiler.Compile(w.Kernel, sim.CompileOptions(cfg))
+					})
+					if slot.err != nil {
+						errs[c.i][c.j] = slot.err
+						continue
+					}
+					compiled = slot.c
+				}
+				res[c.i][c.j], errs[c.i][c.j] = sim.RunPrecompiled(w.Kernel, w.Params, data[c.i][c.j], cfg, compiled)
+			}
+		}()
+	}
+	for i := 0; i < nw; i++ {
+		for j := 0; j < nc; j++ {
+			jobs <- cell{i, j}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Assemble in serial order; the first error in serial order wins, as
+	// in the serial loop.
+	for i, w := range m.Workloads {
+		for j, cfg := range m.Configs {
+			if err := errs[i][j]; err != nil {
 				return nil, fmt.Errorf("exp: %s on %s: %w", w.Name, cfg.Name, err)
 			}
-			m.Res[w.Name][cfg.Name] = r
+		}
+		m.Res[w.Name] = map[string]*sim.Result{}
+		for j, cfg := range m.Configs {
+			m.Res[w.Name][cfg.Name] = res[i][j]
 		}
 	}
 	return m, nil

@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"distda/internal/workloads"
+)
+
+// TestParallelMatrixDeterminism builds the full experiment matrix serially
+// and with eight workers and requires identical results: every sim.Result
+// must be field-for-field equal and every rendered table byte-identical.
+// The worker count must be an implementation detail, never an output knob.
+func TestParallelMatrixDeterminism(t *testing.T) {
+	serial, err := BuildMatrixParallel(workloads.ScaleTest, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := BuildMatrixParallel(workloads.ScaleTest, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Res, par.Res) {
+		for w, byCfg := range serial.Res {
+			for cfg, r := range byCfg {
+				if !reflect.DeepEqual(r, par.Res[w][cfg]) {
+					t.Errorf("%s on %s: serial and parallel results differ:\nserial:   %+v\nparallel: %+v",
+						w, cfg, r, par.Res[w][cfg])
+				}
+			}
+		}
+		t.Fatal("serial and parallel matrices diverge")
+	}
+	renders := map[string]func(*Matrix) string{
+		"Fig7":     func(m *Matrix) string { return m.Fig7EnergyEfficiency().Render() },
+		"Fig8":     func(m *Matrix) string { return m.Fig8CacheAccesses().Render() },
+		"Fig9":     func(m *Matrix) string { return m.Fig9AccessDistribution().Render() },
+		"Fig10":    func(m *Matrix) string { return m.Fig10NoCTraffic().Render() },
+		"Fig11a":   func(m *Matrix) string { return m.Fig11aIPC().Render() },
+		"Fig11b":   func(m *Matrix) string { return m.Fig11bSpeedup().Render() },
+		"Headline": func(m *Matrix) string { return m.Headline().Render() },
+		"Tab4":     func(m *Matrix) string { return m.Tab4Workloads().Render() },
+		"Tab5":     func(m *Matrix) string { return m.Tab5MechanismCoverage().Render() },
+	}
+	for name, render := range renders {
+		if s, p := render(serial), render(par); s != p {
+			t.Errorf("%s renders differently from serial and parallel matrices:\n--- serial ---\n%s\n--- parallel ---\n%s", name, s, p)
+		}
+	}
+}
+
+// TestParallelMatrixWorkerCounts exercises odd worker counts (more workers
+// than cells, and a count that does not divide the matrix evenly).
+func TestParallelMatrixWorkerCounts(t *testing.T) {
+	base, err := BuildMatrixParallel(workloads.ScaleTest, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{5, 200} {
+		m, err := BuildMatrixParallel(workloads.ScaleTest, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(base.Res, m.Res) {
+			t.Fatalf("workers=%d: matrix differs from serial build", workers)
+		}
+	}
+}

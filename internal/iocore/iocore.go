@@ -10,20 +10,29 @@ import (
 	"distda/internal/accessunit"
 	"distda/internal/core"
 	"distda/internal/energy"
+	"distda/internal/engine"
 	"distda/internal/ir"
 	"distda/internal/microcode"
 )
 
 // Core executes one accelerator definition.
 type Core struct {
-	def    *core.AccelDef
-	prog   microcode.Program
-	regs   [microcode.NumRegs]float64
-	pc     int
-	iter   int64
-	trips  int64 // -1: while-input
-	inputs map[int]*accessunit.InPort
-	output map[int]*accessunit.OutPort
+	def   *core.AccelDef
+	prog  microcode.Program
+	regs  [microcode.NumRegs]float64
+	pc    int
+	iter  int64
+	trips int64 // -1: while-input
+	// inputs / output are indexed by access id: core.Validate guarantees the
+	// ids are dense (0..n-1), so a slice index replaces the map lookup the
+	// per-retired-op path used to pay (hash + probe, profile-visible across
+	// the whole repro). Unwired accesses hold nil.
+	inputs []*accessunit.InPort
+	output []*accessunit.OutPort
+	// tripIn caches the while-input watched port (nil unless trips < 0 and
+	// the access is wired), hoisting the lookup out of the per-iteration
+	// end-of-stream check.
+	tripIn *accessunit.InPort
 	random *accessunit.RandomPort
 	meter  *energy.Meter
 
@@ -33,6 +42,14 @@ type Core struct {
 	// Width is the issue width: micro-ops retired per cycle when nothing
 	// blocks (Fig. 14's +SW configuration uses 4). Zero means 1.
 	Width int
+
+	// ClockDiv is the core's base-clock divisor (engine.Div of its clock).
+	// When set, random-access stall cycles are accounted in bulk at the
+	// stall-issuing edge and NextEvent lets the engine skip the stalled
+	// edges entirely. When zero (legacy), StallCyc increments once per
+	// stalled clock edge and NextEvent degrades to polling, which keeps
+	// the event-driven and naive schedulers identical either way.
+	ClockDiv int64
 
 	// Counters.
 	Ops        int64 // retired micro-ops
@@ -50,10 +67,30 @@ func New(def *core.AccelDef, trips int64, inputs map[int]*accessunit.InPort, out
 	if err := def.Program.Validate(len(def.Accesses)); err != nil {
 		return nil, err
 	}
+	n := len(def.Accesses)
 	c := &Core{
 		def: def, prog: def.Program, trips: trips,
-		inputs: inputs, output: outputs, random: random,
-		meter: meter,
+		inputs: make([]*accessunit.InPort, n),
+		output: make([]*accessunit.OutPort, n),
+		random: random,
+		meter:  meter,
+	}
+	for id, p := range inputs {
+		if id < 0 || id >= n {
+			return nil, fmt.Errorf("iocore: accel %d: input access id %d out of range [0,%d)", def.ID, id, n)
+		}
+		c.inputs[id] = p
+	}
+	for id, p := range outputs {
+		if id < 0 || id >= n {
+			return nil, fmt.Errorf("iocore: accel %d: output access id %d out of range [0,%d)", def.ID, id, n)
+		}
+		c.output[id] = p
+	}
+	if trips < 0 {
+		if t := def.Trip.InputAccess; t >= 0 && t < n {
+			c.tripIn = c.inputs[t]
+		}
 	}
 	if len(c.prog) == 0 {
 		return nil, fmt.Errorf("iocore: accel %d (%s) has empty program", def.ID, def.Name)
@@ -74,6 +111,9 @@ func (c *Core) Done() bool { return c.done }
 // terminate.
 func (c *Core) finish() {
 	for _, p := range c.output {
+		if p == nil {
+			continue
+		}
 		if !p.Buf.Closed() {
 			p.Buf.Close()
 		}
@@ -92,7 +132,7 @@ func (c *Core) retire(class ir.OpClass) {
 		c.FloatOps++
 	}
 	if c.meter != nil {
-		t := c.meter.Table
+		t := &c.meter.Table // by pointer: the table is ~17 words, copied per retired op otherwise
 		e := t.IOInstrPJ
 		switch class {
 		case ir.ClassInt:
@@ -122,7 +162,9 @@ func (c *Core) Step(now int64) bool {
 		return false
 	}
 	if now < c.stallUntil {
-		c.StallCyc++
+		if c.ClockDiv <= 0 {
+			c.StallCyc++ // legacy per-edge accounting
+		}
 		return true
 	}
 	width := c.Width
@@ -130,23 +172,26 @@ func (c *Core) Step(now int64) bool {
 		width = 1
 	}
 	progress := false
-	written := map[int]bool{}
+	// written is a register bitmask (NumRegs <= 64): Step runs on every
+	// core clock edge, and the map it replaced was a fresh allocation per
+	// edge — visible in the whole-repro profile.
+	var written uint64
 	for i := 0; i < width; i++ {
 		// In-order multi-issue: an op reading a register written this cycle
 		// waits for the next cycle.
-		if i > 0 && c.pc < len(c.prog) && readsAny(c.prog[c.pc], written) {
+		if i > 0 && c.pc < len(c.prog) && readsAny(&c.prog[c.pc], written) {
 			break
 		}
 		var wrote int = -1
 		if c.pc < len(c.prog) {
-			if d, ok := destOf(c.prog[c.pc]); ok {
+			if d, ok := destOf(&c.prog[c.pc]); ok {
 				wrote = d
 			}
 		}
 		p := c.step1(now)
 		progress = progress || p
 		if p && wrote >= 0 {
-			written[wrote] = true
+			written |= 1 << uint(wrote)
 		}
 		if !p || c.done || now < c.stallUntil {
 			break
@@ -155,25 +200,73 @@ func (c *Core) Step(now int64) bool {
 	return progress
 }
 
-// readsAny reports whether op reads any register in set.
-func readsAny(op microcode.Op, set map[int]bool) bool {
-	if op.Pred >= 0 && set[op.Pred] {
+// setStall blocks the core until now+lat. With ClockDiv set the stalled
+// clock edges are accounted here in bulk — floor((lat-1)/div) edges fall
+// strictly inside (now, now+lat) — so the engine may skip them; without it
+// Step counts them one edge at a time.
+func (c *Core) setStall(now, lat int64) {
+	c.stallUntil = now + lat
+	if c.ClockDiv > 0 && lat > 0 {
+		c.StallCyc += (lat - 1) / c.ClockDiv
+	}
+}
+
+// NextEvent implements engine.Hinter: a stalled core's next effect is its
+// stall expiry (when ClockDiv is known); a core whose next micro-op is a
+// consume on an empty-but-open buffer or a produce into a full buffer is
+// blocked on a peer; everything else retires on the next edge.
+func (c *Core) NextEvent(now int64) int64 {
+	if c.done {
+		return 0
+	}
+	if now < c.stallUntil {
+		if c.ClockDiv > 0 {
+			return c.stallUntil
+		}
+		return 0 // legacy mode: poll every edge to count stall cycles
+	}
+	if c.pc == 0 && c.trips < 0 {
+		if p := c.tripIn; p != nil && p.Buf.Drained(p.Reader) {
+			return 0 // end of watched input: will finish
+		}
+	}
+	op := &c.prog[c.pc] // by pointer: Op is large and this path runs per edge
+	if op.Pred >= 0 && c.regs[op.Pred] == 0 {
+		return 0 // predicated-off: retires as a nop
+	}
+	switch op.Code {
+	case microcode.Consume:
+		if p := c.inputs[op.Access]; p != nil && !p.Buf.CanPop(p.Reader) && !p.Buf.Drained(p.Reader) {
+			return engine.Never // blocked on the producer
+		}
+	case microcode.Produce:
+		if p := c.output[op.Access]; p != nil && !p.Buf.CanPush() {
+			return engine.Never // blocked on the consumer
+		}
+	}
+	return 0
+}
+
+// readsAny reports whether op reads any register in the set bitmask.
+func readsAny(op *microcode.Op, set uint64) bool {
+	in := func(r int) bool { return r >= 0 && set&(1<<uint(r)) != 0 }
+	if in(op.Pred) {
 		return true
 	}
 	switch op.Code {
 	case microcode.Produce, microcode.LoadObj, microcode.ALUI, microcode.Un, microcode.Mov:
-		return set[op.A]
+		return in(op.A)
 	case microcode.StoreObj, microcode.ALU:
-		return set[op.A] || set[op.B]
+		return in(op.A) || in(op.B)
 	case microcode.SelOp:
-		return set[op.A] || set[op.B] || set[op.C]
+		return in(op.A) || in(op.B) || in(op.C)
 	default:
 		return false
 	}
 }
 
 // destOf returns the register an op writes, if any.
-func destOf(op microcode.Op) (int, bool) {
+func destOf(op *microcode.Op) (int, bool) {
 	switch op.Code {
 	case microcode.Consume, microcode.LoadObj, microcode.ALU, microcode.ALUI,
 		microcode.Un, microcode.SelOp, microcode.MovI, microcode.Mov, microcode.Iter:
@@ -188,8 +281,8 @@ func (c *Core) step1(now int64) bool {
 	// While-input orchestration: at iteration start, end-of-stream on the
 	// watched input terminates the offload.
 	if c.pc == 0 && c.trips < 0 {
-		p, ok := c.inputs[c.def.Trip.InputAccess]
-		if !ok {
+		p := c.tripIn
+		if p == nil {
 			panic(fmt.Sprintf("iocore: accel %d: while-input access %d not wired", c.def.ID, c.def.Trip.InputAccess))
 		}
 		if p.Buf.Drained(p.Reader) {
@@ -197,7 +290,7 @@ func (c *Core) step1(now int64) bool {
 			return true
 		}
 	}
-	op := c.prog[c.pc]
+	op := &c.prog[c.pc] // by pointer: Op is large and this path runs per edge
 	if op.Pred >= 0 && c.regs[op.Pred] == 0 {
 		c.retire(ir.ClassInt) // predicated-off: retires as a nop
 		return true
@@ -206,8 +299,8 @@ func (c *Core) step1(now int64) bool {
 	case microcode.Nop:
 		c.retire(ir.ClassInt)
 	case microcode.Consume:
-		p, ok := c.inputs[op.Access]
-		if !ok {
+		p := c.inputs[op.Access]
+		if p == nil {
 			panic(fmt.Sprintf("iocore: accel %d: access %d not wired as input", c.def.ID, op.Access))
 		}
 		if !p.Buf.CanPop(p.Reader) {
@@ -219,8 +312,8 @@ func (c *Core) step1(now int64) bool {
 		c.regs[op.Dst] = p.Buf.Pop(p.Reader)
 		c.retire(ir.ClassInt)
 	case microcode.Produce:
-		p, ok := c.output[op.Access]
-		if !ok {
+		p := c.output[op.Access]
+		if p == nil {
 			panic(fmt.Sprintf("iocore: accel %d: access %d not wired as output", c.def.ID, op.Access))
 		}
 		if !p.Buf.CanPush() {
@@ -234,7 +327,7 @@ func (c *Core) step1(now int64) bool {
 			panic(fmt.Sprintf("iocore: accel %d: %v", c.def.ID, err))
 		}
 		c.regs[op.Dst] = v
-		c.stallUntil = now + int64(lat)
+		c.setStall(now, int64(lat))
 		c.retire(ir.ClassInt)
 	case microcode.StoreObj:
 		lat, err := c.random.Store(op.Obj, int64(c.regs[op.A]), c.regs[op.B])
@@ -246,7 +339,7 @@ func (c *Core) step1(now int64) bool {
 		if occ > 8 {
 			occ = 8
 		}
-		c.stallUntil = now + occ
+		c.setStall(now, occ)
 		c.retire(ir.ClassInt)
 	case microcode.ALU:
 		c.regs[op.Dst] = c.apply(op.Bin, c.regs[op.A], c.regs[op.B])

@@ -52,16 +52,53 @@ func (c *Counts) Instructions() int64 {
 // tree-walk stays uncluttered. It never escapes this package.
 type runtimeError struct{ err error }
 
+// binding is one name/value pair in a small linear-scan environment. The
+// interpreter sits on the simulator's validation path for every run;
+// kernels bind a handful of parameters, induction variables and locals,
+// so scanning a short slice (newest first, which also gives shadowing)
+// beats the string hash a map pays per lookup.
+type binding struct {
+	name string
+	v    float64
+}
+
+func lookupBinding(env []binding, name string) (float64, bool) {
+	for i := len(env) - 1; i >= 0; i-- {
+		if env[i].name == name {
+			return env[i].v, true
+		}
+	}
+	return 0, false
+}
+
+func setBinding(env []binding, name string, v float64) []binding {
+	for i := len(env) - 1; i >= 0; i-- {
+		if env[i].name == name {
+			env[i].v = v
+			return env
+		}
+	}
+	return append(env, binding{name: name, v: v})
+}
+
+// objSlot resolves one declared object to its backing storage.
+type objSlot struct {
+	name string
+	len  int
+	buf  []float64
+}
+
 type interp struct {
 	k      *Kernel
-	params map[string]float64
-	mem    map[string][]float64
+	params []binding
+	objs   []objSlot
 	hooks  Hooks
-	ivs    map[string]float64
-	locals map[string]float64
+	ivs    []binding
+	locals []binding
 	counts *Counts
-	// loopStack tracks enclosing loops; events attribute to the top.
-	loopStack []*For
+	// cur is the LoopCounts of the innermost enclosing loop (nil at top
+	// level): events attribute to it without a per-event map lookup.
+	cur *LoopCounts
 }
 
 func (in *interp) fail(format string, args ...any) {
@@ -80,6 +117,7 @@ func Run(k *Kernel, params map[string]float64, mem map[string][]float64, hooks *
 			return nil, fmt.Errorf("ir: kernel %q: missing parameter %q", k.Name, p)
 		}
 	}
+	objs := make([]objSlot, 0, len(k.Objects))
 	for _, o := range k.Objects {
 		buf, ok := mem[o.Name]
 		if !ok {
@@ -89,13 +127,16 @@ func Run(k *Kernel, params map[string]float64, mem map[string][]float64, hooks *
 			return nil, fmt.Errorf("ir: kernel %q: object %q has %d elements, declared %d",
 				k.Name, o.Name, len(buf), o.Len)
 		}
+		objs = append(objs, objSlot{name: o.Name, len: o.Len, buf: buf})
+	}
+	pb := make([]binding, 0, len(k.Params))
+	for _, p := range k.Params {
+		pb = append(pb, binding{name: p, v: params[p]})
 	}
 	in := &interp{
 		k:      k,
-		params: params,
-		mem:    mem,
-		ivs:    map[string]float64{},
-		locals: map[string]float64{},
+		params: pb,
+		objs:   objs,
 		counts: &Counts{ByLoop: map[*For]*LoopCounts{}},
 	}
 	if hooks != nil {
@@ -114,17 +155,15 @@ func Run(k *Kernel, params map[string]float64, mem map[string][]float64, hooks *
 	return in.counts, nil
 }
 
-func (in *interp) loopCounts() *LoopCounts {
-	if len(in.loopStack) == 0 {
-		return nil
+// slot resolves a declared object's backing storage by name.
+func (in *interp) slot(obj string) *objSlot {
+	for i := range in.objs {
+		if in.objs[i].name == obj {
+			return &in.objs[i]
+		}
 	}
-	top := in.loopStack[len(in.loopStack)-1]
-	lc := in.counts.ByLoop[top]
-	if lc == nil {
-		lc = &LoopCounts{}
-		in.counts.ByLoop[top] = lc
-	}
-	return lc
+	in.fail("access to undeclared object %q", obj)
+	return nil
 }
 
 func (in *interp) stmts(body []Stmt) {
@@ -136,13 +175,14 @@ func (in *interp) stmts(body []Stmt) {
 func (in *interp) stmt(s Stmt) {
 	switch x := s.(type) {
 	case Let:
-		in.locals[x.Name] = in.eval(x.E)
+		in.locals = setBinding(in.locals, x.Name, in.eval(x.E))
 	case Store:
-		idx := in.index(x.Obj, x.Idx)
+		s := in.slot(x.Obj)
+		idx := in.indexIn(s, x.Idx)
 		v := in.eval(x.Val)
-		in.mem[x.Obj][idx] = v
+		s.buf[idx] = v
 		in.counts.Stores++
-		if lc := in.loopCounts(); lc != nil {
+		if lc := in.cur; lc != nil {
 			lc.Stores++
 		}
 		if in.hooks.OnStore != nil {
@@ -168,38 +208,38 @@ func (in *interp) forLoop(f *For) {
 	if step <= 0 {
 		in.fail("loop %s has non-positive step %g", f.IV, step)
 	}
-	saved, had := in.ivs[f.IV]
-	in.loopStack = append(in.loopStack, f)
+	// Push the induction variable; backward binding lookups see the
+	// innermost shadow, and truncating on exit restores any outer one.
+	pos := len(in.ivs)
+	in.ivs = append(in.ivs, binding{name: f.IV})
+	savedCur := in.cur
+	var lc *LoopCounts // resolved lazily so 0-trip loops leave no entry
 	for v := lo; v < hi; v += step {
-		in.ivs[f.IV] = v
+		in.ivs[pos].v = v
 		in.counts.LoopIters++
-		if lc := in.counts.ByLoop[f]; lc != nil {
-			lc.Trips++
-		} else {
-			in.counts.ByLoop[f] = &LoopCounts{Trips: 1}
+		if lc == nil {
+			if lc = in.counts.ByLoop[f]; lc == nil {
+				lc = &LoopCounts{}
+				in.counts.ByLoop[f] = lc
+			}
+			in.cur = lc
 		}
+		lc.Trips++
 		if in.hooks.OnLoopIter != nil {
 			in.hooks.OnLoopIter(f)
 		}
 		in.stmts(f.Body)
 	}
-	in.loopStack = in.loopStack[:len(in.loopStack)-1]
-	if had {
-		in.ivs[f.IV] = saved
-	} else {
-		delete(in.ivs, f.IV)
-	}
+	in.ivs = in.ivs[:pos]
+	in.cur = savedCur
 }
 
-func (in *interp) index(obj string, e Expr) int {
-	decl, ok := in.k.Object(obj)
-	if !ok {
-		in.fail("access to undeclared object %q", obj)
-	}
+// indexIn evaluates and bounds-checks an index into a resolved object.
+func (in *interp) indexIn(s *objSlot, e Expr) int {
 	v := in.eval(e)
 	idx := int(v)
-	if idx < 0 || idx >= decl.Len {
-		in.fail("index %d out of range for object %q (len %d)", idx, obj, decl.Len)
+	if idx < 0 || idx >= s.len {
+		in.fail("index %d out of range for object %q (len %d)", idx, s.name, s.len)
 	}
 	return idx
 }
@@ -214,7 +254,7 @@ func (in *interp) countOp(class OpClass) {
 	case ClassFloat:
 		in.counts.FloatOps++
 	}
-	if lc := in.loopCounts(); lc != nil {
+	if lc := in.cur; lc != nil {
 		lc.Ops++
 	}
 	if in.hooks.OnOp != nil {
@@ -227,33 +267,34 @@ func (in *interp) eval(e Expr) float64 {
 	case Const:
 		return x.V
 	case Param:
-		v, ok := in.params[x.Name]
+		v, ok := lookupBinding(in.params, x.Name)
 		if !ok {
 			in.fail("read of unknown parameter %q", x.Name)
 		}
 		return v
 	case IV:
-		v, ok := in.ivs[x.Name]
+		v, ok := lookupBinding(in.ivs, x.Name)
 		if !ok {
 			in.fail("read of induction variable %q outside its loop", x.Name)
 		}
 		return v
 	case Local:
-		v, ok := in.locals[x.Name]
+		v, ok := lookupBinding(in.locals, x.Name)
 		if !ok {
 			in.fail("read of undefined local %q", x.Name)
 		}
 		return v
 	case Load:
-		idx := in.index(x.Obj, x.Idx)
+		s := in.slot(x.Obj)
+		idx := in.indexIn(s, x.Idx)
 		in.counts.Loads++
-		if lc := in.loopCounts(); lc != nil {
+		if lc := in.cur; lc != nil {
 			lc.Loads++
 		}
 		if in.hooks.OnLoad != nil {
 			in.hooks.OnLoad(x.Obj, idx)
 		}
-		return in.mem[x.Obj][idx]
+		return s.buf[idx]
 	case Bin:
 		a := in.eval(x.A)
 		b := in.eval(x.B)

@@ -59,6 +59,13 @@ type Config struct {
 	HostPrefDeg   int
 	MonoCAAt2GHz  bool // kept for clarity; Mono-CA accel runs at 2 GHz
 	ValidateEvery bool // compare against the interpreter after Run
+
+	// NaiveEngine drives every offload launch with the engine's reference
+	// one-tick-at-a-time scheduler instead of the event-driven fast-forward
+	// one. Results are bit-identical either way (the differential tests
+	// enforce it); this exists for those tests and for wall-clock
+	// comparisons.
+	NaiveEngine bool
 }
 
 func baseAccel() Config {

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"distda/internal/workloads"
+)
+
+// TestEngineSchedulerDifferential runs every workload under every paper
+// configuration twice — once with the reference one-tick-at-a-time engine
+// scheduler and once with the event-driven fast-forward scheduler — and
+// requires bit-identical results. The fast scheduler is an optimization
+// only: every counter, every energy figure and every cycle count must
+// match the naive loop exactly.
+func TestEngineSchedulerDifferential(t *testing.T) {
+	ws := workloads.All(workloads.ScaleTest)
+	ws = append(ws, workloads.SpMV(workloads.ScaleTest))
+	for _, w := range ws {
+		// Generate the input once per workload so both schedulers see
+		// identical data (workload generators share a seeded rng, so
+		// generation order is observable).
+		data := w.NewData()
+		for _, cfg := range AllPaperConfigs() {
+			naiveCfg := cfg
+			naiveCfg.NaiveEngine = true
+			nRes, nErr := Run(w.Kernel, w.Params, copyData(data), naiveCfg)
+			fastCfg := cfg
+			fastCfg.NaiveEngine = false
+			fRes, fErr := Run(w.Kernel, w.Params, copyData(data), fastCfg)
+			if nErr != nil || fErr != nil {
+				t.Fatalf("%s on %s: naive err=%v fast err=%v", w.Name, cfg.Name, nErr, fErr)
+			}
+			// Config echoes the scheduler choice nowhere, so the full
+			// result structs must agree field for field.
+			if !reflect.DeepEqual(nRes, fRes) {
+				t.Errorf("%s on %s: results diverge between schedulers:\nnaive: %+v\nfast:  %+v",
+					w.Name, cfg.Name, nRes, fRes)
+			}
+		}
+	}
+}
+
+// TestEngineSchedulerDifferentialThreads covers the multithreaded
+// strip-mining path, where several accelerator launches interleave.
+func TestEngineSchedulerDifferentialThreads(t *testing.T) {
+	for _, w := range []*workloads.Workload{
+		workloads.BFSMT(workloads.ScaleTest),
+		workloads.PathfinderMT(workloads.ScaleTest),
+	} {
+		data := w.NewData()
+		cfg := DistDAIO()
+		cfg.NoStreams = true
+		for _, threads := range []int{1, 4} {
+			naiveCfg := cfg
+			naiveCfg.NaiveEngine = true
+			nRes, nErr := RunThreads(w.Kernel, w.Params, copyData(data), naiveCfg, threads)
+			fRes, fErr := RunThreads(w.Kernel, w.Params, copyData(data), cfg, threads)
+			if nErr != nil || fErr != nil {
+				t.Fatalf("%s x%d: naive err=%v fast err=%v", w.Name, threads, nErr, fErr)
+			}
+			if !reflect.DeepEqual(nRes, fRes) {
+				t.Errorf("%s x%d: results diverge between schedulers:\nnaive: %+v\nfast:  %+v",
+					w.Name, threads, nRes, fRes)
+			}
+		}
+	}
+}

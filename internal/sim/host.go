@@ -78,7 +78,7 @@ func (h *host) run() (err error) {
 func (h *host) instr(class ir.OpClass) {
 	h.m.hostInstr++
 	h.m.slotCycles += 1 / hostWidth
-	t := h.m.meter.Table
+	t := &h.m.meter.Table // by pointer: the table is ~17 words, copied per instruction otherwise
 	e := t.OoOInstrPJ
 	switch class {
 	case ir.ClassInt:
@@ -114,7 +114,7 @@ func (h *host) loadTimed(obj string, idx int64, dep taint) float64 {
 			h.m.memCycles += stall / hostMLP // independent, MLP-overlapped
 		}
 	}
-	return h.m.data[obj][idx]
+	return h.m.resolve(obj).data[idx] // resolve succeeded inside addr above
 }
 
 func (h *host) storeTimed(obj string, idx int64, v float64) {
@@ -126,7 +126,7 @@ func (h *host) storeTimed(obj string, idx int64, v float64) {
 	h.m.hostStores++
 	h.instr(ir.ClassInt)
 	h.m.hier.HostAccess(addr, true) // posted: traffic and energy, no stall
-	h.m.data[obj][idx] = v
+	h.m.resolve(obj).data[idx] = v  // resolve succeeded inside addr above
 }
 
 func (h *host) stmts(body []ir.Stmt) {

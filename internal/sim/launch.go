@@ -126,6 +126,7 @@ func (h *host) launch(reg *core.Region) {
 	}
 
 	eng := engine.New()
+	eng.Naive = m.cfg.NaiveEngine
 	addComp := func(c engine.Component, ghz int) { eng.Add(c, ghz) }
 
 	// Pass 2: buffers, FSMs, links for stream accesses; channel endpoint
@@ -230,6 +231,7 @@ func (h *host) launch(reg *core.Region) {
 				h.failf("launch: %v", err)
 			}
 			c.Width = m.cfg.IOWidth
+			c.ClockDiv = int64(engine.Div(m.cfg.AccelGHz))
 			rt.regs = c
 			ioCores = append(ioCores, c)
 			addComp(c, m.cfg.AccelGHz)

@@ -35,6 +35,15 @@ type machine struct {
 	alloc   core.AllocationTable
 	buffers []*accessunit.Buffer
 
+	// objs caches each kernel object's slab region, declaration and backing
+	// slice; lastObj remembers the most recent hit. addr/Read/Write run once
+	// per simulated stream element, and the slab scan + declaration scan +
+	// data-map hash they used to pay per element was a visible slice of the
+	// whole-repro profile. Streams touch one object for long stretches, so
+	// the MRU compare almost always short-circuits on pointer-equal strings.
+	objs    []objInfo
+	lastObj *objInfo
+
 	// Counters.
 	hostInstr      int64
 	hostLoads      int64
@@ -99,7 +108,40 @@ func newMachine(cfg Config, k *ir.Kernel, params map[string]float64, data map[st
 			return nil, err
 		}
 	}
+	m.objs = make([]objInfo, 0, len(k.Objects))
+	for _, o := range k.Objects {
+		r, _ := slab.Lookup(o.Name)
+		m.objs = append(m.objs, objInfo{
+			name: o.Name, base: r.Base,
+			elemBytes: int64(o.ElemBytes), n: int64(o.Len),
+			data: data[o.Name],
+		})
+	}
 	return m, nil
+}
+
+// objInfo is one entry of the machine's resolved-object cache.
+type objInfo struct {
+	name      string
+	base      int64
+	elemBytes int64
+	n         int64
+	data      []float64
+}
+
+// resolve returns the cached objInfo for obj, or nil if obj is not a
+// declared-and-allocated kernel object.
+func (m *machine) resolve(obj string) *objInfo {
+	if o := m.lastObj; o != nil && o.name == obj {
+		return o
+	}
+	for i := range m.objs {
+		if m.objs[i].name == obj {
+			m.lastObj = &m.objs[i]
+			return m.lastObj
+		}
+	}
+	return nil
 }
 
 // padSlabTo inserts padding so the next allocation starts at an address
@@ -154,46 +196,57 @@ func (m *machine) hostCycles() int64 {
 
 // addr returns the physical address of obj[idx].
 func (m *machine) addr(obj string, idx int64) (int64, error) {
-	r, ok := m.slab.Lookup(obj)
-	if !ok {
-		return 0, fmt.Errorf("sim: unallocated object %q", obj)
+	o := m.resolve(obj)
+	if o == nil {
+		return 0, m.addrErr(obj)
 	}
-	decl, ok := m.kernel.Object(obj)
-	if !ok {
-		return 0, fmt.Errorf("sim: undeclared object %q", obj)
+	if idx < 0 || idx >= o.n {
+		return 0, fmt.Errorf("sim: index %d out of range for %q (len %d)", idx, obj, o.n)
 	}
-	if idx < 0 || idx >= int64(decl.Len) {
-		return 0, fmt.Errorf("sim: index %d out of range for %q (len %d)", idx, obj, decl.Len)
+	return o.base + idx*o.elemBytes, nil
+}
+
+// addrErr diagnoses a resolve miss (off the hot path).
+func (m *machine) addrErr(obj string) error {
+	if _, ok := m.slab.Lookup(obj); !ok {
+		return fmt.Errorf("sim: unallocated object %q", obj)
 	}
-	return r.Base + idx*int64(decl.ElemBytes), nil
+	return fmt.Errorf("sim: undeclared object %q", obj)
 }
 
 // simMemory adapts the machine to accessunit.Memory.
 type simMemory struct{ m *machine }
 
 func (s simMemory) Read(obj string, idx int64) (float64, error) {
-	if _, err := s.m.addr(obj, idx); err != nil {
-		return 0, err
+	o := s.m.resolve(obj)
+	if o == nil {
+		return 0, s.m.addrErr(obj)
 	}
-	return s.m.data[obj][idx], nil
+	if idx < 0 || idx >= o.n {
+		return 0, fmt.Errorf("sim: index %d out of range for %q (len %d)", idx, obj, o.n)
+	}
+	return o.data[idx], nil
 }
 
 func (s simMemory) Write(obj string, idx int64, v float64) error {
-	if _, err := s.m.addr(obj, idx); err != nil {
-		return err
+	o := s.m.resolve(obj)
+	if o == nil {
+		return s.m.addrErr(obj)
 	}
-	s.m.data[obj][idx] = v
+	if idx < 0 || idx >= o.n {
+		return fmt.Errorf("sim: index %d out of range for %q (len %d)", idx, obj, o.n)
+	}
+	o.data[idx] = v
 	return nil
 }
 
 func (s simMemory) AddrOf(obj string, idx int64) (int64, error) { return s.m.addr(obj, idx) }
 
 func (s simMemory) ElemBytes(obj string) (int, error) {
-	decl, ok := s.m.kernel.Object(obj)
-	if !ok {
-		return 0, fmt.Errorf("sim: undeclared object %q", obj)
+	if o := s.m.resolve(obj); o != nil {
+		return int(o.elemBytes), nil
 	}
-	return decl.ElemBytes, nil
+	return 0, fmt.Errorf("sim: undeclared object %q", obj)
 }
 
 // clusterFetcher adapts the hierarchy to accessunit.Fetcher, converting

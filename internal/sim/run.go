@@ -21,19 +21,10 @@ func Run(k *ir.Kernel, params map[string]float64, data map[string][]float64, cfg
 // mapping.
 func RunAnnotated(k *ir.Kernel, params map[string]float64, data map[string][]float64, cfg Config,
 	annotate func(*compiler.Compiled) error) (*Result, error) {
-	var refData map[string][]float64
-	if cfg.ValidateEvery {
-		refData = copyData(data)
-	}
 	var compiled *compiler.Compiled
 	if cfg.Substrate != SubNone {
 		var err error
-		compiled, err = compiler.Compile(k, compiler.Options{
-			Mode:                   cfg.CompilerMode,
-			NoObjConstraint:        cfg.NoObjConstr,
-			NoStreamSpecialization: cfg.NoStreams,
-			NoEpilogueFold:         cfg.NoFolding,
-		})
+		compiled, err = Compiled(k, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -42,6 +33,25 @@ func RunAnnotated(k *ir.Kernel, params map[string]float64, data map[string][]flo
 				return nil, err
 			}
 		}
+	}
+	return RunPrecompiled(k, params, data, cfg, compiled)
+}
+
+// RunPrecompiled is Run with a previously compiled artifact, which must
+// have been produced by Compiled(k, cfg) (or by an equivalent
+// compiler.Compile of the same kernel with CompileOptions(cfg)). The
+// simulator only reads the artifact, so one compilation may be shared
+// across concurrent runs of configurations with the same compiler
+// options — the experiment matrix memoizes on this. compiled is ignored
+// for substrate-less (OoO) configs.
+func RunPrecompiled(k *ir.Kernel, params map[string]float64, data map[string][]float64, cfg Config,
+	compiled *compiler.Compiled) (*Result, error) {
+	if cfg.Substrate == SubNone {
+		compiled = nil
+	}
+	var refData map[string][]float64
+	if cfg.ValidateEvery {
+		refData = copyData(data)
 	}
 	m, err := newMachine(cfg, k, params, data)
 	if err != nil {
@@ -64,14 +74,21 @@ func RunAnnotated(k *ir.Kernel, params map[string]float64, data map[string][]flo
 	return m.collect(k.Name, validated), nil
 }
 
-// Compiled exposes the compilation a config would use (for reports).
-func Compiled(k *ir.Kernel, cfg Config) (*compiler.Compiled, error) {
-	return compiler.Compile(k, compiler.Options{
+// CompileOptions returns the compiler options a config implies. Configs
+// mapping to equal options compile identically, which the experiment
+// matrix exploits to memoize compilation across configurations.
+func CompileOptions(cfg Config) compiler.Options {
+	return compiler.Options{
 		Mode:                   cfg.CompilerMode,
 		NoObjConstraint:        cfg.NoObjConstr,
 		NoStreamSpecialization: cfg.NoStreams,
 		NoEpilogueFold:         cfg.NoFolding,
-	})
+	}
+}
+
+// Compiled exposes the compilation a config would use (for reports).
+func Compiled(k *ir.Kernel, cfg Config) (*compiler.Compiled, error) {
+	return compiler.Compile(k, CompileOptions(cfg))
 }
 
 func copyData(data map[string][]float64) map[string][]float64 {
