@@ -1,0 +1,25 @@
+# Convenience targets; the source of truth for the gate is scripts/verify.sh.
+
+.PHONY: build test vet race fmt verify bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+race:
+	go test -race ./internal/exp/... ./internal/sim/...
+
+fmt:
+	gofmt -l cmd internal examples
+
+# The full pre-merge gate: build + test + vet + race + gofmt.
+verify:
+	sh scripts/verify.sh
+
+bench:
+	go test -bench . -benchtime 1x -run '^$$' ./...

@@ -7,14 +7,19 @@
 //	distda-repro -all                 # everything (default scale: bench)
 //	distda-repro -fig 7 -fig 11b     # specific figures
 //	distda-repro -tab 6 -scale test  # Table VI at CI scale
+//	distda-repro -all -parallel 8 -trace-dir traces -metrics
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 
 	"distda/internal/exp"
+	"distda/internal/report"
+	"distda/internal/trace"
 	"distda/internal/workloads"
 )
 
@@ -26,143 +31,274 @@ func (f *figList) Set(v string) error {
 	return nil
 }
 
+var (
+	validFigs = []string{"7", "8", "9", "10", "11a", "11b", "12a", "12b", "13", "14"}
+	validTabs = []string{"3", "4", "5", "6"}
+)
+
+func contains(set []string, v string) bool {
+	for _, s := range set {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable CLI entry point. Every -fig / -tab selection is
+// validated before anything is computed or printed, so an unknown name
+// fails with a non-zero exit and no partial tables on stdout.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("distda-repro", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var figs, tabs figList
-	scaleName := flag.String("scale", "bench", "input scale: test, bench, paper")
-	all := flag.Bool("all", false, "regenerate every table and figure")
-	headline := flag.Bool("headline", false, "print the abstract's headline geomeans")
-	ablations := flag.Bool("ablations", false, "run the DESIGN.md ablation benches")
-	sens := flag.Bool("sens", false, "working-set sensitivity")
-	params := flag.Bool("params", false, "print Table III parameters")
-	area := flag.Bool("area", false, "print the area model")
-	offchip := flag.Bool("offchip", false, "evaluate the §VII off-chip placement extension")
-	parallel := flag.Int("parallel", 0, "worker count for the experiment matrix (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
-	flag.Var(&figs, "fig", "figure to regenerate (7, 8, 9, 10, 11a, 11b, 12a, 12b, 13, 14); repeatable")
-	flag.Var(&tabs, "tab", "table to regenerate (3, 4, 5, 6); repeatable")
-	flag.Parse()
+	scaleName := fs.String("scale", "bench", "input scale: test, bench, paper")
+	all := fs.Bool("all", false, "regenerate every table and figure")
+	headline := fs.Bool("headline", false, "print the abstract's headline geomeans")
+	ablations := fs.Bool("ablations", false, "run the DESIGN.md ablation benches")
+	sens := fs.Bool("sens", false, "working-set sensitivity")
+	params := fs.Bool("params", false, "print Table III parameters")
+	area := fs.Bool("area", false, "print the area model")
+	offchip := fs.Bool("offchip", false, "evaluate the §VII off-chip placement extension")
+	parallel := fs.Int("parallel", 0, "worker count for the experiment matrix (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
+	metrics := fs.Bool("metrics", false, "print the matrix's merged per-component metrics table")
+	traceDir := fs.String("trace-dir", "", "write one Chrome trace JSON per matrix cell into this directory")
+	fs.Var(&figs, "fig", "figure to regenerate (7, 8, 9, 10, 11a, 11b, 12a, 12b, 13, 14); repeatable")
+	fs.Var(&tabs, "tab", "table to regenerate (3, 4, 5, 6); repeatable")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "distda-repro:", err)
+		return 1
+	}
 
 	scale, err := parseScale(*scaleName)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if *all {
-		figs = figList{"7", "8", "9", "10", "11a", "11b", "12a", "12b", "13", "14"}
-		tabs = figList{"3", "4", "5", "6"}
+		figs = append(figList{}, validFigs...)
+		tabs = append(figList{}, validTabs...)
 		*headline = true
 		*sens = true
 		*area = true
 		*ablations = true
 		*offchip = true
 	}
+	// Validate every selection up front: a typo must not cost a matrix
+	// build, and must not leave earlier tables on stdout.
+	for _, f := range figs {
+		if !contains(validFigs, f) {
+			return fail(fmt.Errorf("unknown figure %q (want one of %v)", f, validFigs))
+		}
+	}
+	for _, t := range tabs {
+		if !contains(validTabs, t) {
+			return fail(fmt.Errorf("unknown table %q (want one of %v)", t, validTabs))
+		}
+	}
 	if len(figs) == 0 && len(tabs) == 0 && !*headline && !*ablations && !*sens && !*params && !*area && !*offchip {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
+	}
+
+	// Observability: per-cell tracers are drawn serially in cell order and
+	// written out (deterministically named) once the matrix is built, so
+	// -parallel never changes file names or contents.
+	obs := exp.Observe{}
+	var met *trace.Metrics
+	if *metrics {
+		met = trace.NewMetrics()
+		obs.Metrics = met
+	}
+	type cellTrace struct {
+		path string
+		tr   *trace.Tracer
+	}
+	var cellTraces []cellTrace
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			return fail(err)
+		}
+		dir := *traceDir
+		obs.Tracer = func(workload, config string) *trace.Tracer {
+			tr := trace.New()
+			cellTraces = append(cellTraces, cellTrace{
+				path: filepath.Join(dir, fmt.Sprintf("%s-%s.trace.json", workload, config)),
+				tr:   tr,
+			})
+			return tr
+		}
 	}
 
 	var matrix *exp.Matrix
+	var buildErr error
 	needMatrix := func() *exp.Matrix {
-		if matrix == nil {
-			fmt.Fprintf(os.Stderr, "building %s-scale workload x configuration matrix (12 x 6 runs)...\n", scale)
-			m, err := exp.BuildMatrixParallel(scale, *parallel)
+		if matrix == nil && buildErr == nil {
+			fmt.Fprintf(stderr, "building %s-scale workload x configuration matrix (12 x 6 runs)...\n", scale)
+			m, err := exp.BuildMatrixObserved(scale, *parallel, obs)
 			if err != nil {
-				fatal(err)
+				buildErr = err
+				return nil
 			}
 			matrix = m
+			for _, ct := range cellTraces {
+				if err := writeTrace(ct.tr, ct.path); err != nil {
+					buildErr = err
+					return nil
+				}
+			}
+			if len(cellTraces) > 0 {
+				fmt.Fprintf(stderr, "distda-repro: wrote %d trace files to %s\n", len(cellTraces), *traceDir)
+			}
 		}
 		return matrix
 	}
 
 	if *params {
-		fmt.Println(exp.Tab3Params().Render())
+		fmt.Fprintln(stdout, exp.Tab3Params().Render())
 	}
 	for _, tab := range tabs {
 		switch tab {
 		case "3":
-			fmt.Println(exp.Tab3Params().Render())
+			fmt.Fprintln(stdout, exp.Tab3Params().Render())
 		case "4":
-			fmt.Println(needMatrix().Tab4Workloads().Render())
-		case "5":
-			fmt.Println(needMatrix().Tab5MechanismCoverage().Render())
-		case "6":
-			t, err := needMatrix().Tab6OffloadCharacteristics()
-			if err != nil {
-				fatal(err)
+			m := needMatrix()
+			if m == nil {
+				return fail(buildErr)
 			}
-			fmt.Println(t.Render())
-		default:
-			fatal(fmt.Errorf("unknown table %q", tab))
+			fmt.Fprintln(stdout, m.Tab4Workloads().Render())
+		case "5":
+			m := needMatrix()
+			if m == nil {
+				return fail(buildErr)
+			}
+			fmt.Fprintln(stdout, m.Tab5MechanismCoverage().Render())
+		case "6":
+			m := needMatrix()
+			if m == nil {
+				return fail(buildErr)
+			}
+			t, err := m.Tab6OffloadCharacteristics()
+			if err != nil {
+				return fail(err)
+			}
+			fmt.Fprintln(stdout, t.Render())
 		}
 	}
 	for _, fig := range figs {
+		var render func() (string, error)
 		switch fig {
 		case "7":
-			fmt.Println(needMatrix().Fig7EnergyEfficiency().Render())
+			render = matrixTable(needMatrix, &buildErr, (*exp.Matrix).Fig7EnergyEfficiency)
 		case "8":
-			fmt.Println(needMatrix().Fig8CacheAccesses().Render())
+			render = matrixTable(needMatrix, &buildErr, (*exp.Matrix).Fig8CacheAccesses)
 		case "9":
-			fmt.Println(needMatrix().Fig9AccessDistribution().Render())
+			render = matrixTable(needMatrix, &buildErr, (*exp.Matrix).Fig9AccessDistribution)
 		case "10":
-			fmt.Println(needMatrix().Fig10NoCTraffic().Render())
+			render = matrixTable(needMatrix, &buildErr, (*exp.Matrix).Fig10NoCTraffic)
 		case "11a":
-			fmt.Println(needMatrix().Fig11aIPC().Render())
+			render = matrixTable(needMatrix, &buildErr, (*exp.Matrix).Fig11aIPC)
 		case "11b":
-			fmt.Println(needMatrix().Fig11bSpeedup().Render())
+			render = matrixTable(needMatrix, &buildErr, (*exp.Matrix).Fig11bSpeedup)
 		case "12a":
-			t, err := exp.Fig12aCaseStudies(scale)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Println(t.Render())
+			render = scaleTable(scale, exp.Fig12aCaseStudies)
 		case "12b":
-			t, err := exp.Fig12bMultithread(scale)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Println(t.Render())
+			render = scaleTable(scale, exp.Fig12bMultithread)
 		case "13":
-			t, err := exp.Fig13Clocking(scale)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Println(t.Render())
+			render = scaleTable(scale, exp.Fig13Clocking)
 		case "14":
-			t, err := exp.Fig14SoftwareOpt(scale)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Println(t.Render())
-		default:
-			fatal(fmt.Errorf("unknown figure %q", fig))
+			render = scaleTable(scale, exp.Fig14SoftwareOpt)
 		}
+		out, err := render()
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintln(stdout, out)
 	}
 	if *headline {
-		fmt.Println(needMatrix().Headline().Render())
-		fmt.Println(needMatrix().DataMovement().Render())
+		m := needMatrix()
+		if m == nil {
+			return fail(buildErr)
+		}
+		fmt.Fprintln(stdout, m.Headline().Render())
+		fmt.Fprintln(stdout, m.DataMovement().Render())
 	}
 	if *sens {
 		t, err := exp.SensWorkingSet(scale)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Println(t.Render())
+		fmt.Fprintln(stdout, t.Render())
 	}
 	if *area {
-		fmt.Println(exp.Tab3Area().Render())
+		fmt.Fprintln(stdout, exp.Tab3Area().Render())
 	}
 	if *offchip {
 		t, err := exp.OffChipExtension(scale)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Println(t.Render())
+		fmt.Fprintln(stdout, t.Render())
 	}
 	if *ablations {
 		t, err := exp.Ablations(scale)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Println(t.Render())
+		fmt.Fprintln(stdout, t.Render())
 	}
+	if met != nil {
+		if matrix == nil {
+			fmt.Fprintln(stderr, "distda-repro: -metrics set but no matrix-backed output was selected; nothing collected")
+		} else {
+			fmt.Fprintln(stdout, met.Table().Render())
+		}
+	}
+	return 0
+}
+
+// matrixTable adapts a Matrix figure method into a deferred renderer that
+// builds the matrix on demand.
+func matrixTable(need func() *exp.Matrix, buildErr *error, f func(*exp.Matrix) *report.Table) func() (string, error) {
+	return func() (string, error) {
+		m := need()
+		if m == nil {
+			return "", *buildErr
+		}
+		return f(m).Render(), nil
+	}
+}
+
+// scaleTable adapts a scale-parameterized experiment into a deferred
+// renderer.
+func scaleTable(scale workloads.Scale, f func(workloads.Scale) (*report.Table, error)) func() (string, error) {
+	return func() (string, error) {
+		t, err := f(scale)
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
+	}
+}
+
+// writeTrace exports the tracer to path as Chrome trace_event JSON.
+func writeTrace(tr *trace.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parseScale(name string) (workloads.Scale, error) {
@@ -176,9 +312,4 @@ func parseScale(name string) (workloads.Scale, error) {
 	default:
 		return 0, fmt.Errorf("unknown scale %q (want test, bench or paper)", name)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "distda-repro:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunValidation table-tests the CLI front end: every -fig / -tab
+// selection is validated before anything is computed, so an unknown name
+// exits non-zero with an empty stdout — never a partial set of tables.
+func TestRunValidation(t *testing.T) {
+	cases := []struct {
+		name      string
+		args      []string
+		exit      int
+		wantErr   string // substring of stderr
+		wantOut   string // substring of stdout
+		wantNoOut bool   // stdout must be empty
+	}{
+		{name: "no selection", args: nil, exit: 2, wantNoOut: true},
+		{name: "unknown flag", args: []string{"-bogus"}, exit: 2, wantNoOut: true},
+		{name: "unknown scale", args: []string{"-scale", "huge", "-tab", "3"},
+			exit: 1, wantErr: `unknown scale "huge"`, wantNoOut: true},
+		{name: "unknown figure", args: []string{"-fig", "99"},
+			exit: 1, wantErr: `unknown figure "99"`, wantNoOut: true},
+		{name: "unknown table", args: []string{"-tab", "9"},
+			exit: 1, wantErr: `unknown table "9"`, wantNoOut: true},
+		// The critical partial-output case: a valid selection listed before
+		// an invalid one must not print before validation rejects the run.
+		{name: "valid tab then unknown fig", args: []string{"-tab", "3", "-fig", "nope"},
+			exit: 1, wantErr: `unknown figure "nope"`, wantNoOut: true},
+		{name: "valid fig then unknown tab", args: []string{"-fig", "7", "-tab", "nope"},
+			exit: 1, wantErr: `unknown table "nope"`, wantNoOut: true},
+		{name: "params", args: []string{"-params"}, exit: 0, wantOut: "Table III"},
+		{name: "tab 3", args: []string{"-tab", "3"}, exit: 0, wantOut: "Table III"},
+		{name: "area", args: []string{"-area"}, exit: 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			got := run(tc.args, &stdout, &stderr)
+			if got != tc.exit {
+				t.Fatalf("run(%v) = %d, want %d (stderr: %s)", tc.args, got, tc.exit, stderr.String())
+			}
+			if tc.wantNoOut && stdout.Len() != 0 {
+				t.Errorf("run(%v) wrote to stdout on failure:\n%s", tc.args, stdout.String())
+			}
+			if tc.wantErr != "" && !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Errorf("run(%v) stderr = %q, want substring %q", tc.args, stderr.String(), tc.wantErr)
+			}
+			if tc.wantOut != "" && !strings.Contains(stdout.String(), tc.wantOut) {
+				t.Errorf("run(%v) stdout = %q, want substring %q", tc.args, stdout.String(), tc.wantOut)
+			}
+		})
+	}
+}
+
+// TestMetricsWithoutMatrixWarns checks -metrics with only non-matrix output
+// exits cleanly and explains that nothing was collected.
+func TestMetricsWithoutMatrixWarns(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-params", "-metrics"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("run exited %d", got)
+	}
+	if !strings.Contains(stderr.String(), "no matrix-backed output") {
+		t.Errorf("stderr = %q, want a no-matrix warning", stderr.String())
+	}
+}

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	distda-run -w fdtd-2d -c Dist-DA-F -scale bench
+//	distda-run -workload fdtd-2d -config dist-da-io -trace out.json -metrics
 //	distda-run -w bfs -c OoO
 //	distda-run -list
 package main
@@ -12,58 +13,120 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"distda/internal/core"
 	"distda/internal/sim"
+	"distda/internal/trace"
 	"distda/internal/workloads"
 )
 
 func main() {
-	name := flag.String("w", "", "workload name (see -list)")
-	cfgName := flag.String("c", "Dist-DA-F", "configuration: OoO, Mono-CA, Mono-DA-IO, Mono-DA-F, Dist-DA-IO, Dist-DA-F")
-	scaleName := flag.String("scale", "bench", "input scale: test, bench, paper")
-	ghz := flag.Int("ghz", 0, "override accelerator clock (1, 2, 3)")
-	threads := flag.Int("threads", 1, "software threads for parallel-annotated loops")
-	naive := flag.Bool("naive-engine", false, "use the reference one-tick-at-a-time engine scheduler (bit-identical results, slower)")
-	list := flag.Bool("list", false, "list workloads and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable CLI entry point: it parses args, executes the
+// requested simulation, writes human output to stdout and errors to stderr,
+// and returns the process exit code. Unknown workload or configuration
+// names fail with a non-zero exit before any simulation output is printed.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("distda-run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var name, cfgName string
+	fs.StringVar(&name, "w", "", "workload name (see -list)")
+	fs.StringVar(&name, "workload", "", "workload name (alias of -w)")
+	fs.StringVar(&cfgName, "c", "Dist-DA-F", "configuration: OoO, Mono-CA, Mono-DA-IO, Mono-DA-F, Dist-DA-IO, Dist-DA-F (case-insensitive)")
+	fs.StringVar(&cfgName, "config", "", "configuration (alias of -c)")
+	scaleName := fs.String("scale", "bench", "input scale: test, bench, paper")
+	ghz := fs.Int("ghz", 0, "override accelerator clock (1, 2, 3)")
+	threads := fs.Int("threads", 1, "software threads for parallel-annotated loops")
+	naive := fs.Bool("naive-engine", false, "use the reference one-tick-at-a-time engine scheduler (bit-identical results, slower)")
+	traceOut := fs.String("trace", "", "write a Chrome trace_event JSON file (load in chrome://tracing or Perfetto)")
+	metrics := fs.Bool("metrics", false, "print the per-component metrics table after the result")
+	list := fs.Bool("list", false, "list workloads and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if cfgName == "" {
+		cfgName = "Dist-DA-F"
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "distda-run:", err)
+		return 1
+	}
 
 	scale, err := parseScale(*scaleName)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if *list {
 		for _, w := range workloads.All(scale) {
-			fmt.Printf("%-14s %s\n", w.Name, w.Desc)
+			fmt.Fprintf(stdout, "%-14s %s\n", w.Name, w.Desc)
 		}
-		fmt.Printf("%-14s %s (case study)\n", "spmv", workloads.SpMV(scale).Desc)
-		fmt.Printf("%-14s %s (multithreaded)\n", "bfs-mt", workloads.BFSMT(scale).Desc)
-		fmt.Printf("%-14s %s (multithreaded)\n", "pathfinder-mt", workloads.PathfinderMT(scale).Desc)
-		return
+		fmt.Fprintf(stdout, "%-14s %s (case study)\n", "spmv", workloads.SpMV(scale).Desc)
+		fmt.Fprintf(stdout, "%-14s %s (multithreaded)\n", "bfs-mt", workloads.BFSMT(scale).Desc)
+		fmt.Fprintf(stdout, "%-14s %s (multithreaded)\n", "pathfinder-mt", workloads.PathfinderMT(scale).Desc)
+		return 0
 	}
-	if *name == "" {
-		flag.Usage()
-		os.Exit(2)
+	if name == "" {
+		fs.Usage()
+		return 2
 	}
-	w, err := lookup(*name, scale)
+	w, err := lookup(name, scale)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	cfg, err := lookupConfig(*cfgName)
+	cfg, err := lookupConfig(cfgName)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if *ghz != 0 {
 		cfg = cfg.WithClock(*ghz)
 	}
 	cfg.NaiveEngine = *naive
+	var tr *trace.Tracer
+	if *traceOut != "" {
+		tr = trace.New()
+		cfg.Trace = tr
+	}
+	var met *trace.Metrics
+	if *metrics {
+		met = trace.NewMetrics()
+		cfg.Metrics = met
+	}
 	res, err := sim.RunThreads(w.Kernel, w.Params, w.NewData(), cfg, *threads)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	print(res)
+	print(stdout, res)
+	if met != nil {
+		fmt.Fprintln(stdout)
+		fmt.Fprintln(stdout, met.Table().Render())
+	}
+	if tr != nil {
+		if err := writeTrace(tr, *traceOut); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stderr, "distda-run: %s -> %s\n", tr.Summary(), *traceOut)
+	}
+	return 0
+}
+
+// writeTrace exports the tracer to path as Chrome trace_event JSON.
+func writeTrace(tr *trace.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func lookup(name string, scale workloads.Scale) (*workloads.Workload, error) {
@@ -79,52 +142,53 @@ func lookup(name string, scale workloads.Scale) (*workloads.Workload, error) {
 	}
 }
 
+// lookupConfig resolves a configuration by name, case-insensitively
+// ("dist-da-io" selects Dist-DA-IO).
 func lookupConfig(name string) (sim.Config, error) {
 	for _, c := range sim.AllPaperConfigs() {
-		if c.Name == name {
+		if strings.EqualFold(c.Name, name) {
 			return c, nil
 		}
 	}
-	switch name {
-	case "Dist-DA-IO+SW":
-		return sim.DistDAIOSW(), nil
-	case "Dist-DA-F+A":
-		return sim.DistDAFA(), nil
+	for _, c := range []sim.Config{sim.DistDAIOSW(), sim.DistDAFA()} {
+		if strings.EqualFold(c.Name, name) {
+			return c, nil
+		}
 	}
-	return sim.Config{}, fmt.Errorf("unknown configuration %q", name)
+	return sim.Config{}, fmt.Errorf("unknown configuration %q (want OoO, Mono-CA, Mono-DA-IO, Mono-DA-F, Dist-DA-IO, Dist-DA-F, Dist-DA-IO+SW or Dist-DA-F+A)", name)
 }
 
-func print(r *sim.Result) {
-	fmt.Printf("workload      %s\n", r.Workload)
-	fmt.Printf("config        %s\n", r.Config)
-	fmt.Printf("validated     %v\n", r.Validated)
-	fmt.Printf("cycles        %d (2 GHz host clock)\n", r.Cycles)
-	fmt.Printf("instructions  %d host + %d accel, IPC %.2f\n", r.HostInstr, r.AccelOps, r.IPC())
-	fmt.Printf("mem ops       %d (%.3f per cycle)\n", r.MemOps, r.MemOpRate())
-	fmt.Printf("energy        %.3f uJ\n", r.EnergyPJ/1e6)
+func print(w io.Writer, r *sim.Result) {
+	fmt.Fprintf(w, "workload      %s\n", r.Workload)
+	fmt.Fprintf(w, "config        %s\n", r.Config)
+	fmt.Fprintf(w, "validated     %v\n", r.Validated)
+	fmt.Fprintf(w, "cycles        %d (2 GHz host clock)\n", r.Cycles)
+	fmt.Fprintf(w, "instructions  %d host + %d accel, IPC %.2f\n", r.HostInstr, r.AccelOps, r.IPC())
+	fmt.Fprintf(w, "mem ops       %d (%.3f per cycle)\n", r.MemOps, r.MemOpRate())
+	fmt.Fprintf(w, "energy        %.3f uJ\n", r.EnergyPJ/1e6)
 	cats := make([]string, 0, len(r.EnergyByCat))
 	for c := range r.EnergyByCat {
 		cats = append(cats, c)
 	}
 	sort.Strings(cats)
 	for _, c := range cats {
-		fmt.Printf("  %-10s  %10.3f uJ\n", c, r.EnergyByCat[c]/1e6)
+		fmt.Fprintf(w, "  %-10s  %10.3f uJ\n", c, r.EnergyByCat[c]/1e6)
 	}
-	fmt.Printf("cache acc     L1 %d, L2 %d, L3 %d, DRAM %d\n", r.CacheL1, r.CacheL2, r.CacheL3, r.DRAM)
-	fmt.Printf("data moved    %d bytes\n", r.DataMovedBytes)
-	fmt.Printf("accel traffic intra %d, D-A %d, A-A %d bytes\n", r.IntraBytes, r.DABytes, r.AABytes)
-	fmt.Printf("NoC bytes     ctrl %d, data %d, acc_ctrl %d, acc_data %d\n",
+	fmt.Fprintf(w, "cache acc     L1 %d, L2 %d, L3 %d, DRAM %d\n", r.CacheL1, r.CacheL2, r.CacheL3, r.DRAM)
+	fmt.Fprintf(w, "data moved    %d bytes\n", r.DataMovedBytes)
+	fmt.Fprintf(w, "accel traffic intra %d, D-A %d, A-A %d bytes\n", r.IntraBytes, r.DABytes, r.AABytes)
+	fmt.Fprintf(w, "NoC bytes     ctrl %d, data %d, acc_ctrl %d, acc_data %d\n",
 		r.NoCBytes["ctrl"], r.NoCBytes["data"], r.NoCBytes["acc_ctrl"], r.NoCBytes["acc_data"])
 	if r.Launches > 0 {
-		fmt.Printf("offloads      %d launches, %.1f buffers avg, %%init %.2f\n",
+		fmt.Fprintf(w, "offloads      %d launches, %.1f buffers avg, %%init %.2f\n",
 			r.Launches, r.AvgBuffers, r.InitOverheadPct())
-		fmt.Printf("mechanisms   ")
+		fmt.Fprintf(w, "mechanisms   ")
 		for _, in := range core.Intrinsics() {
 			if r.MMIO.Used(in) {
-				fmt.Printf(" %s", in)
+				fmt.Fprintf(w, " %s", in)
 			}
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 }
 
@@ -137,11 +201,6 @@ func parseScale(name string) (workloads.Scale, error) {
 	case "paper":
 		return workloads.ScalePaper, nil
 	default:
-		return 0, fmt.Errorf("unknown scale %q", name)
+		return 0, fmt.Errorf("unknown scale %q (want test, bench or paper)", name)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "distda-run:", err)
-	os.Exit(1)
 }

@@ -5,6 +5,7 @@ import (
 
 	"distda/internal/energy"
 	"distda/internal/engine"
+	"distda/internal/trace"
 )
 
 // Stats aggregates the Fig. 9 traffic categories for one simulated run.
@@ -73,6 +74,13 @@ type StreamIn struct {
 	closed   bool
 	stats    *Stats
 	meter    *energy.Meter
+
+	// Trace, when enabled, records one span per issued line fetch and an
+	// instant at end-of-stream close. Set after construction (the zero value
+	// is disabled); timing is unaffected either way.
+	Trace trace.Scope
+	// LatHist, when non-nil, observes per-line fetch latencies (base cycles).
+	LatHist *trace.Hist
 }
 
 // NewStreamIn builds a fill FSM. length may be zero (the buffer closes
@@ -130,6 +138,7 @@ func (f *StreamIn) Step(now int64) bool {
 		f.buf.Close()
 		f.closed = true
 		progress = true
+		f.Trace.Instant("close", now, trace.KV{K: "obj", V: f.obj}, trace.KV{K: "elems", V: f.issued})
 	}
 	return progress
 }
@@ -197,6 +206,8 @@ func (f *StreamIn) issueLine(now int64) bool {
 			f.stats.DABytes += lineBytes
 			f.lastLine = line
 			newLine = true
+			f.Trace.Span("fill", now, int64(issueLat), trace.KV{K: "obj", V: f.obj})
+			f.LatHist.Observe(float64(issueLat))
 		} else if len(vals) == 0 && !newLine {
 			// Element served from the already-fetched line: pure reuse
 			// (buffer-internal traffic is accounted at the buffer).
@@ -242,6 +253,12 @@ type StreamOut struct {
 	closed    bool
 	stats     *Stats
 	meter     *energy.Meter
+
+	// Trace, when enabled, records one span per line writeback and an
+	// instant when the drain completes. Set after construction.
+	Trace trace.Scope
+	// LatHist, when non-nil, observes per-line writeback latencies.
+	LatHist *trace.Hist
 }
 
 // NewStreamOut builds a drain FSM reading from buf via its own reader.
@@ -271,6 +288,7 @@ func (f *StreamOut) Step(now int64) bool {
 	}
 	if f.buf.Drained(f.reader) {
 		f.closed = true
+		f.Trace.Instant("close", now, trace.KV{K: "obj", V: f.obj}, trace.KV{K: "elems", V: f.drained})
 		return true
 	}
 	if !f.buf.CanPop(f.reader) {
@@ -296,6 +314,8 @@ func (f *StreamOut) Step(now int64) bool {
 		if f.meter != nil {
 			f.meter.Add(energy.CatAccel, f.meter.Table.TranslatePJ)
 		}
+		f.Trace.Span("drain", now, f.busyUntil-now, trace.KV{K: "obj", V: f.obj})
+		f.LatHist.Observe(float64(lat))
 	}
 	f.drained++
 	return true

@@ -9,6 +9,7 @@ import (
 	"distda/internal/engine"
 	"distda/internal/ir"
 	"distda/internal/microcode"
+	"distda/internal/trace"
 )
 
 // Fabric executes one accelerator definition on a statically mapped grid:
@@ -43,11 +44,21 @@ type Fabric struct {
 	// the per-initiation operand scan cheap and its order deterministic).
 	consumes []consumeReq
 	nprod    int // produce ops per iteration: pre-sizes each flight's outs
+	lastNow  int64
 	done     bool
 
 	// Counters.
 	Ops   int64
 	Iters int64
+
+	// Trace, when enabled, records one span per memory-extended iteration
+	// (initiations whose latency exceeds the pipeline depth because of
+	// random-access stalls) and an instant at completion. Set after
+	// construction; timing is unaffected either way.
+	Trace trace.Scope
+	// IterHist, when non-nil, observes per-iteration initiation-to-ready
+	// latencies (base cycles).
+	IterHist *trace.Hist
 }
 
 type flight struct {
@@ -156,6 +167,8 @@ func (f *Fabric) finish() {
 		}
 	}
 	f.done = true
+	f.Trace.Instant("done", f.lastNow, trace.KV{K: "accel", V: int64(f.def.ID)},
+		trace.KV{K: "iters", V: f.Iters}, trace.KV{K: "ops", V: f.Ops})
 }
 
 // Step advances one fabric clock edge.
@@ -163,6 +176,7 @@ func (f *Fabric) Step(now int64) bool {
 	if f.done {
 		return false
 	}
+	f.lastNow = now
 	progress := false
 	// Deliver the oldest completed iteration's outputs, in order.
 	for len(f.inflight) > 0 && f.inflight[0].ready <= now {
@@ -331,6 +345,10 @@ func (f *Fabric) startIteration(now int64) {
 	if n := len(f.inflight); n > 0 && ready < f.inflight[n-1].ready {
 		ready = f.inflight[n-1].ready // in-order completion
 	}
+	if extraLat > 0 {
+		f.Trace.Span("mem-stall", now, extraLat, trace.KV{K: "accel", V: int64(f.def.ID)})
+	}
+	f.IterHist.Observe(float64(ready - now))
 	f.inflight = append(f.inflight, flight{ready: ready, outs: outs})
 	if f.mapping.MemSerial {
 		f.nextStart = ready // pointer chase: no iteration overlap

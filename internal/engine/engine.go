@@ -17,6 +17,8 @@ package engine
 import (
 	"fmt"
 	"math"
+
+	"distda/internal/trace"
 )
 
 // BaseGHz is the base clock. Divisors: 6 GHz base → 1 GHz = 6, 2 GHz = 3,
@@ -107,6 +109,13 @@ type Engine struct {
 
 	running bool
 
+	// Trace, when enabled, records one span per Run plus one span per
+	// fast-forward jump (the cycles the event-driven scheduler skipped).
+	// The zero value is the disabled state; the recording path then costs a
+	// single hoisted branch per Run, keeping the disabled-tracing overhead
+	// inside the benchmark budget.
+	Trace trace.Scope
+
 	// Naive selects the reference one-tick-at-a-time scheduler: every base
 	// cycle is visited and every live component is inspected (and stepped
 	// when due). It is kept for differential testing against the default
@@ -184,6 +193,11 @@ func (e *Engine) Now() int64 { return e.now }
 // Live returns the number of registered components not yet finished.
 func (e *Engine) Live() int { return e.live }
 
+// ffSpanMinCycles is the shortest fast-forward jump that earns its own
+// trace span. Shorter jumps (clock-edge alignment gaps) are still counted
+// in the Run span's ff_jumps / ff_skipped_cycles aggregates.
+const ffSpanMinCycles = 32
+
 // deadlockWindow is how many consecutive progress-free base cycles (with
 // incomplete components) are treated as deadlock. Every legitimate wait in
 // the model counts down a timer and therefore reports progress (or, under
@@ -231,8 +245,13 @@ func (e *Engine) runFast(maxBaseCycles int64) (int64, error) {
 	start := e.now
 	var idle int64
 	window := int64(deadlockWindow) * e.maxDiv
+	traced := e.Trace.Enabled() // hoisted: the disabled path pays one branch per processed cycle
+	var jumps, skipped int64
 	for {
 		if e.live == 0 {
+			if traced {
+				e.finishRunSpan(start, jumps, skipped)
+			}
 			return e.now - start, nil
 		}
 		if e.now-start >= maxBaseCycles {
@@ -243,6 +262,9 @@ func (e *Engine) runFast(maxBaseCycles int64) (int64, error) {
 			// The completing step happened this cycle; the naive loop
 			// detects completion at the top of the next one.
 			e.now++
+			if traced {
+				e.finishRunSpan(start, jumps, skipped)
+			}
 			return e.now - start, nil
 		}
 		next, future := e.nextWake(progress)
@@ -262,8 +284,28 @@ func (e *Engine) runFast(maxBaseCycles int64) (int64, error) {
 		if lim := start + maxBaseCycles; next > lim {
 			next = lim // land on the budget boundary, like the naive loop
 		}
+		if traced && next-e.now > 1 {
+			d := next - e.now - 1 // cycles the scheduler never visited
+			// Per-jump spans only for jumps long enough to mean a real
+			// latency (memory lines, drained pipelines); ordinary clock-edge
+			// gaps would bury every other track under millions of slivers.
+			// The aggregate counters still see every jump.
+			if d >= ffSpanMinCycles {
+				e.Trace.Span("fast-forward", e.now+1, d, trace.KV{K: "cycles", V: d})
+			}
+			jumps++
+			skipped += d
+		}
 		e.now = next
 	}
+}
+
+// finishRunSpan emits the Run-level span on the engine's trace track.
+func (e *Engine) finishRunSpan(start, jumps, skipped int64) {
+	e.Trace.Span("engine.Run", start, e.now-start,
+		trace.KV{K: "cycles", V: e.now - start},
+		trace.KV{K: "ff_jumps", V: jumps},
+		trace.KV{K: "ff_skipped_cycles", V: skipped})
 }
 
 // runNaive is the reference scheduler: one base cycle at a time. Relative
@@ -275,8 +317,12 @@ func (e *Engine) runNaive(maxBaseCycles int64) (int64, error) {
 	start := e.now
 	var idle int64
 	window := int64(deadlockWindow) * e.maxDiv
+	traced := e.Trace.Enabled()
 	for {
 		if e.live == 0 {
+			if traced {
+				e.finishRunSpan(start, 0, 0)
+			}
 			return e.now - start, nil
 		}
 		if e.now-start >= maxBaseCycles {
@@ -285,6 +331,9 @@ func (e *Engine) runNaive(maxBaseCycles int64) (int64, error) {
 		progress := e.stepDue()
 		if e.live == 0 {
 			e.now++
+			if traced {
+				e.finishRunSpan(start, 0, 0)
+			}
 			return e.now - start, nil
 		}
 		if progress {

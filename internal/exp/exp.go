@@ -13,6 +13,7 @@ import (
 	"distda/internal/report"
 	"distda/internal/sim"
 	"distda/internal/stats"
+	"distda/internal/trace"
 	"distda/internal/workloads"
 )
 
@@ -49,6 +50,27 @@ type compileSlot struct {
 // results land in cell-indexed slots, making the output deterministic and
 // independent of the worker count or scheduling.
 func BuildMatrixParallel(scale workloads.Scale, workers int) (*Matrix, error) {
+	return BuildMatrixObserved(scale, workers, Observe{})
+}
+
+// Observe configures observability for a matrix build. Every cell owns its
+// private tracer and metrics registry (recording stays lock-free inside the
+// worker), so traced or metered matrices remain byte-identical at any
+// worker count; per-cell metrics are folded into Metrics in serial cell
+// order after the parallel phase.
+type Observe struct {
+	// Tracer, when non-nil, supplies the tracer for each (workload, config)
+	// cell. It is invoked serially before the workers start; return nil to
+	// leave a cell untraced.
+	Tracer func(workload, config string) *trace.Tracer
+	// Metrics, when non-nil, receives every cell's metrics registry via
+	// deterministic serial-order Merge.
+	Metrics *trace.Metrics
+}
+
+// BuildMatrixObserved is BuildMatrixParallel with per-cell tracing and
+// metrics collection attached.
+func BuildMatrixObserved(scale workloads.Scale, workers int, obs Observe) (*Matrix, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -88,6 +110,23 @@ func BuildMatrixParallel(scale workloads.Scale, workers int) (*Matrix, error) {
 		_ = w
 	}
 
+	// Observability: per-cell tracers (drawn serially so provider state is
+	// never raced) and per-cell metrics registries, merged serially below.
+	tracers := make([][]*trace.Tracer, nw)
+	cellMet := make([][]*trace.Metrics, nw)
+	for i, w := range m.Workloads {
+		tracers[i] = make([]*trace.Tracer, nc)
+		cellMet[i] = make([]*trace.Metrics, nc)
+		for j, cfg := range m.Configs {
+			if obs.Tracer != nil {
+				tracers[i][j] = obs.Tracer(w.Name, cfg.Name)
+			}
+			if obs.Metrics != nil {
+				cellMet[i][j] = trace.NewMetrics()
+			}
+		}
+	}
+
 	// Fan the cells out over the worker pool; collect into cell-indexed
 	// slots so assembly below runs in deterministic serial order.
 	res := make([][]*sim.Result, nw)
@@ -105,6 +144,8 @@ func BuildMatrixParallel(scale workloads.Scale, workers int) (*Matrix, error) {
 			defer wg.Done()
 			for c := range jobs {
 				w, cfg := m.Workloads[c.i], m.Configs[c.j]
+				cfg.Trace = tracers[c.i][c.j]
+				cfg.Metrics = cellMet[c.i][c.j]
 				var compiled *compiler.Compiled
 				if slot := comp[c.i][c.j]; slot != nil {
 					slot.once.Do(func() {
@@ -139,6 +180,15 @@ func BuildMatrixParallel(scale workloads.Scale, workers int) (*Matrix, error) {
 		m.Res[w.Name] = map[string]*sim.Result{}
 		for j, cfg := range m.Configs {
 			m.Res[w.Name][cfg.Name] = res[i][j]
+		}
+	}
+	// Fold per-cell metrics in serial cell order: the merged registry is
+	// identical at any worker count.
+	if obs.Metrics != nil {
+		for i := range m.Workloads {
+			for j := range m.Configs {
+				obs.Metrics.Merge(cellMet[i][j])
+			}
 		}
 	}
 	return m, nil

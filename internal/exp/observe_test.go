@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"distda/internal/trace"
+	"distda/internal/workloads"
+)
+
+// TestObservedMatrixIdentical proves observability is purely observational:
+// a matrix built with a per-cell tracer and a metrics registry attached, at
+// a parallel worker count, is field-for-field identical to a plain serial
+// build. This is the repro-level trace-on/off differential — every figure
+// and table renders from Res, so equal Res means byte-identical output.
+func TestObservedMatrixIdentical(t *testing.T) {
+	plain, err := BuildMatrixParallel(workloads.ScaleTest, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	met := trace.NewMetrics()
+	var tracers []*trace.Tracer
+	obs := Observe{
+		Tracer: func(workload, config string) *trace.Tracer {
+			tr := trace.New()
+			tracers = append(tracers, tr)
+			return tr
+		},
+		Metrics: met,
+	}
+	observed, err := BuildMatrixObserved(workloads.ScaleTest, 8, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(plain.Res, observed.Res) {
+		for w, byCfg := range plain.Res {
+			for cfg, r := range byCfg {
+				if !reflect.DeepEqual(r, observed.Res[w][cfg]) {
+					t.Errorf("%s on %s: observed build diverges:\nplain:    %+v\nobserved: %+v",
+						w, cfg, r, observed.Res[w][cfg])
+				}
+			}
+		}
+		t.Fatal("observed matrix diverges from plain serial build")
+	}
+
+	if want := len(plain.Workloads) * len(plain.Configs); len(tracers) != want {
+		t.Errorf("tracer provider called %d times, want %d", len(tracers), want)
+	}
+	var events int64
+	for _, tr := range tracers {
+		events += tr.Events()
+	}
+	if events == 0 {
+		t.Error("per-cell tracers recorded no events")
+	}
+	if len(met.Names()) == 0 {
+		t.Error("merged metrics registry is empty")
+	}
+}
+
+// TestObservedMetricsDeterministic merges per-cell metrics from two
+// observed builds at different worker counts and requires identical
+// rendered tables: the serial-order merge must hide scheduling.
+func TestObservedMetricsDeterministic(t *testing.T) {
+	build := func(workers int) string {
+		met := trace.NewMetrics()
+		if _, err := BuildMatrixObserved(workloads.ScaleTest, workers, Observe{Metrics: met}); err != nil {
+			t.Fatal(err)
+		}
+		return met.Table().Render()
+	}
+	if a, b := build(1), build(8); a != b {
+		t.Errorf("merged metrics differ between worker counts:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+}

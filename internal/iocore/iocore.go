@@ -13,6 +13,7 @@ import (
 	"distda/internal/engine"
 	"distda/internal/ir"
 	"distda/internal/microcode"
+	"distda/internal/trace"
 )
 
 // Core executes one accelerator definition.
@@ -37,6 +38,7 @@ type Core struct {
 	meter  *energy.Meter
 
 	stallUntil int64
+	lastNow    int64 // most recent Step edge (timestamp for the done instant)
 	done       bool
 
 	// Width is the issue width: micro-ops retired per cycle when nothing
@@ -58,6 +60,14 @@ type Core struct {
 	FloatOps   int64
 	Iters      int64
 	StallCyc   int64
+
+	// Trace, when enabled, records one span per random-access stall and an
+	// instant at orchestrator completion. Set after construction (the zero
+	// value is disabled); timing is unaffected either way.
+	Trace trace.Scope
+	// StallHist, when non-nil, observes random-access stall latencies (base
+	// cycles).
+	StallHist *trace.Hist
 }
 
 // New builds a core for def. trips < 0 selects while-input orchestration
@@ -119,6 +129,8 @@ func (c *Core) finish() {
 		}
 	}
 	c.done = true
+	c.Trace.Instant("done", c.lastNow, trace.KV{K: "accel", V: int64(c.def.ID)},
+		trace.KV{K: "iters", V: c.Iters}, trace.KV{K: "ops", V: c.Ops})
 }
 
 func (c *Core) retire(class ir.OpClass) {
@@ -161,6 +173,7 @@ func (c *Core) Step(now int64) bool {
 	if c.done {
 		return false
 	}
+	c.lastNow = now
 	if now < c.stallUntil {
 		if c.ClockDiv <= 0 {
 			c.StallCyc++ // legacy per-edge accounting
@@ -208,6 +221,10 @@ func (c *Core) setStall(now, lat int64) {
 	c.stallUntil = now + lat
 	if c.ClockDiv > 0 && lat > 0 {
 		c.StallCyc += (lat - 1) / c.ClockDiv
+	}
+	if lat > 0 {
+		c.Trace.Span("stall", now, lat, trace.KV{K: "accel", V: int64(c.def.ID)})
+		c.StallHist.Observe(float64(lat))
 	}
 }
 

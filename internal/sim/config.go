@@ -10,6 +10,7 @@ package sim
 import (
 	"distda/internal/cgra"
 	"distda/internal/compiler"
+	"distda/internal/trace"
 )
 
 // Substrate selects the accelerator execution substrate.
@@ -59,6 +60,19 @@ type Config struct {
 	HostPrefDeg   int
 	MonoCAAt2GHz  bool // kept for clarity; Mono-CA accel runs at 2 GHz
 	ValidateEvery bool // compare against the interpreter after Run
+
+	// Trace, when non-nil, receives cycle-accurate span/instant events from
+	// the host timeline, the engine scheduler and every assembled component
+	// (fill/drain FSMs, cores, fabrics). Timestamps are engine base cycles
+	// on the run-global clock; export with Tracer.WriteChromeJSON. Tracing
+	// is observational only: cycle counts and results are bit-identical
+	// with it on or off (the differential tests enforce this).
+	Trace *trace.Tracer
+
+	// Metrics, when non-nil, receives per-component counters, gauges and
+	// latency histograms at assembly and collection time. Registries from
+	// parallel runs can be folded together with Metrics.Merge.
+	Metrics *trace.Metrics
 
 	// NaiveEngine drives every offload launch with the engine's reference
 	// one-tick-at-a-time scheduler instead of the event-driven fast-forward

@@ -103,6 +103,7 @@ func (h *host) loadTimed(obj string, idx int64, dep taint) float64 {
 	h.m.hostLoads++
 	h.instr(ir.ClassInt)
 	lat := float64(h.m.hier.HostAccess(addr, false))
+	h.m.hostLatH.Observe(lat)
 	stall := lat - l1Latency
 	if stall > 0 {
 		switch dep {

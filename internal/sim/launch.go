@@ -12,6 +12,7 @@ import (
 	"distda/internal/ir"
 	"distda/internal/microcode"
 	"distda/internal/noc"
+	"distda/internal/trace"
 )
 
 // accelRT is the per-launch runtime state of one accelerator definition.
@@ -66,9 +67,11 @@ func (h *host) launch(reg *core.Region) {
 		return
 	}
 	m.launches++
+	m.scoped = m.scoped[:0] // deferred trace attachments for this launch
 
 	// Software-managed coherence: push host-dirty copies of offload-visible
 	// objects to their home banks once per kernel (§IV-D).
+	flushT0 := m.hostTS()
 	for _, a := range reg.Accels {
 		for _, obj := range a.Objects {
 			if m.flushedObjs[obj] {
@@ -81,6 +84,9 @@ func (h *host) launch(reg *core.Region) {
 			}
 			m.memCycles += float64(m.hier.FlushRange(r.Base, r.Bytes))
 		}
+	}
+	if t1 := m.hostTS(); t1 > flushT0 {
+		m.hostTrace.Span("flush", flushT0, t1-flushT0, trace.KV{K: "region", V: reg.Name})
 	}
 
 	// Pass 1: evaluate stream configurations and place accelerators.
@@ -149,6 +155,11 @@ func (h *host) launch(reg *core.Region) {
 			m.mmioHost(core.CpConfig, rt.cluster)
 		}
 		for _, ba := range plan.Buffers {
+			if len(ba.Accesses) > 1 {
+				// Multi-access combining (Fig. 2d): accessors beyond the
+				// first share the buffer instead of owning one.
+				m.combinedC.Add(int64(len(ba.Accesses) - 1))
+			}
 			first := rt.def.Accesses[ba.Accesses[0]]
 			switch first.Kind {
 			case core.StreamIn:
@@ -232,6 +243,13 @@ func (h *host) launch(reg *core.Region) {
 			}
 			c.Width = m.cfg.IOWidth
 			c.ClockDiv = int64(engine.Div(m.cfg.AccelGHz))
+			c.StallHist = m.met.Histogram("iocore/stall_lat")
+			if m.tr != nil {
+				id := rt.def.ID
+				m.scoped = append(m.scoped, func(off int64) {
+					c.Trace = m.tr.Component(fmt.Sprintf("core:%d", id)).At(off)
+				})
+			}
 			rt.regs = c
 			ioCores = append(ioCores, c)
 			addComp(c, m.cfg.AccelGHz)
@@ -240,6 +258,13 @@ func (h *host) launch(reg *core.Region) {
 				int64(engine.Div(m.cfg.AccelGHz)), m.meter)
 			if err != nil {
 				h.failf("launch: %v", err)
+			}
+			f.IterHist = m.met.Histogram("cgra/iter_lat")
+			if m.tr != nil {
+				id := rt.def.ID
+				m.scoped = append(m.scoped, func(off int64) {
+					f.Trace = m.tr.Component(fmt.Sprintf("fabric:%d", id)).At(off)
+				})
 			}
 			rt.regs = f
 			fabrics = append(fabrics, f)
@@ -268,23 +293,38 @@ func (h *host) launch(reg *core.Region) {
 		m.mmioHost(core.CpRun, rt.cluster)
 	}
 
+	// Accelerator timeline: this launch occupies the accelerator resources
+	// after any prior in-flight launch. The host blocks (cp_consume
+	// semantics, §V-B) only when it reads a scalar back; otherwise it runs
+	// ahead, overlapping with the offload. The launch's start on the
+	// run-global clock is known before the engine runs (nothing changes the
+	// host timeline until it returns), so trace scopes attach here: each
+	// per-launch engine clock starts at zero and the offset maps its events
+	// onto the global timeline.
+	hostNow := m.hostTimeline()
+	start := hostNow
+	if m.accelFreeAt > start {
+		start = m.accelFreeAt
+	}
+	if m.tr != nil {
+		off := int64(start * float64(hostDiv))
+		for _, attach := range m.scoped {
+			attach(off)
+		}
+		m.scoped = m.scoped[:0]
+		eng.Trace = m.tr.Component("engine").At(off)
+	}
+
 	base, err := eng.Run(m.cfg.MaxEngine)
 	if err != nil {
 		h.failf("launch of %s: %v", reg.Name, err)
 	}
 	m.accelBase += base
 
-	// Accelerator timeline: this launch occupies the accelerator resources
-	// after any prior in-flight launch. The host blocks (cp_consume
-	// semantics, §V-B) only when it reads a scalar back; otherwise it runs
-	// ahead, overlapping with the offload.
 	engHost := float64(base) / float64(hostDiv)
-	hostNow := m.hostTimeline()
-	start := hostNow
-	if m.accelFreeAt > start {
-		start = m.accelFreeAt
-	}
 	m.accelFreeAt = start + engHost
+	m.hostTrace.Span("launch:"+reg.Name, int64(start*float64(hostDiv)), base,
+		trace.KV{K: "accels", V: int64(len(rts))}, trace.KV{K: "base_cycles", V: base})
 	needsSync := false
 	for _, rt := range rts {
 		if len(rt.def.ScalarOut) > 0 {
@@ -293,6 +333,7 @@ func (h *host) launch(reg *core.Region) {
 	}
 	if needsSync {
 		if wait := m.accelFreeAt - hostNow; wait > 0 {
+			m.hostTrace.Span("wait-accel", int64(hostNow*float64(hostDiv)), int64(wait*float64(hostDiv)))
 			m.memCycles += wait
 		}
 		m.inflightWrites = map[string]bool{}
@@ -438,6 +479,13 @@ func (h *host) wireStreamIn(rt *accelRT, ba core.BufferAlloc,
 	if err != nil {
 		return err
 	}
+	fsm.LatHist = m.met.Histogram("au/fill_lat")
+	if m.tr != nil {
+		obj := ba.Obj
+		m.scoped = append(m.scoped, func(off int64) {
+			fsm.Trace = m.tr.Component("fill:" + obj).At(off)
+		})
+	}
 	add(fsm, 2)
 	m.mmio.Record(core.CpFillBuf)
 	m.accelMemElem += length
@@ -497,6 +545,13 @@ func (h *host) wireStreamOut(rt *accelRT, ba core.BufferAlloc, add func(engine.C
 		fsmCluster, ba.Obj, ev.Start, ev.Stride, m.austats, m.meter)
 	if err != nil {
 		return err
+	}
+	fsm.LatHist = m.met.Histogram("au/drain_lat")
+	if m.tr != nil {
+		obj := ba.Obj
+		m.scoped = append(m.scoped, func(off int64) {
+			fsm.Trace = m.tr.Component("drain:" + obj).At(off)
+		})
 	}
 	add(fsm, 2)
 	m.mmio.Record(core.CpDrainBuf)

@@ -11,6 +11,7 @@ import (
 	"distda/internal/engine"
 	"distda/internal/ir"
 	"distda/internal/noc"
+	"distda/internal/trace"
 )
 
 // hostDiv converts 2 GHz host cycles to base cycles.
@@ -61,6 +62,18 @@ type machine struct {
 	accelBase   int64   // engine base cycles spent in offloads
 	accelFreeAt float64 // host-cycle time when accelerator resources free
 	cycleAdjust int64   // parallel-section overlap credit (§VI-D)
+
+	// Observability (nil-safe: a nil tracer/registry disables everything).
+	tr        *trace.Tracer
+	met       *trace.Metrics
+	hostTrace trace.Scope // host-timeline track, absolute base-cycle stamps
+	// scoped holds deferred trace-scope attachments for the launch being
+	// assembled; they run once the launch's base-cycle offset is known.
+	scoped []func(offset int64)
+	// Hoisted metric handles (per-access paths must not re-lookup by name).
+	hostLatH    *trace.Hist
+	clusterLatH *trace.Hist
+	combinedC   *trace.Counter
 }
 
 // newMachine allocates the system and lays out the kernel's objects via the
@@ -92,6 +105,12 @@ func newMachine(cfg Config, k *ir.Kernel, params map[string]float64, data map[st
 		inflightWrites: map[string]bool{},
 		scalarsSent:    map[*core.AccelDef]bool{},
 	}
+	m.tr = cfg.Trace
+	m.met = cfg.Metrics
+	m.hostTrace = m.tr.Component("host").At(0) // nil-safe: disabled scope on nil tracer
+	m.hostLatH = m.met.Histogram("host/load_lat")
+	m.clusterLatH = m.met.Histogram("cache/cluster_access_lat")
+	m.combinedC = m.met.Counter("au/combined_accessors")
 	span := int64(64 << 10) // cache.DefaultConfig ClusterSpanBytes
 	for i, o := range k.Objects {
 		buf, ok := data[o.Name]
@@ -165,10 +184,17 @@ func (m *machine) hostTimeline() float64 {
 	return m.slotCycles + m.memCycles + float64(m.cycleAdjust)
 }
 
+// hostTS maps the host timeline onto the run-global base-cycle clock used
+// for trace timestamps.
+func (m *machine) hostTS() int64 {
+	return int64(m.hostTimeline() * float64(hostDiv))
+}
+
 // syncAccel blocks the host until outstanding offloads complete (barriers,
 // chunk boundaries).
 func (m *machine) syncAccel() {
 	if wait := m.accelFreeAt - m.hostTimeline(); wait > 0 {
+		m.hostTrace.Span("wait-accel", m.hostTS(), int64(wait*float64(hostDiv)))
 		m.memCycles += wait
 	}
 	m.inflightWrites = map[string]bool{}
@@ -263,6 +289,7 @@ func (f clusterFetcher) Access(cluster int, addr int64, write bool, bytes int) i
 		lat = lat/2 + 1
 		f.m.meter.Add(energy.CatAccel, f.m.meter.Table.PrefetchPJ)
 	}
+	f.m.clusterLatH.Observe(float64(lat))
 	return lat * int(hostDiv)
 }
 

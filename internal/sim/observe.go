@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"fmt"
+
+	"distda/internal/noc"
+)
+
+// snapshotMetrics folds the machine's end-of-run counters into the run's
+// metrics registry. Assembly-time handles (latency histograms, combining
+// counters) have already been recording; this adds the aggregate component
+// counters so the rendered table is a complete per-component picture.
+// Called once per run from collect; a nil registry makes every call a
+// no-op.
+func (m *machine) snapshotMetrics(res *Result) {
+	met := m.met
+	if met == nil {
+		return
+	}
+
+	met.Counter("sim/launches").Add(m.launches)
+	met.Gauge("sim/cycles").Set(float64(res.Cycles))
+
+	met.Counter("host/instr").Add(m.hostInstr)
+	met.Counter("host/loads").Add(m.hostLoads)
+	met.Counter("host/stores").Add(m.hostStores)
+	met.Counter("host/mmio").Add(res.MMIOHost)
+	met.Gauge("host/slot_cycles").Set(m.slotCycles)
+	met.Gauge("host/mem_stall_cycles").Set(m.memCycles)
+
+	met.Counter("accel/ops").Add(m.accelOps)
+	met.Counter("accel/mem_elems").Add(m.accelMemElem)
+	met.Counter("accel/base_cycles").Add(m.accelBase)
+
+	l1, l2, l3 := m.hier.Levels()
+	met.Counter("cache/l1_hits").Add(l1.Hits)
+	met.Counter("cache/l1_misses").Add(l1.Misses)
+	met.Counter("cache/l2_hits").Add(l2.Hits)
+	met.Counter("cache/l2_misses").Add(l2.Misses)
+	var h3, m3 int64
+	for _, lvl := range l3 {
+		h3 += lvl.Hits
+		m3 += lvl.Misses
+	}
+	met.Counter("cache/l3_hits").Add(h3)
+	met.Counter("cache/l3_misses").Add(m3)
+	met.Counter("cache/prefetch_issued").Add(m.hier.PrefetchIssued)
+	met.Counter("cache/prefetch_useful").Add(m.hier.PrefetchUseful)
+
+	met.Counter("dram/accesses").Add(m.dmem.Accesses)
+	met.Counter("dram/reads").Add(m.dmem.Reads)
+	met.Counter("dram/writes").Add(m.dmem.Writes)
+
+	for _, c := range noc.Classes() {
+		met.Counter(fmt.Sprintf("noc/%s_bytes", c)).Add(m.mesh.Bytes[c])
+		met.Counter(fmt.Sprintf("noc/%s_messages", c)).Add(m.mesh.Messages[c])
+		met.Counter(fmt.Sprintf("noc/%s_flit_hops", c)).Add(m.mesh.FlitHops[c])
+	}
+
+	met.Counter("au/da_bytes").Add(m.austats.DABytes)
+	met.Counter("au/aa_bytes").Add(m.austats.AABytes)
+	met.Counter("au/intra_bytes").Add(m.austats.IntraBytes)
+
+	met.Gauge("energy/total_pj").Set(res.EnergyPJ)
+	for cat, pj := range res.EnergyByCat {
+		met.Gauge("energy/" + cat + "_pj").Set(pj)
+	}
+}

@@ -152,6 +152,7 @@ func (m *machine) collect(workload string, validated bool) *Result {
 	if m.priv != nil {
 		res.DataMovedBytes += line * m.priv.priv.Accesses
 	}
+	m.snapshotMetrics(res)
 	return res
 }
 

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNilMetricsIsSafe(t *testing.T) {
+	var m *Metrics
+	c := m.Counter("a/b")
+	g := m.Gauge("a/g")
+	h := m.Histogram("a/h")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	c.Add(5)
+	c.Inc()
+	g.Set(3)
+	h.Observe(10)
+	h.ObserveN(4, 3)
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().N != 0 {
+		t.Fatal("nil handles must record nothing")
+	}
+	m.Merge(NewMetrics())
+	NewMetrics().Merge(m)
+	if got := m.Table().Render(); !strings.Contains(got, "metrics disabled") {
+		t.Fatalf("nil table = %q", got)
+	}
+}
+
+func TestMetricsHandles(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("noc/transfers")
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 4 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if m.Counter("noc/transfers") != c {
+		t.Fatal("counter handle must be stable per name")
+	}
+	g := m.Gauge("dram/latency")
+	g.Set(160)
+	if g.Value() != 160 {
+		t.Fatalf("gauge = %g", g.Value())
+	}
+	h := m.Histogram("cache/host_lat")
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i))
+	}
+	if s := h.Snapshot(); s.N != 100 || s.Max != 99 {
+		t.Fatalf("hist snapshot = %+v", s)
+	}
+}
+
+func TestMetricsMerge(t *testing.T) {
+	a, b := NewMetrics(), NewMetrics()
+	a.Counter("x/c").Add(2)
+	b.Counter("x/c").Add(5)
+	b.Counter("y/c").Add(1)
+	a.Histogram("x/h").Observe(8)
+	b.Histogram("x/h").Observe(16)
+	b.Gauge("x/g").Set(7)
+	a.Merge(b)
+	if v := a.Counter("x/c").Value(); v != 7 {
+		t.Fatalf("merged counter = %d", v)
+	}
+	if v := a.Counter("y/c").Value(); v != 1 {
+		t.Fatalf("merged new counter = %d", v)
+	}
+	if s := a.Histogram("x/h").Snapshot(); s.N != 2 || s.Min != 8 || s.Max != 16 {
+		t.Fatalf("merged hist = %+v", s)
+	}
+	if v := a.Gauge("x/g").Value(); v != 7 {
+		t.Fatalf("merged gauge = %g", v)
+	}
+	// Unset gauges do not overwrite.
+	c := NewMetrics()
+	c.Gauge("x/g") // registered but never Set
+	a.Merge(c)
+	if v := a.Gauge("x/g").Value(); v != 7 {
+		t.Fatalf("unset gauge overwrote: %g", v)
+	}
+}
+
+func TestMetricsTableDeterminism(t *testing.T) {
+	build := func() *Metrics {
+		m := NewMetrics()
+		m.Counter("b/z").Add(1)
+		m.Counter("a/y").Add(2)
+		m.Gauge("a/g").Set(3)
+		m.Histogram("c/h").Observe(4)
+		m.Counter("plain").Add(9)
+		return m
+	}
+	t1 := build().Table().Render()
+	t2 := build().Table().Render()
+	if t1 != t2 {
+		t.Fatalf("table render not deterministic:\n%s\n%s", t1, t2)
+	}
+	// Sorted by component then metric; un-namespaced metrics group under "-".
+	var comps []string
+	for _, line := range strings.Split(t1, "\n") {
+		f := strings.Fields(line)
+		if len(f) >= 2 && (f[0] == "-" || len(f[0]) == 1) {
+			comps = append(comps, f[0])
+		}
+	}
+	want := []string{"-", "a", "a", "b", "c"}
+	if strings.Join(comps, ",") != strings.Join(want, ",") {
+		t.Fatalf("component order = %v, want %v:\n%s", comps, want, t1)
+	}
+}

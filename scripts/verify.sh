@@ -1,0 +1,29 @@
+#!/bin/sh
+# verify.sh — the full pre-merge gate: build, tests, vet, race on the
+# packages that exercise parallelism, and gofmt cleanliness. Exits non-zero
+# on the first failure. Run from anywhere; operates on the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./internal/exp/... ./internal/sim/..."
+go test -race ./internal/exp/... ./internal/sim/...
+
+echo "== gofmt -l"
+fmt=$(gofmt -l cmd internal examples 2>/dev/null || gofmt -l cmd internal)
+if [ -n "$fmt" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
+echo "verify: OK"
