@@ -1,6 +1,6 @@
 # Convenience targets; the source of truth for the gate is scripts/verify.sh.
 
-.PHONY: build test vet race fmt verify bench
+.PHONY: build test vet race fmt verify bench clean-cache
 
 build:
 	go build ./...
@@ -23,3 +23,9 @@ verify:
 
 bench:
 	go test -bench . -benchtime 1x -run '^$$' ./...
+
+# Remove the default on-disk compile cache and any run checkpoints, forcing
+# the next distda-repro/-run to compile and execute everything cold.
+clean-cache:
+	rm -rf .distda-cache
+	rm -f *.ckpt

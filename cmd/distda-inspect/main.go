@@ -14,9 +14,9 @@ import (
 	"fmt"
 	"os"
 
+	"distda/internal/cliutil"
 	"distda/internal/compiler"
 	"distda/internal/ir"
-	"distda/internal/workloads"
 )
 
 func main() {
@@ -28,28 +28,15 @@ func main() {
 	flag.Parse()
 	if *name == "" {
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(cliutil.ExitUsage)
 	}
-	var scale workloads.Scale
-	switch *scaleName {
-	case "test":
-		scale = workloads.ScaleTest
-	case "bench":
-		scale = workloads.ScaleBench
-	case "paper":
-		scale = workloads.ScalePaper
-	default:
-		fatal(fmt.Errorf("unknown scale %q (want test, bench or paper)", *scaleName))
+	scale, err := cliutil.ParseScale(*scaleName)
+	if err != nil {
+		fatal(err)
 	}
-	var w *workloads.Workload
-	var err error
-	if *name == "spmv" {
-		w = workloads.SpMV(scale)
-	} else {
-		w, err = workloads.ByName(*name, scale)
-		if err != nil {
-			fatal(err)
-		}
+	w, err := cliutil.LookupWorkload(*name, scale)
+	if err != nil {
+		fatal(err)
 	}
 	mode := compiler.ModeDist
 	if *mono {
@@ -128,5 +115,5 @@ func indent(s, pad string) string {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "distda-inspect:", err)
-	os.Exit(1)
+	os.Exit(cliutil.ExitError)
 }

@@ -8,28 +8,28 @@
 //	distda-repro -fig 7 -fig 11b     # specific figures
 //	distda-repro -tab 6 -scale test  # Table VI at CI scale
 //	distda-repro -all -parallel 8 -trace-dir traces -metrics
+//	distda-repro -all -cache-dir .distda-cache -checkpoint run.ckpt \
+//	             -cell-timeout 5m   # resumable, fault-tolerant run
+//
+// Exit codes: 0 success, 1 error, 2 usage, 3 completed with degraded (n/a)
+// matrix cells (see -cell-timeout).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
+	"distda/internal/cliutil"
 	"distda/internal/exp"
 	"distda/internal/report"
 	"distda/internal/trace"
 	"distda/internal/workloads"
 )
-
-type figList []string
-
-func (f *figList) String() string { return fmt.Sprint(*f) }
-func (f *figList) Set(v string) error {
-	*f = append(*f, v)
-	return nil
-}
 
 var (
 	validFigs = []string{"7", "8", "9", "10", "11a", "11b", "12a", "12b", "13", "14"}
@@ -55,7 +55,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("distda-repro", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	var figs, tabs figList
+	var figs, tabs cliutil.StringList
 	scaleName := fs.String("scale", "bench", "input scale: test, bench, paper")
 	all := fs.Bool("all", false, "regenerate every table and figure")
 	headline := fs.Bool("headline", false, "print the abstract's headline geomeans")
@@ -65,26 +65,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 	area := fs.Bool("area", false, "print the area model")
 	offchip := fs.Bool("offchip", false, "evaluate the §VII off-chip placement extension")
 	parallel := fs.Int("parallel", 0, "worker count for the experiment matrix (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
-	metrics := fs.Bool("metrics", false, "print the matrix's merged per-component metrics table")
+	metrics := fs.Bool("metrics", false, "print the matrix's merged per-component metrics table (includes artifact cache hit/miss counters)")
 	traceDir := fs.String("trace-dir", "", "write one Chrome trace JSON per matrix cell into this directory")
+	cacheDir := fs.String("cache-dir", "", "content-addressed compile cache directory; reused across runs (empty = in-memory only)")
+	checkpoint := fs.String("checkpoint", "", "JSON checkpoint path: rewritten after every completed matrix cell; an existing file resumes only the missing cells")
+	cellTimeout := fs.Duration("cell-timeout", 0, "per-cell wall-clock deadline; a timed-out cell renders as n/a and the run exits 3 (0 = unbounded)")
+	retries := fs.Int("retries", 0, "retry budget per cell for transient failures")
+	hangCell := fs.String("hang-cell", "", "TESTING: hang the given workload/config cell until its deadline (e.g. fdtd-2d/Dist-DA-IO)")
 	fs.Var(&figs, "fig", "figure to regenerate (7, 8, 9, 10, 11a, 11b, 12a, 12b, 13, 14); repeatable")
 	fs.Var(&tabs, "tab", "table to regenerate (3, 4, 5, 6); repeatable")
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return cliutil.ExitUsage
 	}
 
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "distda-repro:", err)
-		return 1
+		return cliutil.ExitError
 	}
 
-	scale, err := parseScale(*scaleName)
+	scale, err := cliutil.ParseScale(*scaleName)
 	if err != nil {
 		return fail(err)
 	}
 	if *all {
-		figs = append(figList{}, validFigs...)
-		tabs = append(figList{}, validTabs...)
+		figs = append(cliutil.StringList{}, validFigs...)
+		tabs = append(cliutil.StringList{}, validTabs...)
 		*headline = true
 		*sens = true
 		*area = true
@@ -105,7 +110,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if len(figs) == 0 && len(tabs) == 0 && !*headline && !*ablations && !*sens && !*params && !*area && !*offchip {
 		fs.Usage()
-		return 2
+		return cliutil.ExitUsage
 	}
 
 	// Observability: per-cell tracers are drawn serially in cell order and
@@ -137,19 +142,51 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// The resumable runner: cached compilation, per-cell deadlines, and a
+	// checkpoint that lets an interrupted run pick up where it stopped.
+	buildOpts := exp.Options{
+		Scale:       scale,
+		Workers:     *parallel,
+		Observe:     obs,
+		Cache:       cliutil.OpenCache(*cacheDir),
+		Checkpoint:  *checkpoint,
+		CellTimeout: *cellTimeout,
+		Retries:     *retries,
+	}
+	if *hangCell != "" {
+		target := *hangCell
+		buildOpts.Hook = func(ctx context.Context, workload, config string, attempt int) error {
+			if workload+"/"+config == target {
+				<-ctx.Done()
+				return ctx.Err()
+			}
+			return nil
+		}
+	}
+
 	var matrix *exp.Matrix
 	var buildErr error
 	needMatrix := func() *exp.Matrix {
 		if matrix == nil && buildErr == nil {
 			fmt.Fprintf(stderr, "building %s-scale workload x configuration matrix (12 x 6 runs)...\n", scale)
-			m, err := exp.BuildMatrixObserved(scale, *parallel, obs)
+			m, err := exp.Build(context.Background(), buildOpts)
 			if err != nil {
 				buildErr = err
 				return nil
 			}
 			matrix = m
+			var degraded []string
+			for w, byCfg := range m.Degraded {
+				for c, reason := range byCfg {
+					degraded = append(degraded, fmt.Sprintf("%s/%s: %s", w, c, reason))
+				}
+			}
+			sort.Strings(degraded)
+			for _, d := range degraded {
+				fmt.Fprintln(stderr, "distda-repro: cell degraded to n/a:", d)
+			}
 			for _, ct := range cellTraces {
-				if err := writeTrace(ct.tr, ct.path); err != nil {
+				if err := cliutil.WriteTrace(ct.tr, ct.path); err != nil {
 					buildErr = err
 					return nil
 				}
@@ -261,7 +298,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, met.Table().Render())
 		}
 	}
-	return 0
+	if matrix != nil && matrix.DegradedCount() > 0 {
+		fmt.Fprintf(stderr, "distda-repro: %d matrix cell(s) degraded to n/a\n", matrix.DegradedCount())
+		return cliutil.ExitDegraded
+	}
+	return cliutil.ExitOK
 }
 
 // matrixTable adapts a Matrix figure method into a deferred renderer that
@@ -285,31 +326,5 @@ func scaleTable(scale workloads.Scale, f func(workloads.Scale) (*report.Table, e
 			return "", err
 		}
 		return t.Render(), nil
-	}
-}
-
-// writeTrace exports the tracer to path as Chrome trace_event JSON.
-func writeTrace(tr *trace.Tracer, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := tr.WriteChromeJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-func parseScale(name string) (workloads.Scale, error) {
-	switch name {
-	case "test":
-		return workloads.ScaleTest, nil
-	case "bench":
-		return workloads.ScaleBench, nil
-	case "paper":
-		return workloads.ScalePaper, nil
-	default:
-		return 0, fmt.Errorf("unknown scale %q (want test, bench or paper)", name)
 	}
 }

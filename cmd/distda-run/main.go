@@ -7,6 +7,7 @@
 //	distda-run -w fdtd-2d -c Dist-DA-F -scale bench
 //	distda-run -workload fdtd-2d -config dist-da-io -trace out.json -metrics
 //	distda-run -w bfs -c OoO
+//	distda-run -w fdtd-2d -cache-dir .distda-cache   # reuse compilations
 //	distda-run -list
 package main
 
@@ -16,8 +17,10 @@ import (
 	"io"
 	"os"
 	"sort"
-	"strings"
 
+	"distda/internal/artifact"
+	"distda/internal/cliutil"
+	"distda/internal/compiler"
 	"distda/internal/core"
 	"distda/internal/sim"
 	"distda/internal/trace"
@@ -46,9 +49,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	naive := fs.Bool("naive-engine", false, "use the reference one-tick-at-a-time engine scheduler (bit-identical results, slower)")
 	traceOut := fs.String("trace", "", "write a Chrome trace_event JSON file (load in chrome://tracing or Perfetto)")
 	metrics := fs.Bool("metrics", false, "print the per-component metrics table after the result")
+	cacheDir := fs.String("cache-dir", "", "content-addressed compile cache directory (shared with distda-repro; empty = in-memory only)")
 	list := fs.Bool("list", false, "list workloads and exit")
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return cliutil.ExitUsage
 	}
 	if cfgName == "" {
 		cfgName = "Dist-DA-F"
@@ -56,10 +60,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "distda-run:", err)
-		return 1
+		return cliutil.ExitError
 	}
 
-	scale, err := parseScale(*scaleName)
+	scale, err := cliutil.ParseScale(*scaleName)
 	if err != nil {
 		return fail(err)
 	}
@@ -70,17 +74,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "%-14s %s (case study)\n", "spmv", workloads.SpMV(scale).Desc)
 		fmt.Fprintf(stdout, "%-14s %s (multithreaded)\n", "bfs-mt", workloads.BFSMT(scale).Desc)
 		fmt.Fprintf(stdout, "%-14s %s (multithreaded)\n", "pathfinder-mt", workloads.PathfinderMT(scale).Desc)
-		return 0
+		return cliutil.ExitOK
 	}
 	if name == "" {
 		fs.Usage()
-		return 2
+		return cliutil.ExitUsage
 	}
-	w, err := lookup(name, scale)
+	w, err := cliutil.LookupWorkload(name, scale)
 	if err != nil {
 		return fail(err)
 	}
-	cfg, err := lookupConfig(cfgName)
+	cfg, err := cliutil.LookupConfig(cfgName)
 	if err != nil {
 		return fail(err)
 	}
@@ -98,7 +102,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		met = trace.NewMetrics()
 		cfg.Metrics = met
 	}
-	res, err := sim.RunThreads(w.Kernel, w.Params, w.NewData(), cfg, *threads)
+
+	// Compile through the content-addressed cache (disk-backed under
+	// -cache-dir); the key covers the strip-mined thread kernel, so -threads
+	// variants hash distinctly.
+	cfg.Threads = *threads
+	kernel := sim.ThreadKernel(w.Kernel, *threads)
+	var compiled *compiler.Compiled
+	if cfg.Substrate != sim.SubNone {
+		cache := cliutil.OpenCache(*cacheDir)
+		copts := sim.CompileOptions(cfg)
+		key := artifact.Key(w.Name, scale.String(), kernel, copts)
+		compiled, err = cache.GetOrCompile(key, kernel, func() (*compiler.Compiled, error) {
+			return compiler.Compile(kernel, copts)
+		})
+		if err != nil {
+			return fail(err)
+		}
+		if *cacheDir != "" {
+			st := cache.Stats()
+			fmt.Fprintf(stderr, "distda-run: cache %s: %d disk hit(s), %d compile(s)\n", *cacheDir, st.DiskHits, st.Compiles)
+		}
+	}
+	res, err := sim.RunPrecompiled(kernel, w.Params, w.NewData(), cfg, compiled)
 	if err != nil {
 		return fail(err)
 	}
@@ -108,54 +134,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, met.Table().Render())
 	}
 	if tr != nil {
-		if err := writeTrace(tr, *traceOut); err != nil {
+		if err := cliutil.WriteTrace(tr, *traceOut); err != nil {
 			return fail(err)
 		}
 		fmt.Fprintf(stderr, "distda-run: %s -> %s\n", tr.Summary(), *traceOut)
 	}
-	return 0
-}
-
-// writeTrace exports the tracer to path as Chrome trace_event JSON.
-func writeTrace(tr *trace.Tracer, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := tr.WriteChromeJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
-
-func lookup(name string, scale workloads.Scale) (*workloads.Workload, error) {
-	switch name {
-	case "spmv":
-		return workloads.SpMV(scale), nil
-	case "bfs-mt":
-		return workloads.BFSMT(scale), nil
-	case "pathfinder-mt":
-		return workloads.PathfinderMT(scale), nil
-	default:
-		return workloads.ByName(name, scale)
-	}
-}
-
-// lookupConfig resolves a configuration by name, case-insensitively
-// ("dist-da-io" selects Dist-DA-IO).
-func lookupConfig(name string) (sim.Config, error) {
-	for _, c := range sim.AllPaperConfigs() {
-		if strings.EqualFold(c.Name, name) {
-			return c, nil
-		}
-	}
-	for _, c := range []sim.Config{sim.DistDAIOSW(), sim.DistDAFA()} {
-		if strings.EqualFold(c.Name, name) {
-			return c, nil
-		}
-	}
-	return sim.Config{}, fmt.Errorf("unknown configuration %q (want OoO, Mono-CA, Mono-DA-IO, Mono-DA-F, Dist-DA-IO, Dist-DA-F, Dist-DA-IO+SW or Dist-DA-F+A)", name)
+	return cliutil.ExitOK
 }
 
 func print(w io.Writer, r *sim.Result) {
@@ -189,18 +173,5 @@ func print(w io.Writer, r *sim.Result) {
 			}
 		}
 		fmt.Fprintln(w)
-	}
-}
-
-func parseScale(name string) (workloads.Scale, error) {
-	switch name {
-	case "test":
-		return workloads.ScaleTest, nil
-	case "bench":
-		return workloads.ScaleBench, nil
-	case "paper":
-		return workloads.ScalePaper, nil
-	default:
-		return 0, fmt.Errorf("unknown scale %q (want test, bench or paper)", name)
 	}
 }

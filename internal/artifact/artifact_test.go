@@ -1,0 +1,224 @@
+package artifact
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"distda/internal/compiler"
+	"distda/internal/ir"
+	"distda/internal/workloads"
+)
+
+func testKernel(t *testing.T) (*ir.Kernel, *workloads.Workload) {
+	t.Helper()
+	w, err := workloads.ByName("fdtd-2d", workloads.ScaleTest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Kernel, w
+}
+
+func TestKeyDeterministicAndSensitive(t *testing.T) {
+	k, _ := testKernel(t)
+	opts := compiler.Options{Mode: compiler.ModeDist}
+	a := Key("fdtd-2d", "test", k, opts)
+	b := Key("fdtd-2d", "test", k, opts)
+	if a != b {
+		t.Fatalf("key not deterministic: %s vs %s", a, b)
+	}
+	if len(a) != 64 {
+		t.Fatalf("key %q is not a sha256 hex digest", a)
+	}
+	distinct := map[string]string{
+		"scale":    Key("fdtd-2d", "bench", k, opts),
+		"workload": Key("other", "test", k, opts),
+		"mode":     Key("fdtd-2d", "test", k, compiler.Options{Mode: compiler.ModeMono}),
+		"flag":     Key("fdtd-2d", "test", k, compiler.Options{Mode: compiler.ModeDist, NoStreamSpecialization: true}),
+	}
+	seen := map[string]string{a: "base"}
+	for dim, key := range distinct {
+		if prev, dup := seen[key]; dup {
+			t.Errorf("key collision between %s and %s", dim, prev)
+		}
+		seen[key] = dim
+	}
+}
+
+func TestMemoryHitSharesArtifact(t *testing.T) {
+	k, _ := testKernel(t)
+	c := New(Config{})
+	opts := compiler.Options{Mode: compiler.ModeDist}
+	key := Key("fdtd-2d", "test", k, opts)
+	compiles := 0
+	compile := func() (*compiler.Compiled, error) {
+		compiles++
+		return compiler.Compile(k, opts)
+	}
+	first, err := c.GetOrCompile(key, k, compile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.GetOrCompile(key, k, compile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Error("memory hit returned a different artifact pointer")
+	}
+	if compiles != 1 {
+		t.Errorf("compiled %d times, want 1", compiles)
+	}
+	st := c.Stats()
+	if st.Requests != 2 || st.MemHits != 1 || st.Compiles != 1 {
+		t.Errorf("stats = %+v, want 2 requests / 1 mem hit / 1 compile", st)
+	}
+}
+
+func TestSingleFlightConcurrentRequests(t *testing.T) {
+	k, _ := testKernel(t)
+	c := New(Config{})
+	opts := compiler.Options{Mode: compiler.ModeDist}
+	key := Key("fdtd-2d", "test", k, opts)
+	var mu sync.Mutex
+	compiles := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.GetOrCompile(key, k, func() (*compiler.Compiled, error) {
+				mu.Lock()
+				compiles++
+				mu.Unlock()
+				return compiler.Compile(k, opts)
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if compiles != 1 {
+		t.Errorf("raced %d compilations, want 1 (single-flight)", compiles)
+	}
+}
+
+// TestDiskRoundTripBindsToFreshKernel is the cross-process reuse property:
+// an artifact stored by one cache instance is decoded by another, re-bound
+// to a *different* kernel instance of the same workload, and drives region
+// lookup (ByLoop) for that kernel's loops — with zero recompiles.
+func TestDiskRoundTripBindsToFreshKernel(t *testing.T) {
+	dir := t.TempDir()
+	k1, _ := testKernel(t)
+	opts := compiler.Options{Mode: compiler.ModeDist}
+	key := Key("fdtd-2d", "test", k1, opts)
+
+	warm := New(Config{Dir: dir})
+	orig, err := warm.GetOrCompile(key, k1, func() (*compiler.Compiled, error) { return compiler.Compile(k1, opts) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats().Compiles != 1 {
+		t.Fatalf("warm stats = %+v", warm.Stats())
+	}
+
+	// A second process: fresh cache over the same dir, fresh kernel object.
+	k2, _ := testKernel(t)
+	if k2 == k1 {
+		t.Fatal("test needs distinct kernel instances")
+	}
+	cold := New(Config{Dir: dir})
+	loaded, err := cold.GetOrCompile(key, k2, func() (*compiler.Compiled, error) {
+		t.Fatal("disk hit must not recompile")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cold.Stats()
+	if st.DiskHits != 1 || st.Compiles != 0 {
+		t.Errorf("cold stats = %+v, want 1 disk hit / 0 compiles", st)
+	}
+	if loaded.Kernel != k2 {
+		t.Error("loaded artifact not bound to the caller's kernel")
+	}
+	loops := ir.InnermostLoops(k2.Body)
+	if len(loaded.Regions) != len(orig.Regions) {
+		t.Fatalf("regions: got %d, want %d", len(loaded.Regions), len(orig.Regions))
+	}
+	offloaded := 0
+	for i, loop := range loops {
+		reg, ok := loaded.ByLoop[loop]
+		if !ok {
+			t.Fatalf("loop %d not indexed in loaded artifact", i)
+		}
+		if reg.Class != orig.Regions[i].Class {
+			t.Errorf("region %d class %v, want %v", i, reg.Class, orig.Regions[i].Class)
+		}
+		if len(reg.Accels) > 0 {
+			offloaded++
+			if !reflect.DeepEqual(reg.Accels, orig.Regions[i].Accels) {
+				t.Errorf("region %d accel definitions diverge after round trip", i)
+			}
+		}
+	}
+	if offloaded == 0 {
+		t.Error("round-tripped artifact has no offloaded regions")
+	}
+	for i, info := range loaded.Infos {
+		if info.Insts != orig.Infos[i].Insts {
+			t.Errorf("info %d insts %d, want %d", i, info.Insts, orig.Infos[i].Insts)
+		}
+	}
+}
+
+func TestCorruptDiskEntryFallsBackToCompile(t *testing.T) {
+	dir := t.TempDir()
+	k, _ := testKernel(t)
+	opts := compiler.Options{Mode: compiler.ModeDist}
+	key := Key("fdtd-2d", "test", k, opts)
+	if err := os.WriteFile(filepath.Join(dir, key+".artifact.gob"), []byte("not gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{Dir: dir})
+	if _, err := c.GetOrCompile(key, k, func() (*compiler.Compiled, error) { return compiler.Compile(k, opts) }); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Compiles != 1 || st.Errors != 1 {
+		t.Errorf("stats = %+v, want 1 compile / 1 error", st)
+	}
+	// The corrupt entry was overwritten: a fresh cache now disk-hits.
+	c2 := New(Config{Dir: dir})
+	if _, err := c2.GetOrCompile(key, k, func() (*compiler.Compiled, error) {
+		t.Fatal("repaired entry must not recompile")
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(Config{MaxEntries: 2})
+	k, _ := testKernel(t)
+	mk := func(mode compiler.Mode, nostream bool) string {
+		opts := compiler.Options{Mode: mode, NoStreamSpecialization: nostream}
+		key := Key("fdtd-2d", "test", k, opts)
+		if _, err := c.GetOrCompile(key, k, func() (*compiler.Compiled, error) { return compiler.Compile(k, opts) }); err != nil {
+			t.Fatal(err)
+		}
+		return key
+	}
+	mk(compiler.ModeDist, false)
+	mk(compiler.ModeMono, false)
+	mk(compiler.ModeDist, true) // evicts the first
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+	if st := c.Stats(); st.Evicted != 1 {
+		t.Errorf("stats = %+v, want 1 eviction", st)
+	}
+}

@@ -1,0 +1,106 @@
+// Package cliutil holds the flag handling, name resolution and exit-code
+// conventions shared by the distda command-line tools, so the three cmds
+// parse scales, workloads, configurations and observability flags
+// identically.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"distda/internal/artifact"
+	"distda/internal/sim"
+	"distda/internal/trace"
+	"distda/internal/workloads"
+)
+
+// Process exit codes shared by the distda tools.
+const (
+	// ExitOK: success.
+	ExitOK = 0
+	// ExitError: a simulation, compilation or I/O error.
+	ExitError = 1
+	// ExitUsage: bad flags or arguments.
+	ExitUsage = 2
+	// ExitDegraded: the run completed but one or more matrix cells timed
+	// out and rendered as n/a (see exp.Options.CellTimeout). Distinct from
+	// ExitError so harnesses can accept partial tables deliberately.
+	ExitDegraded = 3
+)
+
+// ParseScale resolves a -scale flag value.
+func ParseScale(name string) (workloads.Scale, error) {
+	switch name {
+	case "test":
+		return workloads.ScaleTest, nil
+	case "bench":
+		return workloads.ScaleBench, nil
+	case "paper":
+		return workloads.ScalePaper, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q (want test, bench or paper)", name)
+	}
+}
+
+// LookupWorkload resolves a workload by name, including the case-study and
+// multithreaded variants that workloads.ByName does not serve.
+func LookupWorkload(name string, scale workloads.Scale) (*workloads.Workload, error) {
+	switch name {
+	case "spmv":
+		return workloads.SpMV(scale), nil
+	case "bfs-mt":
+		return workloads.BFSMT(scale), nil
+	case "pathfinder-mt":
+		return workloads.PathfinderMT(scale), nil
+	default:
+		return workloads.ByName(name, scale)
+	}
+}
+
+// LookupConfig resolves a configuration by name, case-insensitively
+// ("dist-da-io" selects Dist-DA-IO). The named sim constructors are the
+// only source of configurations here — no Config is assembled by hand.
+func LookupConfig(name string) (sim.Config, error) {
+	all := sim.AllPaperConfigs()
+	all = append(all, sim.DistDAIOSW(), sim.DistDAFA(), sim.DistDAOffChip())
+	for _, c := range all {
+		if strings.EqualFold(c.Name, name) {
+			return c, nil
+		}
+	}
+	var zero sim.Config
+	return zero, fmt.Errorf("unknown configuration %q (want OoO, Mono-CA, Mono-DA-IO, Mono-DA-F, Dist-DA-IO, Dist-DA-F, Dist-DA-IO+SW, Dist-DA-F+A or Dist-DA-OffChip)", name)
+}
+
+// StringList is a repeatable string flag (flag.Value).
+type StringList []string
+
+// String implements flag.Value.
+func (l *StringList) String() string { return fmt.Sprint(*l) }
+
+// Set implements flag.Value by appending.
+func (l *StringList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+// OpenCache returns the artifact cache for a -cache-dir flag value: a
+// disk-backed cache under dir, or a process-private in-memory cache when
+// dir is empty.
+func OpenCache(dir string) *artifact.Cache {
+	return artifact.New(artifact.Config{Dir: dir})
+}
+
+// WriteTrace exports the tracer to path as Chrome trace_event JSON.
+func WriteTrace(tr *trace.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,281 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"distda/internal/artifact"
+	"distda/internal/workloads"
+)
+
+// renderAll flattens the matrix-backed tables into one comparable string.
+func renderAll(m *Matrix) string {
+	var b strings.Builder
+	b.WriteString(m.Fig7EnergyEfficiency().Render())
+	b.WriteString(m.Fig8CacheAccesses().Render())
+	b.WriteString(m.Fig11bSpeedup().Render())
+	b.WriteString(m.Headline().Render())
+	b.WriteString(m.DataMovement().Render())
+	return b.String()
+}
+
+// TestBuildResumeByteIdentical is the tentpole differential test: a run
+// killed after N cells leaves a checkpoint from which resumed runs — at
+// several worker counts, over a warm disk cache — render tables
+// byte-identical to an uninterrupted serial run.
+func TestBuildResumeByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+
+	// Reference: uninterrupted serial run (cold cache).
+	ref, err := Build(context.Background(), Options{
+		Scale:   workloads.ScaleTest,
+		Workers: 1,
+		Cache:   artifact.New(artifact.Config{Dir: cacheDir}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderAll(ref)
+
+	// Interrupted run: the hook cancels the whole run after 10 completed
+	// cell attempts; the checkpoint keeps whatever finished.
+	ckpt := filepath.Join(dir, "checkpoint.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var attempts int64
+	_, err = Build(ctx, Options{
+		Scale:      workloads.ScaleTest,
+		Workers:    2,
+		Cache:      artifact.New(artifact.Config{Dir: cacheDir}),
+		Checkpoint: ckpt,
+		Hook: func(hctx context.Context, workload, config string, attempt int) error {
+			if atomic.AddInt64(&attempts, 1) > 10 {
+				cancel()
+				return hctx.Err()
+			}
+			return nil
+		},
+	})
+	if err == nil {
+		t.Fatal("interrupted build reported success")
+	}
+	raw, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatalf("no checkpoint after interruption: %v", err)
+	}
+	if !strings.Contains(string(raw), `"version": 1`) {
+		t.Error("checkpoint missing version field")
+	}
+
+	// Resume from the partial checkpoint at several worker counts, each
+	// over its own copy (a resumed run completes its checkpoint file).
+	for _, workers := range []int{1, 4, 8} {
+		path := filepath.Join(dir, "ck-"+string(rune('0'+workers))+".json")
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m, err := Build(context.Background(), Options{
+			Scale:      workloads.ScaleTest,
+			Workers:    workers,
+			Cache:      artifact.New(artifact.Config{Dir: cacheDir}),
+			Checkpoint: path,
+		})
+		if err != nil {
+			t.Fatalf("resume with %d workers: %v", workers, err)
+		}
+		if got := renderAll(m); got != want {
+			t.Errorf("resumed run (%d workers) diverged from the uninterrupted run:\n--- got ---\n%s\n--- want ---\n%s",
+				workers, got, want)
+		}
+	}
+}
+
+// TestBuildResumeSkipsCompletedCells re-runs over a complete checkpoint:
+// nothing executes (the hook would notice) and the tables still render
+// byte-identically — the pure-resume path.
+func TestBuildResumeSkipsCompletedCells(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "checkpoint.json")
+	ref, err := Build(context.Background(), Options{
+		Scale:      workloads.ScaleTest,
+		Workers:    1,
+		Checkpoint: ckpt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Build(context.Background(), Options{
+		Scale:      workloads.ScaleTest,
+		Checkpoint: ckpt,
+		Hook: func(ctx context.Context, workload, config string, attempt int) error {
+			t.Errorf("cell %s/%s ran despite a complete checkpoint", workload, config)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := renderAll(m), renderAll(ref); got != want {
+		t.Error("fully resumed run diverged from the original")
+	}
+}
+
+// TestBuildCellTimeoutDegrades hangs one cell past the per-cell deadline:
+// the matrix completes, the cell renders n/a, and every other cell is
+// present.
+func TestBuildCellTimeoutDegrades(t *testing.T) {
+	// The deadline must comfortably exceed any honest test-scale cell (they
+	// take milliseconds, but -race inflates that >10x) while only the
+	// deliberately hung cell waits it out.
+	m, err := Build(context.Background(), Options{
+		Scale:       workloads.ScaleTest,
+		CellTimeout: 3 * time.Second,
+		Hook: func(ctx context.Context, workload, config string, attempt int) error {
+			if workload == "fdtd-2d" && config == "Dist-DA-IO" {
+				<-ctx.Done() // simulate a hung cell
+				return ctx.Err()
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reason := m.Degraded["fdtd-2d"]["Dist-DA-IO"]; !strings.Contains(reason, "timeout") {
+		t.Fatalf("degraded reason = %q, want a timeout", reason)
+	}
+	if m.DegradedCount() != 1 {
+		t.Errorf("%d degraded cells, want exactly 1", m.DegradedCount())
+	}
+	if m.Res["fdtd-2d"]["Dist-DA-IO"] != nil {
+		t.Error("degraded cell still has a result")
+	}
+	if m.Res["fdtd-2d"]["Dist-DA-F"] == nil || m.Res["bfs"]["Dist-DA-IO"] == nil {
+		t.Error("healthy cells missing: degradation must not cascade")
+	}
+	rendered := m.Fig7EnergyEfficiency().Render()
+	if !strings.Contains(rendered, "n/a") {
+		t.Errorf("rendered table lacks the n/a cell:\n%s", rendered)
+	}
+}
+
+// TestBuildRealTimeoutDegrades exercises the cooperative-cancellation path
+// through the simulator itself (no hook blocking): an absurdly small
+// deadline fires mid-simulation and the host aborts at a loop boundary.
+func TestBuildRealTimeoutDegrades(t *testing.T) {
+	m, err := Build(context.Background(), Options{
+		Scale:       workloads.ScaleTest,
+		Workers:     2,
+		CellTimeout: 1 * time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DegradedCount() == 0 {
+		t.Fatal("no cell degraded under a 1ns deadline")
+	}
+}
+
+// TestBuildTransientRetry injects transient faults that succeed within the
+// retry budget — and verifies exhaustion becomes a hard error.
+func TestBuildTransientRetry(t *testing.T) {
+	var perCell atomic.Int64
+	m, err := Build(context.Background(), Options{
+		Scale:        workloads.ScaleTest,
+		Retries:      2,
+		RetryBackoff: time.Millisecond,
+		Hook: func(ctx context.Context, workload, config string, attempt int) error {
+			if workload == "bfs" && config == "Dist-DA-F" && attempt < 2 {
+				perCell.Add(1)
+				return Transient(errors.New("injected flake"))
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perCell.Load() != 2 {
+		t.Errorf("hook failed %d attempts, want 2", perCell.Load())
+	}
+	if m.Res["bfs"]["Dist-DA-F"] == nil {
+		t.Error("retried cell has no result")
+	}
+	if m.DegradedCount() != 0 {
+		t.Error("transient retries must not degrade cells")
+	}
+
+	// Exhausted retries are a hard error, not a degradation.
+	_, err = Build(context.Background(), Options{
+		Scale:        workloads.ScaleTest,
+		Retries:      1,
+		RetryBackoff: time.Millisecond,
+		Hook: func(ctx context.Context, workload, config string, attempt int) error {
+			if workload == "bfs" && config == "Dist-DA-F" {
+				return Transient(errors.New("permanent flake"))
+			}
+			return nil
+		},
+	})
+	if err == nil || !IsTransient(err) {
+		t.Errorf("exhausted retries returned %v, want the transient error", err)
+	}
+}
+
+// TestBuildWarmDiskCacheCompilesNothing is the cache-effectiveness
+// criterion: a second build over the same cache directory recompiles zero
+// artifacts and renders identical tables.
+func TestBuildWarmDiskCacheCompilesNothing(t *testing.T) {
+	dir := t.TempDir()
+	cold := artifact.New(artifact.Config{Dir: dir})
+	ref, err := Build(context.Background(), Options{Scale: workloads.ScaleTest, Cache: cold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stats().Compiles == 0 {
+		t.Fatal("cold build compiled nothing")
+	}
+	warm := artifact.New(artifact.Config{Dir: dir})
+	m, err := Build(context.Background(), Options{Scale: workloads.ScaleTest, Cache: warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := warm.Stats()
+	if st.Compiles != 0 {
+		t.Errorf("warm build compiled %d artifacts, want 0", st.Compiles)
+	}
+	if st.DiskHits == 0 {
+		t.Error("warm build never hit the disk store")
+	}
+	if got, want := renderAll(m), renderAll(ref); got != want {
+		t.Error("warm-cache run diverged from the cold run")
+	}
+}
+
+// TestBuildStaleCheckpointRejected: a checkpoint written at another scale
+// must fail loudly instead of resuming garbage.
+func TestBuildStaleCheckpointRejected(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ck.json")
+	if err := os.WriteFile(ckpt, []byte(`{"version":1,"scale":"bench","cells":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Build(context.Background(), Options{Scale: workloads.ScaleTest, Checkpoint: ckpt})
+	if err == nil || !strings.Contains(err.Error(), "scale") {
+		t.Errorf("mismatched-scale checkpoint: err = %v, want scale mismatch", err)
+	}
+	if err := os.WriteFile(ckpt, []byte(`{"version":99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Build(context.Background(), Options{Scale: workloads.ScaleTest, Checkpoint: ckpt})
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("future-version checkpoint: err = %v, want version mismatch", err)
+	}
+}

@@ -48,8 +48,7 @@ func spmvRow(t *report.Table, scale workloads.Scale) error {
 		return err
 	}
 	// Dist-DA-B: naive per-row offload, host-side epilogue.
-	cfgB := sim.DistDAIO()
-	cfgB.NoFolding = true
+	cfgB := sim.MustConfig(sim.DistDAIO, sim.WithoutEpilogueFold())
 	b, err := sim.Run(w.Kernel, w.Params, w.NewData(), cfgB)
 	if err != nil {
 		return err
@@ -79,8 +78,7 @@ func nwRow(t *report.Table, scale workloads.Scale) error {
 	if err != nil {
 		return err
 	}
-	cfgB := sim.DistDAIO()
-	cfgB.NoFolding = true
+	cfgB := sim.MustConfig(sim.DistDAIO, sim.WithoutEpilogueFold())
 	b, err := sim.Run(w.Kernel, w.Params, w.NewData(), cfgB)
 	if err != nil {
 		return err
@@ -95,8 +93,7 @@ func nwRow(t *report.Table, scale workloads.Scale) error {
 	}
 	// BNS: block scheduling on top — cp_fill_ra-style transfers hide the
 	// residual random-access latency.
-	cfgS := sim.DistDAIO()
-	cfgS.SWPrefetch = true
+	cfgS := sim.MustConfig(sim.DistDAIO, sim.WithSWPrefetch(true))
 	bns, err := sim.Run(w.Kernel, w.Params, w.NewData(), cfgS)
 	if err != nil {
 		return err

@@ -4,11 +4,9 @@
 package exp
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
-	"distda/internal/compiler"
 	"distda/internal/ir"
 	"distda/internal/report"
 	"distda/internal/sim"
@@ -17,40 +15,41 @@ import (
 	"distda/internal/workloads"
 )
 
-// Matrix holds one result per (workload, configuration).
+// Matrix holds one result per (workload, configuration). Cells that
+// degraded (per-cell timeout, see Options.CellTimeout) have no entry in Res
+// and carry their reason in Degraded; renderers emit report.NA for them.
 type Matrix struct {
 	Scale     workloads.Scale
 	Workloads []*workloads.Workload
 	Configs   []sim.Config
 	Res       map[string]map[string]*sim.Result
+	Degraded  map[string]map[string]string // workload → config → reason
+}
+
+// DegradedCount returns the number of cells that rendered n/a.
+func (m *Matrix) DegradedCount() int {
+	n := 0
+	for _, byCfg := range m.Degraded {
+		n += len(byCfg)
+	}
+	return n
 }
 
 // BuildMatrix runs all twelve benchmarks under the six tested
 // configurations, fanning the cells out over GOMAXPROCS workers. The
 // collected results (and therefore every rendered table) are byte-identical
 // to a serial run.
+//
+// Deprecated: use Build.
 func BuildMatrix(scale workloads.Scale) (*Matrix, error) {
-	return BuildMatrixParallel(scale, 0)
+	return Build(context.Background(), Options{Scale: scale})
 }
 
-// compileSlot lazily compiles one (workload, compiler-options) pair so
-// configurations sharing a lowering mode reuse a single read-only artifact
-// across workers.
-type compileSlot struct {
-	once sync.Once
-	c    *compiler.Compiled
-	err  error
-}
-
-// BuildMatrixParallel is BuildMatrix with an explicit worker count
-// (<= 0 selects GOMAXPROCS). Each (workload, configuration) cell is an
-// independent, self-contained simulation; workload inputs are drawn
-// serially up front (the generators share seeded RNG state across NewData
-// calls, so per-cell data must follow the serial nested-loop order) and
-// results land in cell-indexed slots, making the output deterministic and
-// independent of the worker count or scheduling.
+// BuildMatrixParallel is BuildMatrix with an explicit worker count.
+//
+// Deprecated: use Build.
 func BuildMatrixParallel(scale workloads.Scale, workers int) (*Matrix, error) {
-	return BuildMatrixObserved(scale, workers, Observe{})
+	return Build(context.Background(), Options{Scale: scale, Workers: workers})
 }
 
 // Observe configures observability for a matrix build. Every cell owns its
@@ -70,128 +69,10 @@ type Observe struct {
 
 // BuildMatrixObserved is BuildMatrixParallel with per-cell tracing and
 // metrics collection attached.
+//
+// Deprecated: use Build.
 func BuildMatrixObserved(scale workloads.Scale, workers int, obs Observe) (*Matrix, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	m := &Matrix{
-		Scale:     scale,
-		Workloads: workloads.All(scale),
-		Configs:   sim.AllPaperConfigs(),
-		Res:       map[string]map[string]*sim.Result{},
-	}
-	nw, nc := len(m.Workloads), len(m.Configs)
-
-	// Inputs: serial pre-generation in serial-run order.
-	data := make([][]map[string][]float64, nw)
-	for i, w := range m.Workloads {
-		data[i] = make([]map[string][]float64, nc)
-		for j := range m.Configs {
-			data[i][j] = w.NewData()
-		}
-	}
-	// Compilation: one memo slot per (workload, compiler options).
-	comp := make([][]*compileSlot, nw)
-	for i, w := range m.Workloads {
-		comp[i] = make([]*compileSlot, nc)
-		byOpts := map[compiler.Options]*compileSlot{}
-		for j, cfg := range m.Configs {
-			if cfg.Substrate == sim.SubNone {
-				continue
-			}
-			opts := sim.CompileOptions(cfg)
-			slot, ok := byOpts[opts]
-			if !ok {
-				slot = &compileSlot{}
-				byOpts[opts] = slot
-			}
-			comp[i][j] = slot
-		}
-		_ = w
-	}
-
-	// Observability: per-cell tracers (drawn serially so provider state is
-	// never raced) and per-cell metrics registries, merged serially below.
-	tracers := make([][]*trace.Tracer, nw)
-	cellMet := make([][]*trace.Metrics, nw)
-	for i, w := range m.Workloads {
-		tracers[i] = make([]*trace.Tracer, nc)
-		cellMet[i] = make([]*trace.Metrics, nc)
-		for j, cfg := range m.Configs {
-			if obs.Tracer != nil {
-				tracers[i][j] = obs.Tracer(w.Name, cfg.Name)
-			}
-			if obs.Metrics != nil {
-				cellMet[i][j] = trace.NewMetrics()
-			}
-		}
-	}
-
-	// Fan the cells out over the worker pool; collect into cell-indexed
-	// slots so assembly below runs in deterministic serial order.
-	res := make([][]*sim.Result, nw)
-	errs := make([][]error, nw)
-	for i := range res {
-		res[i] = make([]*sim.Result, nc)
-		errs[i] = make([]error, nc)
-	}
-	type cell struct{ i, j int }
-	jobs := make(chan cell)
-	var wg sync.WaitGroup
-	for n := 0; n < workers; n++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for c := range jobs {
-				w, cfg := m.Workloads[c.i], m.Configs[c.j]
-				cfg.Trace = tracers[c.i][c.j]
-				cfg.Metrics = cellMet[c.i][c.j]
-				var compiled *compiler.Compiled
-				if slot := comp[c.i][c.j]; slot != nil {
-					slot.once.Do(func() {
-						slot.c, slot.err = compiler.Compile(w.Kernel, sim.CompileOptions(cfg))
-					})
-					if slot.err != nil {
-						errs[c.i][c.j] = slot.err
-						continue
-					}
-					compiled = slot.c
-				}
-				res[c.i][c.j], errs[c.i][c.j] = sim.RunPrecompiled(w.Kernel, w.Params, data[c.i][c.j], cfg, compiled)
-			}
-		}()
-	}
-	for i := 0; i < nw; i++ {
-		for j := 0; j < nc; j++ {
-			jobs <- cell{i, j}
-		}
-	}
-	close(jobs)
-	wg.Wait()
-
-	// Assemble in serial order; the first error in serial order wins, as
-	// in the serial loop.
-	for i, w := range m.Workloads {
-		for j, cfg := range m.Configs {
-			if err := errs[i][j]; err != nil {
-				return nil, fmt.Errorf("exp: %s on %s: %w", w.Name, cfg.Name, err)
-			}
-		}
-		m.Res[w.Name] = map[string]*sim.Result{}
-		for j, cfg := range m.Configs {
-			m.Res[w.Name][cfg.Name] = res[i][j]
-		}
-	}
-	// Fold per-cell metrics in serial cell order: the merged registry is
-	// identical at any worker count.
-	if obs.Metrics != nil {
-		for i := range m.Workloads {
-			for j := range m.Configs {
-				obs.Metrics.Merge(cellMet[i][j])
-			}
-		}
-	}
-	return m, nil
+	return Build(context.Background(), Options{Scale: scale, Workers: workers, Observe: obs})
 }
 
 func (m *Matrix) get(w, cfg string) *sim.Result { return m.Res[w][cfg] }
@@ -218,7 +99,12 @@ func (m *Matrix) ratioTable(title string, metric func(base, r *sim.Result) float
 		base := m.get(w.Name, "OoO")
 		row := []string{w.Name}
 		for _, cfg := range m.Configs[1:] {
-			v := metric(base, m.get(w.Name, cfg.Name))
+			r := m.get(w.Name, cfg.Name)
+			if base == nil || r == nil {
+				row = append(row, report.NA)
+				continue
+			}
+			v := metric(base, r)
 			gm[cfg.Name] = append(gm[cfg.Name], v)
 			row = append(row, report.F(v))
 		}
@@ -226,9 +112,16 @@ func (m *Matrix) ratioTable(title string, metric func(base, r *sim.Result) float
 	}
 	row := []string{"geomean"}
 	for _, cfg := range m.Configs[1:] {
+		if len(gm[cfg.Name]) == 0 {
+			row = append(row, report.NA)
+			continue
+		}
 		row = append(row, report.F(stats.Geomean(gm[cfg.Name])))
 	}
 	t.AddRow(row...)
+	if n := m.DegradedCount(); n > 0 {
+		t.AddNote("%d cell(s) degraded to n/a; geomeans cover completed cells only", n)
+	}
 	return t
 }
 
@@ -258,6 +151,10 @@ func (m *Matrix) Fig9AccessDistribution() *report.Table {
 	}
 	for _, w := range m.Workloads {
 		r := m.get(w.Name, "Dist-DA-F")
+		if r == nil {
+			t.AddRow(w.Name, report.NA, report.NA, report.NA)
+			continue
+		}
 		total := float64(r.IntraBytes + r.DABytes + r.AABytes)
 		if total == 0 {
 			total = 1
@@ -283,6 +180,14 @@ func (m *Matrix) Fig10NoCTraffic() *report.Table {
 	for _, w := range m.Workloads {
 		mono := m.get(w.Name, "Mono-DA-IO")
 		dist := m.get(w.Name, "Dist-DA-F")
+		if mono == nil || dist == nil {
+			row := []string{w.Name}
+			for range classes {
+				row = append(row, report.NA, report.NA)
+			}
+			t.AddRow(row...)
+			continue
+		}
 		var monoTotal int64
 		for _, c := range classes {
 			monoTotal += mono.NoCBytes[c]
@@ -313,6 +218,10 @@ func (m *Matrix) Fig11aIPC() *report.Table {
 		row := []string{w.Name}
 		for _, cfg := range m.Configs[1:] {
 			r := m.get(w.Name, cfg.Name)
+			if base == nil || r == nil {
+				row = append(row, report.NA)
+				continue
+			}
 			row = append(row, fmt.Sprintf("%s|%s",
 				report.F(stats.Ratio(r.IPC(), base.IPC())),
 				report.F(stats.Ratio(r.MemOpRate(), base.MemOpRate()))))
@@ -346,16 +255,25 @@ func (m *Matrix) Headline() *report.Table {
 		Title:   "Headline geomeans: Dist-DA-F vs baseline (energy eff; speedup; data movement)",
 		Columns: []string{"baseline", "energy-eff", "speedup", "data-movement"},
 	}
+	geo := func(vs []float64) string {
+		if len(vs) == 0 {
+			return report.NA
+		}
+		return report.F(stats.Geomean(vs))
+	}
 	for _, baseName := range []string{"OoO", "Mono-CA", "Mono-DA-IO"} {
 		var eff, spd, dm []float64
 		for _, w := range m.Workloads {
 			base := m.get(w.Name, baseName)
 			r := m.get(w.Name, "Dist-DA-F")
+			if base == nil || r == nil {
+				continue // degraded cell: the geomean covers completed cells
+			}
 			eff = append(eff, r.EnergyEfficiencyVs(base))
 			spd = append(spd, r.SpeedupVs(base))
 			dm = append(dm, r.DataMovementReductionVs(base))
 		}
-		t.AddRow(baseName, report.F(stats.Geomean(eff)), report.F(stats.Geomean(spd)), report.F(stats.Geomean(dm)))
+		t.AddRow(baseName, geo(eff), geo(spd), geo(dm))
 	}
 	t.AddNote("paper: (3.3; 1.59; 2.4) vs OoO, (2.46; 1.43; 3.5) vs Mono-CA, (1.46; 1.65; 1.48) vs Mono-DA-IO")
 	// Compute specialization: Dist-DA-F vs Dist-DA-IO (paper: 1.23x energy, 1.43x speedup).
@@ -363,10 +281,16 @@ func (m *Matrix) Headline() *report.Table {
 	for _, w := range m.Workloads {
 		io := m.get(w.Name, "Dist-DA-IO")
 		f := m.get(w.Name, "Dist-DA-F")
+		if io == nil || f == nil {
+			continue
+		}
 		eff = append(eff, f.EnergyEfficiencyVs(io))
 		spd = append(spd, f.SpeedupVs(io))
 	}
-	t.AddRow("Dist-DA-IO", report.F(stats.Geomean(eff)), report.F(stats.Geomean(spd)), "-")
+	t.AddRow("Dist-DA-IO", geo(eff), geo(spd), "-")
+	if n := m.DegradedCount(); n > 0 {
+		t.AddNote("%d cell(s) degraded to n/a; geomeans cover completed cells only", n)
+	}
 	return t
 }
 
@@ -407,10 +331,17 @@ func (m *Matrix) Tab6OffloadCharacteristics() (*report.Table, error) {
 				dimW, dimH, _ = info.Graph.Dims()
 			}
 		}
+		// The run-derived columns degrade independently of the static
+		// (compile-derived) ones.
+		initPct, avgBuf := report.NA, report.NA
+		if res != nil {
+			initPct = fmt.Sprintf("%.2f", res.InitOverheadPct())
+			avgBuf = report.F(res.AvgBuffers)
+		}
 		t.AddRow(w.Name,
 			report.F(cc), report.F(dc),
-			fmt.Sprintf("%.2f", res.InitOverheadPct()),
-			report.F(res.AvgBuffers),
+			initPct,
+			avgBuf,
 			fmt.Sprintf("%d", maxInsts),
 			fmt.Sprintf("%dx%d", dimW, dimH),
 			fmt.Sprintf("%d", maxInsts*8))
@@ -430,6 +361,13 @@ func (m *Matrix) Tab5MechanismCoverage() *report.Table {
 	for _, w := range m.Workloads {
 		r := m.get(w.Name, "Dist-DA-IO")
 		row := []string{w.Name}
+		if r == nil {
+			for range names {
+				row = append(row, report.NA)
+			}
+			t.AddRow(row...)
+			continue
+		}
 		for _, n := range names {
 			mark := ""
 			for _, in := range coreIntrinsics() {

@@ -43,10 +43,9 @@ func Fig12bMultithread(scale workloads.Scale) (*report.Table, error) {
 }
 
 func distMT() sim.Config {
-	cfg := sim.DistDAIO()
-	cfg.Name = "Dist-DA-IO"
-	cfg.NoStreams = true
-	return cfg
+	return sim.MustConfig(sim.DistDAIO,
+		sim.WithName("Dist-DA-IO"),
+		sim.WithoutStreamSpecialization())
 }
 
 // Fig13Clocking sweeps the Dist-DA-IO accelerator clock 1→3 GHz and
@@ -192,20 +191,20 @@ func Ablations(scale workloads.Scale) (*report.Table, error) {
 	}
 	variants := []struct {
 		name string
-		mod  func(*sim.Config)
+		base func() sim.Config
+		opts []sim.Option
 	}{
-		{"buffer 16 elems", func(c *sim.Config) { c.BufElems = 16 }},
-		{"buffer 1024 elems", func(c *sim.Config) { c.BufElems = 1024 }},
-		{"no combining", func(c *sim.Config) { c.Combining = false }},
-		{"no obj constraint", func(c *sim.Config) { c.NoObjConstr = true }},
-		{"accels at host", func(c *sim.Config) { c.PlaceAtHost = true }},
-		{"OoO no prefetcher", func(c *sim.Config) { *c = sim.OoO(); c.HostPrefetch = false }},
+		{"buffer 16 elems", sim.DistDAIO, []sim.Option{sim.WithBufElems(16)}},
+		{"buffer 1024 elems", sim.DistDAIO, []sim.Option{sim.WithBufElems(1024)}},
+		{"no combining", sim.DistDAIO, []sim.Option{sim.WithCombining(false)}},
+		{"no obj constraint", sim.DistDAIO, []sim.Option{sim.WithoutObjConstraint()}},
+		{"accels at host", sim.DistDAIO, []sim.Option{sim.WithPlaceAtHost()}},
+		{"OoO no prefetcher", sim.OoO, []sim.Option{sim.WithHostPrefetch(false)}},
 	}
 	for _, v := range variants {
 		row := []string{v.name}
 		for i, w := range wls {
-			cfg := sim.DistDAIO()
-			v.mod(&cfg)
+			cfg := sim.MustConfig(v.base, v.opts...)
 			r, err := sim.Run(w.Kernel, w.Params, w.NewData(), cfg)
 			if err != nil {
 				return nil, fmt.Errorf("exp: ablation %q on %s: %w", v.name, w.Name, err)

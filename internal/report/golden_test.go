@@ -1,0 +1,106 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update regenerates the golden files under testdata/ from the current
+// renderer output. Run `go test ./internal/report -update` after an
+// intentional formatting change, then review the diff like any other code.
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// goldenTables is the fixed corpus: every layout feature of the renderer is
+// exercised by at least one table, so any change to alignment, separators,
+// titles or notes shows up as a golden diff.
+func goldenTables() map[string]*Table {
+	basic := &Table{
+		Title:   "Fig. 7: energy efficiency over OoO",
+		Columns: []string{"workload", "Mono-CA", "Mono-DA-F", "Dist-DA-IO", "Dist-DA-F"},
+	}
+	basic.AddRow("fdtd-2d", "1.12", "3.41", "6.02", "8.73")
+	basic.AddRow("bfs", "0.98", "2.10", "3.88", "4.12")
+	basic.AddRow("geomean", "1.05", "2.68", "4.83", "6.00")
+	basic.AddNote("paper geomean: 8.0x (Dist-DA-F)")
+
+	degraded := &Table{
+		Title:   "Fig. 11b: speedup over OoO",
+		Columns: []string{"workload", "Dist-DA-IO", "Dist-DA-F"},
+	}
+	degraded.AddRow("fdtd-2d", NA, "2.54")
+	degraded.AddRow("bfs", "1.31", "1.46")
+	degraded.AddRow("geomean", NA, "1.93")
+	degraded.AddNote("1 cell(s) degraded to %s; geomean skips them", NA)
+
+	untitled := &Table{Columns: []string{"component", "metric", "value"}}
+	untitled.AddRow("artifact", "compiles", "12")
+	untitled.AddRow("artifact", "disk_hits", "0")
+	untitled.AddRow("engine", "fast_forwards", "48219")
+
+	ragged := &Table{
+		Title:   "ragged rows",
+		Columns: []string{"name", "a", "b"},
+	}
+	ragged.AddRow("full", "1", "2")
+	ragged.AddRow("short", "1") // fewer cells than columns
+	ragged.AddRow("a-very-long-row-label", "100000", "3")
+
+	return map[string]*Table{
+		"basic":    basic,
+		"degraded": degraded,
+		"untitled": untitled,
+		"ragged":   ragged,
+	}
+}
+
+func TestRenderGolden(t *testing.T) {
+	for name, tab := range goldenTables() {
+		t.Run(name, func(t *testing.T) {
+			got := tab.Render()
+			path := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test ./internal/report -update`): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("render mismatch for %s\n--- got ---\n%s--- want ---\n%s", name, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenNACells pins the degraded-cell contract independently of the
+// golden bytes: NA renders inline, right-aligned like any numeric cell, and
+// never collapses the row.
+func TestGoldenNACells(t *testing.T) {
+	tab := goldenTables()["degraded"]
+	out := tab.Render()
+	if want := 3; len(tab.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), want)
+	}
+	for _, line := range []string{"fdtd-2d", "geomean", NA} {
+		if !containsLine(out, line) {
+			t.Errorf("rendered table lacks %q:\n%s", line, out)
+		}
+	}
+}
+
+func containsLine(out, sub string) bool {
+	for i := 0; i+len(sub) <= len(out); i++ {
+		if out[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -25,6 +25,11 @@ func (t *Table) AddNote(format string, args ...any) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
 }
 
+// NA is the cell text for values that could not be computed — e.g. a
+// degraded (timed-out) matrix cell. Renderers emit it instead of dropping
+// the row so every table keeps its full shape.
+const NA = "n/a"
+
 // F formats a float for table cells.
 func F(v float64) string {
 	switch {

@@ -80,107 +80,108 @@ type Config struct {
 	// enforce it); this exists for those tests and for wall-clock
 	// comparisons.
 	NaiveEngine bool
+
+	// Cancel, when non-nil, interrupts the run when closed: the host stops
+	// at the next loop boundary and Run returns an error wrapping
+	// ErrCanceled. Wire a context's Done channel here (WithCancel) to give
+	// a simulation a deadline. Cancellation is observational until it
+	// fires: a run that completes without Cancel closing is bit-identical
+	// to one with Cancel nil.
+	Cancel <-chan struct{}
 }
 
-func baseAccel() Config {
-	return Config{
-		BufElems:      128,
-		CombineWindow: 64,
-		Combining:     true,
-		HostPrefetch:  true,
-		HostPrefDeg:   2,
-		IOWidth:       1,
-		MaxEngine:     1 << 34,
-		ValidateEvery: true,
-	}
+// Base is the shared substrate-independent default configuration every
+// named constructor starts from. It is not directly runnable (it has no
+// name); seed NewConfig with it to build fully custom configurations.
+func Base() Config {
+	var c Config
+	c.BufElems = 128
+	c.CombineWindow = 64
+	c.Combining = true
+	c.HostPrefetch = true
+	c.HostPrefDeg = 2
+	c.IOWidth = 1
+	c.MaxEngine = 1 << 34
+	c.ValidateEvery = true
+	return c
 }
 
 // OoO is the out-of-order host baseline (①).
 func OoO() Config {
-	c := baseAccel()
-	c.Name = "OoO"
-	c.Substrate = SubNone
-	return c
+	return MustConfig(Base, WithName("OoO"), WithSubstrate(SubNone))
 }
 
 // MonoCA is the monolithic accelerator on the L3 bus with centralized,
 // stream-specialized accesses and an 8 KB private cache (②).
 func MonoCA() Config {
-	c := baseAccel()
-	c.Name = "Mono-CA"
-	c.Substrate = SubIO
-	c.AccelGHz = 2
-	c.Centralized = true
-	c.CompilerMode = compiler.ModeMono
-	c.PrivCacheKB = 8
-	return c
+	return MustConfig(Base,
+		WithName("Mono-CA"),
+		WithSubstrate(SubIO),
+		WithAccelGHz(2),
+		WithCentralized(true),
+		WithCompilerMode(compiler.ModeMono),
+		WithPrivCacheKB(8))
 }
 
 // MonoDAIO is monolithic compute with decentralized accesses on an in-order
 // core at 2 GHz (③).
 func MonoDAIO() Config {
-	c := baseAccel()
-	c.Name = "Mono-DA-IO"
-	c.Substrate = SubIO
-	c.AccelGHz = 2
-	c.CompilerMode = compiler.ModeMono
-	return c
+	return MustConfig(Base,
+		WithName("Mono-DA-IO"),
+		WithSubstrate(SubIO),
+		WithAccelGHz(2),
+		WithCompilerMode(compiler.ModeMono))
 }
 
 // MonoDAF is monolithic compute with decentralized accesses on an 8x8 CGRA
 // at 1 GHz (④).
 func MonoDAF() Config {
-	c := baseAccel()
-	c.Name = "Mono-DA-F"
-	c.Substrate = SubCGRA
-	c.AccelGHz = 1
-	c.Grid = cgra.Grid8x8()
-	c.CompilerMode = compiler.ModeMono
-	return c
+	return MustConfig(Base,
+		WithName("Mono-DA-F"),
+		WithSubstrate(SubCGRA),
+		WithAccelGHz(1),
+		WithGrid(cgra.Grid8x8()),
+		WithCompilerMode(compiler.ModeMono))
 }
 
 // DistDAIO is distributed compute + decentralized accesses on in-order
 // cores at 2 GHz (⑤).
 func DistDAIO() Config {
-	c := baseAccel()
-	c.Name = "Dist-DA-IO"
-	c.Substrate = SubIO
-	c.AccelGHz = 2
-	c.Distribute = true
-	c.CompilerMode = compiler.ModeDist
-	return c
+	return MustConfig(Base,
+		WithName("Dist-DA-IO"),
+		WithSubstrate(SubIO),
+		WithAccelGHz(2),
+		WithDistribute(true),
+		WithCompilerMode(compiler.ModeDist))
 }
 
 // DistDAF is distributed compute + decentralized accesses on 5x5 CGRA
 // tiles at 1 GHz (⑥).
 func DistDAF() Config {
-	c := baseAccel()
-	c.Name = "Dist-DA-F"
-	c.Substrate = SubCGRA
-	c.AccelGHz = 1
-	c.Grid = cgra.Grid5x5()
-	c.Distribute = true
-	c.CompilerMode = compiler.ModeDist
-	return c
+	return MustConfig(Base,
+		WithName("Dist-DA-F"),
+		WithSubstrate(SubCGRA),
+		WithAccelGHz(1),
+		WithGrid(cgra.Grid5x5()),
+		WithDistribute(true),
+		WithCompilerMode(compiler.ModeDist))
 }
 
 // DistDAIOSW is Fig. 14's Dist-DA-IO+SW: issue width 4 plus software
 // prefetching in the offloaded code.
 func DistDAIOSW() Config {
-	c := DistDAIO()
-	c.Name = "Dist-DA-IO+SW"
-	c.IOWidth = 4
-	c.SWPrefetch = true
-	return c
+	return MustConfig(DistDAIO,
+		WithName("Dist-DA-IO+SW"),
+		WithIOWidth(4),
+		WithSWPrefetch(true))
 }
 
 // DistDAFA is Fig. 14's Dist-DA-F+A: manually customized data-structure
 // allocation for intra-cluster locality.
 func DistDAFA() Config {
-	c := DistDAF()
-	c.Name = "Dist-DA-F+A"
-	c.AllocSpread = true
-	return c
+	return MustConfig(DistDAF,
+		WithName("Dist-DA-F+A"),
+		WithAllocSpread(true))
 }
 
 // WithClock returns the config with the accelerator clock replaced
@@ -208,11 +209,9 @@ func nameGHz(ghz int) string {
 // residence" extension: Dist-DA-IO plus near-memory placement for
 // DRAM-resident objects.
 func DistDAOffChip() Config {
-	c := DistDAIO()
-	c.Name = "Dist-DA-OffChip"
-	c.OffChip = true
-	c.OffChipThreshold = 1 << 20
-	return c
+	return MustConfig(DistDAIO,
+		WithName("Dist-DA-OffChip"),
+		WithOffChip(1<<20))
 }
 
 // AllPaperConfigs returns the six configurations of §VI-A in paper order.

@@ -59,6 +59,19 @@ func (h *host) failf(format string, args ...any) {
 	panic(hostError{fmt.Errorf("sim: host: "+format, args...)})
 }
 
+// checkCancel aborts the run (with an error wrapping ErrCanceled) when the
+// config's Cancel channel has closed. It is called at loop boundaries — the
+// cost is a nil check on the common uncancellable path.
+func (h *host) checkCancel() {
+	if c := h.m.cfg.Cancel; c != nil {
+		select {
+		case <-c:
+			panic(hostError{fmt.Errorf("sim: host: %w", ErrCanceled)})
+		default:
+		}
+	}
+}
+
 // run executes the kernel body to completion.
 func (h *host) run() (err error) {
 	defer func() {
@@ -168,6 +181,7 @@ func (h *host) forLoop(f *ir.For) bool {
 	// Offloaded region?
 	if h.compiled != nil {
 		if reg, ok := h.compiled.ByLoop[f]; ok && reg.Class != core.ClassNotOffloaded && len(reg.Accels) > 0 {
+			h.checkCancel()
 			h.launch(reg)
 			return reg.FoldedEpilogue
 		}
@@ -184,6 +198,7 @@ func (h *host) forLoop(f *ir.For) bool {
 	}
 	saved, had := h.ivs[f.IV]
 	for v := lo.v; v < hi.v; v += step.v {
+		h.checkCancel()
 		h.ivs[f.IV] = v
 		// Loop control: compare + increment.
 		h.instr(ir.ClassInt)
@@ -296,6 +311,7 @@ func (h *host) parallelFor(f *ir.For, lo, hi, step float64) {
 		hBefore := h.m.hostTimeline()
 		h.m.accelFreeAt = hBefore // each thread drives its own accelerators
 		for v := cLo; v < cHi; v += step {
+			h.checkCancel()
 			h.ivs[f.IV] = v
 			h.instr(ir.ClassInt)
 			h.instr(ir.ClassInt)

@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"distda/internal/cgra"
+	"distda/internal/compiler"
+	"distda/internal/trace"
+)
+
+// ErrCanceled is returned (wrapped) by Run and friends when the run was
+// interrupted through Config.Cancel before completion. Callers distinguish
+// it from simulation errors with errors.Is; the experiment runner maps it to
+// a degraded ("n/a") cell instead of aborting the whole matrix.
+var ErrCanceled = errors.New("sim: run canceled")
+
+// Option mutates a Config under construction. Options compose left to
+// right; the last write to a field wins. Use NewConfig (or MustConfig) to
+// apply them — both validate the final configuration, which is how nonsense
+// combinations (Centralized+Distribute, out-of-range clocks, ...) are
+// rejected at construction time instead of deep inside the simulator.
+type Option func(*Config)
+
+// NewConfig builds a configuration from a base constructor plus options and
+// validates it:
+//
+//	cfg, err := sim.NewConfig(sim.DistDAIO,
+//	        sim.WithBufElems(256),
+//	        sim.WithTrace(tr))
+//
+// Any named constructor (OoO, MonoCA, DistDAF, ...) or Base itself can seed
+// the build. A nil option is ignored.
+func NewConfig(base func() Config, opts ...Option) (Config, error) {
+	c := base()
+	for _, o := range opts {
+		if o != nil {
+			o(&c)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		var zero Config
+		return zero, err
+	}
+	return c, nil
+}
+
+// MustConfig is NewConfig panicking on validation errors. It is meant for
+// statically known-good combinations (the named constructors use it).
+func MustConfig(base func() Config, opts ...Option) Config {
+	c, err := NewConfig(base, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Validate rejects configurations that no assembled machine can honor. The
+// named constructors always validate; hand-tuned configurations should be
+// built with NewConfig so mistakes surface before a simulation starts.
+func (c Config) Validate() error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("sim: config %q: "+format, append([]any{c.Name}, args...)...)
+	}
+	if c.Name == "" {
+		return errors.New("sim: config has no name")
+	}
+	if c.Centralized && c.Distribute {
+		return fail("Centralized (Mono-CA) and Distribute (Dist-DA) are mutually exclusive")
+	}
+	if c.Substrate == SubNone {
+		if c.Distribute {
+			return fail("Distribute requires an accelerator substrate")
+		}
+		if c.Centralized {
+			return fail("Centralized accesses require an accelerator substrate")
+		}
+		if c.AccelGHz != 0 {
+			return fail("AccelGHz %d set without an accelerator substrate", c.AccelGHz)
+		}
+	} else {
+		if c.AccelGHz < 1 || c.AccelGHz > 3 {
+			return fail("AccelGHz %d outside the modeled 1-3 GHz range", c.AccelGHz)
+		}
+	}
+	if c.Centralized && c.Substrate != SubIO {
+		return fail("Mono-CA centralized accesses are modeled on the in-order substrate only")
+	}
+	if c.Substrate == SubCGRA && c.Grid.IntPEs <= 0 {
+		return fail("CGRA substrate without a provisioned grid")
+	}
+	if c.Substrate == SubIO && c.IOWidth < 1 {
+		return fail("in-order issue width %d < 1", c.IOWidth)
+	}
+	if c.BufElems <= 0 {
+		return fail("BufElems %d must be positive", c.BufElems)
+	}
+	if c.Combining && c.CombineWindow <= 0 {
+		return fail("Combining enabled with non-positive window %d", c.CombineWindow)
+	}
+	if c.CombineWindow < 0 {
+		return fail("CombineWindow %d negative", c.CombineWindow)
+	}
+	if c.MaxEngine <= 0 {
+		return fail("MaxEngine %d must be positive", c.MaxEngine)
+	}
+	if c.PrivCacheKB < 0 {
+		return fail("PrivCacheKB %d negative", c.PrivCacheKB)
+	}
+	if c.Threads < 0 {
+		return fail("Threads %d negative", c.Threads)
+	}
+	if c.HostPrefDeg < 0 {
+		return fail("HostPrefDeg %d negative", c.HostPrefDeg)
+	}
+	if c.OffChip && c.OffChipThreshold <= 0 {
+		return fail("OffChip placement with non-positive threshold %d", c.OffChipThreshold)
+	}
+	return nil
+}
+
+// WithName replaces the configuration's display name.
+func WithName(name string) Option { return func(c *Config) { c.Name = name } }
+
+// WithSubstrate selects the accelerator execution substrate.
+func WithSubstrate(s Substrate) Option { return func(c *Config) { c.Substrate = s } }
+
+// WithDistribute toggles distributed computation (Dist-DA).
+func WithDistribute(on bool) Option { return func(c *Config) { c.Distribute = on } }
+
+// WithCentralized toggles Mono-CA centralized accesses.
+func WithCentralized(on bool) Option { return func(c *Config) { c.Centralized = on } }
+
+// WithAccelGHz sets the accelerator clock (modeled range 1-3).
+func WithAccelGHz(ghz int) Option { return func(c *Config) { c.AccelGHz = ghz } }
+
+// WithGrid sets the CGRA fabric provisioning.
+func WithGrid(g cgra.GridConfig) Option { return func(c *Config) { c.Grid = g } }
+
+// WithBufElems sets the per-buffer decoupling window, in elements.
+func WithBufElems(n int) Option { return func(c *Config) { c.BufElems = n } }
+
+// WithCombineWindow sets the multi-access combining window, in elements.
+func WithCombineWindow(n int64) Option { return func(c *Config) { c.CombineWindow = n } }
+
+// WithCombining toggles Fig. 2d runtime combining.
+func WithCombining(on bool) Option { return func(c *Config) { c.Combining = on } }
+
+// WithHostPrefetch toggles the host L2 stride prefetcher.
+func WithHostPrefetch(on bool) Option { return func(c *Config) { c.HostPrefetch = on } }
+
+// WithHostPrefDeg sets the host prefetcher degree.
+func WithHostPrefDeg(deg int) Option { return func(c *Config) { c.HostPrefDeg = deg } }
+
+// WithIOWidth sets the in-order issue width (Fig. 14 +SW uses 4).
+func WithIOWidth(w int) Option { return func(c *Config) { c.IOWidth = w } }
+
+// WithSWPrefetch toggles software prefetch for accelerator random loads.
+func WithSWPrefetch(on bool) Option { return func(c *Config) { c.SWPrefetch = on } }
+
+// WithAllocSpread toggles Fig. 14 +A allocation customization.
+func WithAllocSpread(on bool) Option { return func(c *Config) { c.AllocSpread = on } }
+
+// WithoutStreamSpecialization lowers affine accesses as random accesses
+// (§VI-D multithreading case study).
+func WithoutStreamSpecialization() Option { return func(c *Config) { c.NoStreams = true } }
+
+// WithoutEpilogueFold keeps epilogue stores on the host (Dist-DA-B).
+func WithoutEpilogueFold() Option { return func(c *Config) { c.NoFolding = true } }
+
+// WithOffChip enables §VII off-chip placement for objects larger than
+// threshold bytes.
+func WithOffChip(threshold int) Option {
+	return func(c *Config) {
+		c.OffChip = true
+		c.OffChipThreshold = threshold
+	}
+}
+
+// WithCompilerMode selects the compute-distribution lowering.
+func WithCompilerMode(m compiler.Mode) Option { return func(c *Config) { c.CompilerMode = m } }
+
+// WithMaxEngine caps the engine budget per launch, in base cycles.
+func WithMaxEngine(n int64) Option { return func(c *Config) { c.MaxEngine = n } }
+
+// WithPrivCacheKB sets the Mono-CA private cache size (0 = none).
+func WithPrivCacheKB(kb int) Option { return func(c *Config) { c.PrivCacheKB = kb } }
+
+// WithoutObjConstraint drops the ≤1-object-per-partition preference
+// (ablation).
+func WithoutObjConstraint() Option { return func(c *Config) { c.NoObjConstr = true } }
+
+// WithPlaceAtHost ignores placement hints, keeping accelerators at the host
+// tile (ablation).
+func WithPlaceAtHost() Option { return func(c *Config) { c.PlaceAtHost = true } }
+
+// WithThreads sets the software thread count for parallel-annotated loops.
+func WithThreads(n int) Option { return func(c *Config) { c.Threads = n } }
+
+// WithValidation toggles the per-run comparison against the reference
+// interpreter.
+func WithValidation(on bool) Option { return func(c *Config) { c.ValidateEvery = on } }
+
+// WithTrace attaches a cycle-accurate tracer (observational only).
+func WithTrace(tr *trace.Tracer) Option { return func(c *Config) { c.Trace = tr } }
+
+// WithMetrics attaches a metrics registry (observational only).
+func WithMetrics(m *trace.Metrics) Option { return func(c *Config) { c.Metrics = m } }
+
+// WithNaiveEngine selects the reference one-tick-at-a-time scheduler.
+func WithNaiveEngine() Option { return func(c *Config) { c.NaiveEngine = true } }
+
+// WithCancel attaches a cancellation channel: when it closes, the run stops
+// at the next host loop boundary and returns an error wrapping ErrCanceled.
+// This is how the experiment runner enforces per-cell deadlines
+// (context.Context.Done plugs in directly).
+func WithCancel(done <-chan struct{}) Option { return func(c *Config) { c.Cancel = done } }

@@ -109,10 +109,19 @@ func copyData(data map[string][]float64) map[string][]float64 {
 // gets its own offloadable chunk loop.
 func RunThreads(k *ir.Kernel, params map[string]float64, data map[string][]float64, cfg Config, threads int) (*Result, error) {
 	cfg.Threads = threads
+	return Run(ThreadKernel(k, threads), params, data, cfg)
+}
+
+// ThreadKernel returns the kernel RunThreads would execute with the given
+// software thread count: for threads > 1 every parallel innermost loop is
+// strip-mined into per-thread chunk loops (see stripMineParallelInnermost).
+// Callers that compile through a content-addressed cache key on this kernel
+// so thread variants hash distinctly.
+func ThreadKernel(k *ir.Kernel, threads int) *ir.Kernel {
 	if threads > 1 {
-		k = stripMineParallelInnermost(k, threads)
+		return stripMineParallelInnermost(k, threads)
 	}
-	return Run(k, params, data, cfg)
+	return k
 }
 
 // stripMineParallelInnermost rewrites every parallel innermost loop

@@ -18,6 +18,19 @@ go vet ./...
 echo "== go test -race ./internal/exp/... ./internal/sim/..."
 go test -race ./internal/exp/... ./internal/sim/...
 
+echo "== no sim.Config struct literals outside internal/sim"
+# Configs must come from the constructors + functional options so Validate
+# always runs; slices of constructor results ([]sim.Config{...}) are fine,
+# bare struct literals are not.
+viol=$(grep -rn 'sim\.Config{' cmd internal examples --include='*.go' \
+    | grep -v '^internal/sim/' \
+    | grep -v '\[\]sim\.Config{' || true)
+if [ -n "$viol" ]; then
+    echo "sim.Config struct literal outside internal/sim (use sim.NewConfig + options):" >&2
+    echo "$viol" >&2
+    exit 1
+fi
+
 echo "== gofmt -l"
 fmt=$(gofmt -l cmd internal examples 2>/dev/null || gofmt -l cmd internal)
 if [ -n "$fmt" ]; then
