@@ -21,8 +21,10 @@ fmt:
 verify:
 	sh scripts/verify.sh
 
+# Runs every benchmark once and records the numbers as BENCH_<date>.json
+# (schema: docs/results-bench.txt). BENCHTIME=5x make bench for stable runs.
 bench:
-	go test -bench . -benchtime 1x -run '^$$' ./...
+	sh scripts/bench.sh
 
 # Remove the default on-disk compile cache and any run checkpoints, forcing
 # the next distda-repro/-run to compile and execute everything cold.

@@ -24,6 +24,7 @@ func main() {
 	mono := flag.Bool("mono", false, "compile in monolithic (Mono-CA/DA) mode")
 	dot := flag.Bool("dot", false, "emit the region DFGs as Graphviz dot")
 	showSrc := flag.Bool("src", false, "print the kernel source before the compiler artifacts")
+	profileKeys := flag.Bool("profile-keys", false, "print the folded-stack key space (kernel;region keys and per-accel component labels) a profiled run would emit, then exit")
 	scaleName := flag.String("scale", "bench", "input scale: test, bench, paper")
 	flag.Parse()
 	if *name == "" {
@@ -45,6 +46,29 @@ func main() {
 	c, err := compiler.Compile(w.Kernel, compiler.Options{Mode: mode})
 	if err != nil {
 		fatal(err)
+	}
+	if *profileKeys {
+		// Static view of the folded-stack key space: the profiler keys
+		// execution by kernel;region;component (see internal/profile), and
+		// the component labels for offloaded regions come from the
+		// partitioned accelerator IDs (printed as core:<id> here; CGRA
+		// substrates label the same IDs fabric:<id>). This prints the keys
+		// a profiled run of this kernel would emit, without simulating
+		// anything.
+		for _, info := range c.Infos {
+			r := info.Region
+			if !info.Offloaded() {
+				fmt.Printf("%s;%s (not offloaded: %s)\n", w.Kernel.Name, r.Name, info.Why)
+				continue
+			}
+			fmt.Printf("%s;%s;[dispatch]\n", w.Kernel.Name, r.Name)
+			fmt.Printf("%s;%s;[queue]\n", w.Kernel.Name, r.Name)
+			for _, a := range r.Accels {
+				fmt.Printf("%s;%s;core:%d\n", w.Kernel.Name, r.Name, a.ID)
+			}
+			fmt.Printf("%s;%s;[writeback]\n", w.Kernel.Name, r.Name)
+		}
+		return
 	}
 	if *showSrc {
 		fmt.Println(ir.Format(w.Kernel))

@@ -26,6 +26,7 @@ import (
 
 	"distda/internal/cliutil"
 	"distda/internal/exp"
+	"distda/internal/profile"
 	"distda/internal/report"
 	"distda/internal/trace"
 	"distda/internal/workloads"
@@ -66,6 +67,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	offchip := fs.Bool("offchip", false, "evaluate the §VII off-chip placement extension")
 	parallel := fs.Int("parallel", 0, "worker count for the experiment matrix (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
 	metrics := fs.Bool("metrics", false, "print the matrix's merged per-component metrics table (includes artifact cache hit/miss counters)")
+	statsPath := fs.String("stats", "", "write the matrix's merged gem5-style stats dump (cycle/energy attribution) to this file")
+	foldedPath := fs.String("folded", "", "write the matrix's folded stacks of simulated time (FlameGraph/speedscope input) to this file")
+	breakdown := fs.Bool("breakdown", false, "print the offload latency breakdown table (dispatch/queue/execute/writeback)")
+	httpAddr := fs.String("http", "", "serve live run introspection on this address (/progress JSON + expvar + pprof), e.g. localhost:6060")
 	traceDir := fs.String("trace-dir", "", "write one Chrome trace JSON per matrix cell into this directory")
 	cacheDir := fs.String("cache-dir", "", "content-addressed compile cache directory; reused across runs (empty = in-memory only)")
 	checkpoint := fs.String("checkpoint", "", "JSON checkpoint path: rewritten after every completed matrix cell; an existing file resumes only the missing cells")
@@ -122,6 +127,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		met = trace.NewMetrics()
 		obs.Metrics = met
 	}
+	var prof *profile.Profiler
+	if *statsPath != "" || *foldedPath != "" || *breakdown {
+		prof = profile.New()
+		obs.Profile = prof
+	}
 	type cellTrace struct {
 		path string
 		tr   *trace.Tracer
@@ -152,6 +162,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Checkpoint:  *checkpoint,
 		CellTimeout: *cellTimeout,
 		Retries:     *retries,
+	}
+	// Live introspection: the /progress view is fed per-cell completion
+	// events from exp.Build; expvar and pprof expose the host process.
+	if *httpAddr != "" {
+		prog := profile.NewProgress(0)
+		bound, err := cliutil.ServeIntrospection(*httpAddr, prog)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stderr, "distda-repro: introspection on http://%s (/progress, /debug/vars, /debug/pprof/)\n", bound)
+		buildOpts.Progress = func(ev exp.ProgressEvent) {
+			prog.SetTotal(ev.Total)
+			prog.Record(profile.CellStatus{
+				Workload: ev.Workload, Config: ev.Config,
+				Dur: ev.Dur, Degraded: ev.Degraded, Resumed: ev.Resumed,
+			})
+		}
 	}
 	if *hangCell != "" {
 		target := *hangCell
@@ -296,6 +323,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "distda-repro: -metrics set but no matrix-backed output was selected; nothing collected")
 		} else {
 			fmt.Fprintln(stdout, met.Table().Render())
+		}
+	}
+	if prof != nil {
+		if matrix == nil {
+			fmt.Fprintln(stderr, "distda-repro: profiling flags set but no matrix-backed output was selected; nothing collected")
+		}
+		if *breakdown {
+			fmt.Fprintln(stdout, prof.LatencyBreakdown().Render())
+		}
+		if *statsPath != "" {
+			if err := cliutil.WriteStats(prof, *statsPath); err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(stderr, "distda-repro: wrote stats dump to %s\n", *statsPath)
+		}
+		if *foldedPath != "" {
+			if err := cliutil.WriteFolded(prof, *foldedPath); err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(stderr, "distda-repro: wrote folded stacks to %s\n", *foldedPath)
 		}
 	}
 	if matrix != nil && matrix.DegradedCount() > 0 {

@@ -22,6 +22,7 @@ import (
 	"distda/internal/cliutil"
 	"distda/internal/compiler"
 	"distda/internal/core"
+	"distda/internal/profile"
 	"distda/internal/sim"
 	"distda/internal/trace"
 	"distda/internal/workloads"
@@ -49,6 +50,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	naive := fs.Bool("naive-engine", false, "use the reference one-tick-at-a-time engine scheduler (bit-identical results, slower)")
 	traceOut := fs.String("trace", "", "write a Chrome trace_event JSON file (load in chrome://tracing or Perfetto)")
 	metrics := fs.Bool("metrics", false, "print the per-component metrics table after the result")
+	statsPath := fs.String("stats", "", "write a gem5-style stats.txt profile dump to this path")
+	foldedPath := fs.String("folded", "", "write folded stacks (FlameGraph/speedscope input) to this path")
+	breakdown := fs.Bool("breakdown", false, "print the offload latency breakdown table (dispatch/queue/execute/writeback)")
+	httpAddr := fs.String("http", "", "serve live introspection (expvar, pprof) on this address, e.g. localhost:6060")
 	cacheDir := fs.String("cache-dir", "", "content-addressed compile cache directory (shared with distda-repro; empty = in-memory only)")
 	list := fs.Bool("list", false, "list workloads and exit")
 	if err := fs.Parse(args); err != nil {
@@ -102,6 +107,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		met = trace.NewMetrics()
 		cfg.Metrics = met
 	}
+	var prof *profile.Profiler
+	if *statsPath != "" || *foldedPath != "" || *breakdown {
+		prof = profile.New()
+		cfg.Profile = prof
+	}
+	if *httpAddr != "" {
+		bound, err := cliutil.ServeIntrospection(*httpAddr, nil)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stderr, "distda-run: introspection on http://%s (/debug/vars, /debug/pprof/)\n", bound)
+	}
 
 	// Compile through the content-addressed cache (disk-backed under
 	// -cache-dir); the key covers the strip-mined thread kernel, so -threads
@@ -132,6 +149,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if met != nil {
 		fmt.Fprintln(stdout)
 		fmt.Fprintln(stdout, met.Table().Render())
+	}
+	if prof != nil {
+		if *breakdown {
+			fmt.Fprintln(stdout)
+			fmt.Fprintln(stdout, prof.LatencyBreakdown().Render())
+		}
+		if *statsPath != "" {
+			if err := cliutil.WriteStats(prof, *statsPath); err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(stderr, "distda-run: wrote stats dump to %s\n", *statsPath)
+		}
+		if *foldedPath != "" {
+			if err := cliutil.WriteFolded(prof, *foldedPath); err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(stderr, "distda-run: wrote folded stacks to %s\n", *foldedPath)
+		}
 	}
 	if tr != nil {
 		if err := cliutil.WriteTrace(tr, *traceOut); err != nil {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"distda/internal/energy"
+	"distda/internal/profile"
 )
 
 // Buffer is a bounded stream window held in the access unit's SRAM. A
@@ -25,6 +26,11 @@ type Buffer struct {
 
 	Pushes int64
 	Pops   int64
+
+	// Occ, when profiling is on, observes the buffer's occupancy after each
+	// push — the queue-occupancy histogram of the stats dump. Nil (one
+	// predictable branch per push) when profiling is off.
+	Occ *profile.Queue
 }
 
 // NewBuffer creates a buffer holding capElems elements, metering SRAM
@@ -75,6 +81,9 @@ func (b *Buffer) Push(v float64) {
 	b.Pushes++
 	if b.meter != nil {
 		b.meter.Add(energy.CatBuffer, b.meter.Table.BufferPJ)
+	}
+	if b.Occ != nil {
+		b.Occ.Observe(b.wseq - b.minReader())
 	}
 }
 

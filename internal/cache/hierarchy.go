@@ -121,12 +121,11 @@ func (h *Hierarchy) transfer(a, b, bytes int, class noc.Class) int {
 // Dirty L3 evictions write back to memory.
 func (h *Hierarchy) dramFill(cl int, addr int64, write bool) int {
 	lat := h.transfer(cl, h.cfg.MemNode, 8, noc.HostCtrl) // request
-	lat += h.mem.Access(false)
+	lat += h.mem.AccessAt(addr, false)
 	lat += h.transfer(h.cfg.MemNode, cl, h.l3[cl].LineBytes(), noc.HostData)
 	if ev, dirty, ok := h.l3[cl].Insert(addr, write); ok && dirty {
 		h.transfer(cl, h.cfg.MemNode, h.l3[cl].LineBytes(), noc.HostData)
-		h.mem.Access(true)
-		_ = ev
+		h.mem.AccessAt(ev, true)
 	}
 	return lat
 }

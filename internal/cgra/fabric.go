@@ -148,6 +148,36 @@ func NewFabric(def *core.AccelDef, g GridConfig, trips int64,
 // Mapping returns the modulo schedule chosen for this fabric.
 func (f *Fabric) Mapping() Mapping { return f.mapping }
 
+// BusyBaseCycles returns the fabric's pipelined-initiation time in engine
+// base cycles (one initiation per iteration at the fabric clock) — a
+// profiling accessor, no hot-path counters.
+func (f *Fabric) BusyBaseCycles() int64 { return f.Iters * f.div }
+
+// TileOps returns the mapped operation counts per functional-unit class
+// (integer, complex, float ALUs and memory ports). The mapper is analytic —
+// modulo scheduling without physical placement — so per-tile attribution is
+// per PE class: each mapped op occupies one PE of its class for one fabric
+// cycle per iteration.
+func (f *Fabric) TileOps() (intOps, cplxOps, fpOps, memOps int64) {
+	for oi := range f.prog {
+		op := &f.prog[oi]
+		switch op.Code {
+		case microcode.Consume, microcode.Produce, microcode.LoadObj, microcode.StoreObj:
+			memOps++
+		default:
+			switch op.Class() {
+			case ir.ClassInt:
+				intOps++
+			case ir.ClassComplex:
+				cplxOps++
+			case ir.ClassFloat:
+				fpOps++
+			}
+		}
+	}
+	return intOps, cplxOps, fpOps, memOps
+}
+
 // SetReg initializes a register (cp_set_rf).
 func (f *Fabric) SetReg(r int, v float64) { f.regs[r] = v }
 

@@ -1,0 +1,59 @@
+package cliutil
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"distda/internal/profile"
+)
+
+// ServeIntrospection starts the -http live introspection endpoint for long
+// runs on addr (e.g. "localhost:6060") and returns the bound address (the
+// listener resolves ":0" to a real port). The server runs until the process
+// exits — runs are short-lived processes, so there is no graceful-shutdown
+// plumbing.
+//
+// Routes (all on a private mux — this does not touch http.DefaultServeMux):
+//
+//	/progress        JSON progress/ETA view fed by matrix cell completions
+//	/debug/vars      expvar (Go runtime counters + published vars)
+//	/debug/pprof/*   net/http/pprof handlers for the host process
+//
+// prog may be nil (the /progress route then serves the zero snapshot —
+// useful for single-run tools that only want pprof/expvar).
+func ServeIntrospection(addr string, prog *profile.Progress) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("cliutil: -http listen %s: %w", addr, err)
+	}
+	mux := NewIntrospectionMux(prog)
+	go func() {
+		// The listener lives for the process; serve errors after that are
+		// shutdown noise, not actionable.
+		_ = http.Serve(ln, mux)
+	}()
+	return ln.Addr().String(), nil
+}
+
+// NewIntrospectionMux builds the introspection routes without binding a
+// listener (ServeIntrospection's testable core).
+func NewIntrospectionMux(prog *profile.Progress) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(prog.Snapshot()) // nil-safe: zero snapshot
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

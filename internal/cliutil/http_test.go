@@ -1,0 +1,119 @@
+package cliutil
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"distda/internal/profile"
+)
+
+func TestIntrospectionMuxProgress(t *testing.T) {
+	prog := profile.NewProgress(4)
+	prog.Record(profile.CellStatus{Workload: "fdtd-2d", Config: "Dist-DA-F", Dur: 2 * time.Second})
+	srv := httptest.NewServer(NewIntrospectionMux(prog))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var s profile.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Total != 4 || s.Done != 1 || s.Last.Workload != "fdtd-2d" {
+		t.Errorf("snapshot = %+v", s)
+	}
+
+	// The nil-progress mux (single-run tools) serves the zero snapshot
+	// rather than erroring.
+	nilSrv := httptest.NewServer(NewIntrospectionMux(nil))
+	defer nilSrv.Close()
+	resp2, err := http.Get(nilSrv.URL + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var z profile.Snapshot
+	if err := json.NewDecoder(resp2.Body).Decode(&z); err != nil {
+		t.Fatal(err)
+	}
+	if z != (profile.Snapshot{}) {
+		t.Errorf("nil-progress snapshot = %+v", z)
+	}
+}
+
+func TestIntrospectionMuxDebugRoutes(t *testing.T) {
+	srv := httptest.NewServer(NewIntrospectionMux(nil))
+	defer srv.Close()
+	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestServeIntrospectionBindsEphemeralPort(t *testing.T) {
+	bound, err := ServeIntrospection("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(bound, "127.0.0.1:") || strings.HasSuffix(bound, ":0") {
+		t.Fatalf("bound address = %q, want resolved 127.0.0.1 port", bound)
+	}
+	resp, err := http.Get("http://" + bound + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestWriteStatsAndFolded(t *testing.T) {
+	p := profile.New()
+	p.AddRun(100)
+	r := p.Region("k", "r0")
+	r.AddLaunch(1, 2, 3, 4)
+	dir := t.TempDir()
+
+	statsPath := filepath.Join(dir, "stats.txt")
+	if err := WriteStats(p, statsPath); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(statsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "Begin Simulation Statistics") {
+		t.Errorf("stats file missing header:\n%s", b)
+	}
+
+	foldedPath := filepath.Join(dir, "folded.txt")
+	if err := WriteFolded(p, foldedPath); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.ReadFile(foldedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(f), "k;r0;[queue] 2") {
+		t.Errorf("folded file missing stack:\n%s", f)
+	}
+}

@@ -1,0 +1,34 @@
+package cliutil
+
+import (
+	"os"
+
+	"distda/internal/profile"
+)
+
+// WriteStats exports the profiler's gem5-style stats dump to path.
+func WriteStats(p *profile.Profiler, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := p.WriteStats(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteFolded exports the profiler's folded stacks (FlameGraph/speedscope
+// input) to path.
+func WriteFolded(p *profile.Profiler, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := p.WriteFolded(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -30,11 +30,39 @@ type Memory struct {
 	Accesses int64
 	Reads    int64
 	Writes   int64
+
+	// chanAcc, when non-nil, holds per-channel access counts for the
+	// profiling layer (EnableChannelProfile). Accounting is purely
+	// observational: channel selection never changes the returned latency.
+	chanAcc []int64
 }
 
 // NewMemory returns a memory with the given config, metering into m.
 func NewMemory(cfg Config, m *energy.Meter) *Memory {
 	return &Memory{cfg: cfg, meter: m}
+}
+
+// EnableChannelProfile turns on per-channel access attribution across n
+// channels (no-op for n <= 0). Off by default: the counters cost one slice
+// index per access only when enabled.
+func (mem *Memory) EnableChannelProfile(n int) {
+	if n > 0 {
+		mem.chanAcc = make([]int64, n)
+	}
+}
+
+// ChannelAccesses returns the per-channel access counts (nil when channel
+// profiling is disabled).
+func (mem *Memory) ChannelAccesses() []int64 { return mem.chanAcc }
+
+// channelOf maps a line address to a channel: channels interleave at 4 KiB
+// granularity, matching the slab's page alignment so one object's pages
+// stripe across channels.
+func (mem *Memory) channelOf(addr int64) int {
+	if addr < 0 {
+		addr = -addr
+	}
+	return int((addr >> 12) % int64(len(mem.chanAcc)))
 }
 
 // Access models one line access and returns its latency in host cycles.
@@ -50,6 +78,19 @@ func (mem *Memory) Access(write bool) int {
 	}
 	return mem.cfg.LatencyCycles
 }
+
+// AccessAt models one line access carrying its address, so the profiling
+// layer can attribute it to a channel. Timing and energy are identical to
+// Access — the address feeds observation only.
+func (mem *Memory) AccessAt(addr int64, write bool) int {
+	if mem.chanAcc != nil {
+		mem.chanAcc[mem.channelOf(addr)]++
+	}
+	return mem.Access(write)
+}
+
+// LatencyCycles returns the configured per-access latency in host cycles.
+func (mem *Memory) LatencyCycles() int { return mem.cfg.LatencyCycles }
 
 // LineBytes returns the transfer granularity.
 func (mem *Memory) LineBytes() int64 { return mem.cfg.LineBytes }

@@ -116,6 +116,16 @@ type Engine struct {
 	// inside the benchmark budget.
 	Trace trace.Scope
 
+	// CollectFF, when set, accumulates fast-forward scheduler statistics
+	// (FFJumps / FFSkipped) even with tracing disabled, for the profiling
+	// layer. Like tracing, the flag's cost is one hoisted branch per
+	// processed cycle and it never affects scheduling decisions.
+	CollectFF bool
+	// FFJumps counts fast-forward jumps across Runs; FFSkipped counts the
+	// base cycles those jumps never visited. Populated when CollectFF or
+	// tracing is enabled.
+	FFJumps, FFSkipped int64
+
 	// Naive selects the reference one-tick-at-a-time scheduler: every base
 	// cycle is visited and every live component is inspected (and stepped
 	// when due). It is kept for differential testing against the default
@@ -246,6 +256,7 @@ func (e *Engine) runFast(maxBaseCycles int64) (int64, error) {
 	var idle int64
 	window := int64(deadlockWindow) * e.maxDiv
 	traced := e.Trace.Enabled() // hoisted: the disabled path pays one branch per processed cycle
+	obs := traced || e.CollectFF
 	var jumps, skipped int64
 	for {
 		if e.live == 0 {
@@ -284,17 +295,19 @@ func (e *Engine) runFast(maxBaseCycles int64) (int64, error) {
 		if lim := start + maxBaseCycles; next > lim {
 			next = lim // land on the budget boundary, like the naive loop
 		}
-		if traced && next-e.now > 1 {
+		if obs && next-e.now > 1 {
 			d := next - e.now - 1 // cycles the scheduler never visited
 			// Per-jump spans only for jumps long enough to mean a real
 			// latency (memory lines, drained pipelines); ordinary clock-edge
 			// gaps would bury every other track under millions of slivers.
 			// The aggregate counters still see every jump.
-			if d >= ffSpanMinCycles {
+			if traced && d >= ffSpanMinCycles {
 				e.Trace.Span("fast-forward", e.now+1, d, trace.KV{K: "cycles", V: d})
 			}
 			jumps++
 			skipped += d
+			e.FFJumps++
+			e.FFSkipped += d
 		}
 		e.now = next
 	}

@@ -14,6 +14,7 @@ import (
 
 	"distda/internal/artifact"
 	"distda/internal/compiler"
+	"distda/internal/profile"
 	"distda/internal/sim"
 	"distda/internal/trace"
 	"distda/internal/workloads"
@@ -63,6 +64,24 @@ type Options struct {
 	// fails the attempt exactly as a simulation error would; blocking on
 	// ctx.Done simulates a hung cell.
 	Hook CellHook
+
+	// Progress, when non-nil, is invoked once per completed cell (including
+	// resumed and degraded ones) — the feed for the -http live introspection
+	// endpoint. Calls are serialized by Build; the callback must not block
+	// for long (it runs on the worker completion path). Invocation order
+	// follows completion, not serial cell order.
+	Progress func(ProgressEvent)
+}
+
+// ProgressEvent describes one completed matrix cell for Options.Progress.
+type ProgressEvent struct {
+	Workload string
+	Config   string
+	Index    int // flat serial cell index (workload-major)
+	Total    int // total cells in the matrix
+	Dur      time.Duration
+	Degraded bool // cell timed out and will render n/a
+	Resumed  bool // restored from the checkpoint, not re-simulated
 }
 
 // CellHook is Options.Hook: a per-attempt fault-injection callback. ctx is
@@ -153,12 +172,14 @@ func Build(ctx context.Context, opts Options) (*Matrix, error) {
 
 	// Observability: per-cell tracers are drawn serially (provider state is
 	// never raced) for the cells that will actually run; per-cell metrics
-	// registries are merged serially below.
+	// registries and profilers are merged serially below.
 	tracers := make([][]*trace.Tracer, nw)
 	cellMet := make([][]*trace.Metrics, nw)
+	cellProf := make([][]*profile.Profiler, nw)
 	for i, w := range m.Workloads {
 		tracers[i] = make([]*trace.Tracer, nc)
 		cellMet[i] = make([]*trace.Metrics, nc)
+		cellProf[i] = make([]*profile.Profiler, nc)
 		for j, cfg := range m.Configs {
 			if resumed[i*nc+j] != nil {
 				continue
@@ -168,6 +189,29 @@ func Build(ctx context.Context, opts Options) (*Matrix, error) {
 			}
 			if opts.Observe.Metrics != nil {
 				cellMet[i][j] = trace.NewMetrics()
+			}
+			if opts.Observe.Profile != nil {
+				cellProf[i][j] = profile.New()
+			}
+		}
+	}
+
+	// Progress: serialize callback invocations; resumed cells report
+	// up-front (they complete instantly, before the workers start).
+	var progressMu sync.Mutex
+	emit := func(ev ProgressEvent) {
+		if opts.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		opts.Progress(ev)
+		progressMu.Unlock()
+	}
+	for i, w := range m.Workloads {
+		for j, cfg := range m.Configs {
+			if resumed[i*nc+j] != nil {
+				emit(ProgressEvent{Workload: w.Name, Config: cfg.Name,
+					Index: i*nc + j, Total: nw * nc, Resumed: true})
 			}
 		}
 	}
@@ -196,12 +240,19 @@ func Build(ctx context.Context, opts Options) (*Matrix, error) {
 				cfg := m.Configs[c.j]
 				cfg.Trace = tracers[c.i][c.j]
 				cfg.Metrics = cellMet[c.i][c.j]
+				cfg.Profile = cellProf[c.i][c.j]
+				t0 := time.Now()
 				res, degraded, err := b.runCell(ctx, m.Workloads[c.i], cfg, data[c.i][c.j])
 				out[c.i][c.j] = outcome{res: res, err: err, degraded: degraded}
 				if err == nil && degraded == "" {
 					if ckErr := ck.record(c.i*nc+c.j, res); ckErr != nil {
 						out[c.i][c.j].err = ckErr
 					}
+				}
+				if err == nil {
+					emit(ProgressEvent{Workload: m.Workloads[c.i].Name, Config: cfg.Name,
+						Index: c.i*nc + c.j, Total: nw * nc,
+						Dur: time.Since(t0), Degraded: degraded != ""})
 				}
 			}
 		}()
@@ -239,6 +290,17 @@ func Build(ctx context.Context, opts Options) (*Matrix, error) {
 				continue
 			}
 			m.Res[w.Name][cfg.Name] = o.res
+		}
+	}
+
+	// Fold per-cell profilers in serial cell order. (Profiler.Merge is
+	// commutative, so any order yields the identical profile; serial order
+	// keeps the invariant obvious.)
+	if prof := opts.Observe.Profile; prof != nil {
+		for i := range m.Workloads {
+			for j := range m.Configs {
+				prof.Merge(cellProf[i][j]) // nil cells no-op
+			}
 		}
 	}
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"distda/internal/ir"
+	"distda/internal/profile"
 	"distda/internal/report"
 	"distda/internal/sim"
 	"distda/internal/stats"
@@ -65,6 +66,12 @@ type Observe struct {
 	// Metrics, when non-nil, receives every cell's metrics registry via
 	// deterministic serial-order Merge.
 	Metrics *trace.Metrics
+	// Profile, when non-nil, receives every cell's cycle/energy attribution:
+	// each cell runs with a private profiler (recording stays lock-free
+	// inside the worker) folded into Profile in serial cell order after the
+	// parallel phase. Merge is commutative, so the folded profile is
+	// identical at any worker count.
+	Profile *profile.Profiler
 }
 
 // BuildMatrixObserved is BuildMatrixParallel with per-cell tracing and

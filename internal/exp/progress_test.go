@@ -1,0 +1,124 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"distda/internal/profile"
+	"distda/internal/workloads"
+)
+
+// TestBuildProgressEvents pins the Options.Progress contract: exactly one
+// event per matrix cell, serialized (no racing callbacks), carrying the
+// right Total, in-range workload-major indices, and no duplicates —
+// regardless of worker count.
+func TestBuildProgressEvents(t *testing.T) {
+	var mu sync.Mutex
+	var events []ProgressEvent
+	m, err := Build(context.Background(), Options{
+		Scale:   workloads.ScaleTest,
+		Workers: 8,
+		Progress: func(ev ProgressEvent) {
+			// Build serializes invocations; the mutex here only lets the
+			// race detector prove that claim wrong if it ever breaks.
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(m.Workloads) * len(m.Configs)
+	if len(events) != total {
+		t.Fatalf("got %d progress events, want %d", len(events), total)
+	}
+	seen := map[int]bool{}
+	for _, ev := range events {
+		if ev.Total != total {
+			t.Errorf("%s/%s: Total = %d, want %d", ev.Workload, ev.Config, ev.Total, total)
+		}
+		if ev.Index < 0 || ev.Index >= total {
+			t.Errorf("%s/%s: index %d out of range", ev.Workload, ev.Config, ev.Index)
+		}
+		if seen[ev.Index] {
+			t.Errorf("cell index %d reported twice", ev.Index)
+		}
+		seen[ev.Index] = true
+		if ev.Resumed || ev.Degraded {
+			t.Errorf("%s/%s: unexpected resumed=%v degraded=%v on a cold run",
+				ev.Workload, ev.Config, ev.Resumed, ev.Degraded)
+		}
+		if ev.Dur < 0 {
+			t.Errorf("%s/%s: negative duration %v", ev.Workload, ev.Config, ev.Dur)
+		}
+	}
+}
+
+// TestBuildProgressResumedCells checks that a fully checkpointed rerun
+// reports every cell as resumed, up-front, still exactly once each.
+func TestBuildProgressResumedCells(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "run.ckpt")
+	opts := Options{Scale: workloads.ScaleTest, Workers: 4, Checkpoint: ck}
+	if _, err := Build(context.Background(), opts); err != nil {
+		t.Fatal(err)
+	}
+	var events []ProgressEvent
+	opts.Progress = func(ev ProgressEvent) { events = append(events, ev) }
+	m, err := Build(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(m.Workloads) * len(m.Configs)
+	if len(events) != total {
+		t.Fatalf("resumed run emitted %d events, want %d", len(events), total)
+	}
+	for i, ev := range events {
+		if !ev.Resumed {
+			t.Errorf("%s/%s: not marked resumed on a fully checkpointed run", ev.Workload, ev.Config)
+		}
+		// Resumed cells are reported serially before the workers start, so
+		// their order is the serial cell order.
+		if ev.Index != i {
+			t.Errorf("event %d has index %d, want serial order", i, ev.Index)
+		}
+	}
+}
+
+// TestBuildProfileDeterministicAcrossWorkers folds per-cell profilers at
+// worker counts 1 and 8 and requires byte-identical stats dumps and folded
+// stacks — the matrix-level commutativity proof for Profiler.Merge.
+func TestBuildProfileDeterministicAcrossWorkers(t *testing.T) {
+	build := func(workers int) (string, string) {
+		prof := profile.New()
+		if _, err := Build(context.Background(), Options{
+			Scale:   workloads.ScaleTest,
+			Workers: workers,
+			Observe: Observe{Profile: prof},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var stats, folded bytes.Buffer
+		if err := prof.WriteStats(&stats); err != nil {
+			t.Fatal(err)
+		}
+		if err := prof.WriteFolded(&folded); err != nil {
+			t.Fatal(err)
+		}
+		return stats.String(), folded.String()
+	}
+	s1, f1 := build(1)
+	s8, f8 := build(8)
+	if s1 != s8 {
+		t.Error("stats dump differs between worker counts 1 and 8")
+	}
+	if f1 != f8 {
+		t.Error("folded stacks differ between worker counts 1 and 8")
+	}
+	if len(f1) == 0 {
+		t.Error("matrix profile produced no folded stacks")
+	}
+}

@@ -108,6 +108,31 @@ func New(def *core.AccelDef, trips int64, inputs map[int]*accessunit.InPort, out
 	return c, nil
 }
 
+// BusyBaseCycles returns the core's useful-work time in engine base cycles,
+// derived analytically from the retired-op count (ceil(Ops/Width) issue
+// cycles at the core's clock divisor) — a profiling accessor, no hot-path
+// counters.
+func (c *Core) BusyBaseCycles() int64 {
+	width := int64(c.Width)
+	if width <= 0 {
+		width = 1
+	}
+	div := c.ClockDiv
+	if div <= 0 {
+		div = 1
+	}
+	return (c.Ops + width - 1) / width * div
+}
+
+// StallBaseCycles returns the core's stalled time in engine base cycles.
+func (c *Core) StallBaseCycles() int64 {
+	div := c.ClockDiv
+	if div <= 0 {
+		div = 1
+	}
+	return c.StallCyc * div
+}
+
 // SetReg initializes a register (cp_set_rf).
 func (c *Core) SetReg(r int, v float64) { c.regs[r] = v }
 

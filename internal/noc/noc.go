@@ -63,6 +63,11 @@ type Mesh struct {
 	Bytes    [numClasses]int64
 	Messages [numClasses]int64
 	FlitHops [numClasses]int64
+
+	// linkFlits, when non-nil, counts flits traversing each directed link
+	// (indexed from*Nodes()+to for adjacent node pairs along the XY route).
+	// Allocated by EnableLinkProfile; purely observational.
+	linkFlits []int64
 }
 
 // New returns a mesh with the given config, metering energy into m.
@@ -72,6 +77,51 @@ func New(cfg Config, m *energy.Meter) *Mesh {
 
 // Nodes returns the node count.
 func (n *Mesh) Nodes() int { return n.cfg.Width * n.cfg.Height }
+
+// EnableLinkProfile turns on per-link flit attribution: Transfer walks each
+// message's XY route and counts flits per directed link. Off by default —
+// the route walk costs nothing unless enabled.
+func (n *Mesh) EnableLinkProfile() {
+	n.linkFlits = make([]int64, n.Nodes()*n.Nodes())
+}
+
+// LinkName returns the canonical directed-link label between adjacent nodes.
+func (n *Mesh) LinkName(from, to int) string {
+	return fmt.Sprintf("n%d->n%d", from, to)
+}
+
+// VisitLinks calls fn for every directed link with traffic, in ascending
+// (from, to) order. No-op when link profiling is disabled.
+func (n *Mesh) VisitLinks(fn func(from, to int, flits int64)) {
+	if n.linkFlits == nil {
+		return
+	}
+	nodes := n.Nodes()
+	for from := 0; from < nodes; from++ {
+		for to := 0; to < nodes; to++ {
+			if f := n.linkFlits[from*nodes+to]; f > 0 {
+				fn(from, to, f)
+			}
+		}
+	}
+}
+
+// walkRoute visits the directed links of the XY route from a to b.
+func (n *Mesh) walkRoute(a, b int, fn func(from, to int)) {
+	w := n.cfg.Width
+	cx, cy := a%w, a/w
+	bx, by := b%w, b/w
+	for cx != bx {
+		nx := cx + sign(bx-cx)
+		fn(cy*w+cx, cy*w+nx)
+		cx = nx
+	}
+	for cy != by {
+		ny := cy + sign(by-cy)
+		fn(cy*w+cx, ny*w+cx)
+		cy = ny
+	}
+}
 
 // Hops returns the XY-routed hop count between nodes a and b.
 func (n *Mesh) Hops(a, b int) int {
@@ -104,6 +154,12 @@ func (n *Mesh) Transfer(a, b, bytes int, class Class) int {
 	if n.meter != nil && hops > 0 {
 		n.meter.AddN(energy.CatNoC, int64(flits*hops), n.meter.Table.NoCFlitHopPJ)
 	}
+	if n.linkFlits != nil && hops > 0 {
+		nodes := n.Nodes()
+		n.walkRoute(a, b, func(from, to int) {
+			n.linkFlits[from*nodes+to] += int64(flits)
+		})
+	}
 	if hops == 0 {
 		return 1
 	}
@@ -133,4 +189,14 @@ func abs(x int) int {
 		return -x
 	}
 	return x
+}
+
+func sign(x int) int {
+	if x < 0 {
+		return -1
+	}
+	if x > 0 {
+		return 1
+	}
+	return 0
 }

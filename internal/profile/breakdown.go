@@ -1,0 +1,58 @@
+package profile
+
+import (
+	"fmt"
+
+	"distda/internal/report"
+)
+
+// LatencyBreakdown renders the offload latency breakdown table — the
+// paper's overhead analysis: per software region, how many base cycles one
+// launch spends in dispatch (host-side flush + configuration), queue
+// (waiting behind a prior launch for accelerator resources), execute, and
+// writeback (sync wait + scalar read-back), plus each phase's share of the
+// region's end-to-end latency.
+func (p *Profiler) LatencyBreakdown() *report.Table {
+	t := &report.Table{
+		Title: "Offload latency breakdown (base cycles per launch)",
+		Columns: []string{"kernel:region", "launches",
+			"dispatch", "queue", "execute", "writeback", "total",
+			"dispatch%", "queue%", "execute%", "writeback%"},
+	}
+	if p == nil {
+		t.AddNote("profiling disabled")
+		return t
+	}
+	per := func(phase, launches int64) string {
+		if launches == 0 {
+			return report.NA
+		}
+		return report.F(float64(phase) / float64(launches))
+	}
+	pct := func(phase, total int64) string {
+		if total == 0 {
+			return report.NA
+		}
+		return fmt.Sprintf("%.1f", 100*float64(phase)/float64(total))
+	}
+	for _, r := range p.Regions() {
+		total := r.Total()
+		t.AddRow(
+			r.Kernel+":"+r.Name,
+			fmt.Sprintf("%d", r.Launches),
+			per(r.Dispatch, r.Launches),
+			per(r.Queue, r.Launches),
+			per(r.Execute, r.Launches),
+			per(r.Writeback, r.Launches),
+			per(total, r.Launches),
+			pct(r.Dispatch, total),
+			pct(r.Queue, total),
+			pct(r.Execute, total),
+			pct(r.Writeback, total),
+		)
+	}
+	if len(t.Rows) == 0 {
+		t.AddNote("no offload launches recorded")
+	}
+	return t
+}

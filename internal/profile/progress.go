@@ -1,0 +1,112 @@
+package profile
+
+import (
+	"sync"
+	"time"
+)
+
+// Progress tracks live completion of a long experiment-matrix run for the
+// -http introspection endpoint: per-cell completion events feed it, and
+// Snapshot produces the JSON progress/ETA view. It is wall-clock based (the
+// only part of the observability stack that is — everything else counts
+// simulated cycles) and safe for concurrent use from matrix workers.
+type Progress struct {
+	mu        sync.Mutex
+	start     time.Time
+	total     int
+	done      int
+	degraded  int
+	resumed   int
+	simulated time.Duration // summed wall-clock across completed cells
+	last      CellStatus
+	now       func() time.Time // test seam; nil means time.Now
+}
+
+// CellStatus describes one completed matrix cell.
+type CellStatus struct {
+	Workload string        `json:"workload"`
+	Config   string        `json:"config"`
+	Dur      time.Duration `json:"-"`
+	DurMS    float64       `json:"dur_ms"`
+	Degraded bool          `json:"degraded"`
+	Resumed  bool          `json:"resumed"`
+}
+
+// NewProgress returns a progress tracker expecting total cells.
+func NewProgress(total int) *Progress {
+	return &Progress{total: total, start: time.Now()}
+}
+
+// SetTotal updates the expected cell count (for callers that learn it from
+// the first completion event). Safe on nil and for concurrent use.
+func (p *Progress) SetTotal(total int) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.total = total
+	p.mu.Unlock()
+}
+
+// Record accounts one completed cell. Safe on nil and for concurrent use.
+func (p *Progress) Record(st CellStatus) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	if st.Degraded {
+		p.degraded++
+	}
+	if st.Resumed {
+		p.resumed++
+	}
+	p.simulated += st.Dur
+	st.DurMS = float64(st.Dur) / float64(time.Millisecond)
+	p.last = st
+}
+
+// Snapshot is the JSON view served at /progress.
+type Snapshot struct {
+	Total       int        `json:"total"`
+	Done        int        `json:"done"`
+	Degraded    int        `json:"degraded"`
+	Resumed     int        `json:"resumed"`
+	PercentDone float64    `json:"percent_done"`
+	ElapsedS    float64    `json:"elapsed_s"`
+	ETAS        float64    `json:"eta_s"` // estimated seconds remaining (0 when unknown/finished)
+	Last        CellStatus `json:"last_cell"`
+}
+
+// Snapshot returns the current progress view. The ETA extrapolates the
+// observed per-cell rate over the remaining cells; it is 0 until the first
+// cell completes. Safe on nil (returns the zero snapshot).
+func (p *Progress) Snapshot() Snapshot {
+	if p == nil {
+		return Snapshot{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	nowFn := p.now
+	if nowFn == nil {
+		nowFn = time.Now
+	}
+	elapsed := nowFn().Sub(p.start)
+	s := Snapshot{
+		Total:    p.total,
+		Done:     p.done,
+		Degraded: p.degraded,
+		Resumed:  p.resumed,
+		ElapsedS: elapsed.Seconds(),
+		Last:     p.last,
+	}
+	if p.total > 0 {
+		s.PercentDone = 100 * float64(p.done) / float64(p.total)
+	}
+	if p.done > 0 && p.done < p.total {
+		perCell := elapsed / time.Duration(p.done)
+		s.ETAS = (perCell * time.Duration(p.total-p.done)).Seconds()
+	}
+	return s
+}

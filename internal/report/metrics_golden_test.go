@@ -1,0 +1,84 @@
+// Metrics.Table determinism lives with the report golden corpus because the
+// contract under test is a rendering one: the table a merged registry
+// produces must be byte-stable across shard merge orders. The test is in an
+// external test package so it can import internal/trace (which itself
+// imports internal/report).
+package report_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"distda/internal/trace"
+)
+
+var updateMetrics = flag.Bool("update-metrics", false, "rewrite the metrics golden file")
+
+// shard builds one parallel cell's registry. The corpus deliberately
+// includes a counter, a gauge and a histogram registered under the SAME full
+// name ("engine/work") — the tie the kind ordering in Metrics.Table breaks;
+// before that tiebreaker the rendered order depended on map iteration and
+// differed between runs and merge orders.
+// Gauge values are the same in every shard: Merge is last-write-wins for
+// gauges by design, so only identical values are merge-order invariant —
+// the property under test here is row ordering, not gauge semantics.
+func shard(seed int64) *trace.Metrics {
+	m := trace.NewMetrics()
+	m.Counter("engine/work").Add(10 * seed)
+	m.Gauge("engine/work").Set(7)
+	m.Histogram("engine/work").Observe(float64(seed))
+	m.Counter("artifact/compiles").Add(seed)
+	m.Gauge("noc/peak_occupancy").Set(42)
+	m.Histogram("dram/burst").ObserveN(float64(seed), 4)
+	return m
+}
+
+func mergeOrder(order ...int64) string {
+	m := trace.NewMetrics()
+	for _, s := range order {
+		m.Merge(shard(s))
+	}
+	return m.Table().Render()
+}
+
+// TestMetricsTableMergeDeterministic renders the merged registry for every
+// permutation of three shards and requires byte-identical tables, pinned to
+// a golden file. This is the regression test for the ordering fix: same-name
+// counter/gauge/histogram rows sort by kind, not by map iteration order.
+func TestMetricsTableMergeDeterministic(t *testing.T) {
+	got := mergeOrder(1, 2, 3)
+	for _, order := range [][]int64{{1, 3, 2}, {2, 1, 3}, {2, 3, 1}, {3, 1, 2}, {3, 2, 1}} {
+		if other := mergeOrder(order...); other != got {
+			t.Errorf("merge order %v renders differently:\n--- reference ---\n%s--- got ---\n%s",
+				order, got, other)
+		}
+	}
+	// And within one registry, repeated renders must agree (map iteration
+	// must not leak into row order).
+	m := trace.NewMetrics()
+	m.Merge(shard(1))
+	m.Merge(shard(2))
+	first := m.Table().Render()
+	for i := 0; i < 16; i++ {
+		if r := m.Table().Render(); r != first {
+			t.Fatalf("render %d differs from first render", i)
+		}
+	}
+
+	path := filepath.Join("testdata", "metrics_merge.golden")
+	if *updateMetrics {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/report -update-metrics`): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("merged metrics table mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -10,6 +10,7 @@ package sim
 import (
 	"distda/internal/cgra"
 	"distda/internal/compiler"
+	"distda/internal/profile"
 	"distda/internal/trace"
 )
 
@@ -73,6 +74,13 @@ type Config struct {
 	// latency histograms at assembly and collection time. Registries from
 	// parallel runs can be folded together with Metrics.Merge.
 	Metrics *trace.Metrics
+
+	// Profile, when non-nil, receives the run's cycle and energy attribution
+	// (per-component busy/stall, per-region offload latency phases,
+	// queue-occupancy histograms). Like tracing, profiling is observational
+	// only: cycle counts and results are bit-identical with it on or off.
+	// Profilers from parallel runs fold together with Profiler.Merge.
+	Profile *profile.Profiler
 
 	// NaiveEngine drives every offload launch with the engine's reference
 	// one-tick-at-a-time scheduler instead of the event-driven fast-forward

@@ -68,6 +68,9 @@ func (h *host) launch(reg *core.Region) {
 	}
 	m.launches++
 	m.scoped = m.scoped[:0] // deferred trace attachments for this launch
+	// Profiling: the dispatch phase spans every host cycle from here (flush,
+	// buffer planning, MMIO configuration) until the engine takes over.
+	dispatchStart := m.hostTimeline()
 
 	// Software-managed coherence: push host-dirty copies of offload-visible
 	// objects to their home banks once per kernel (§IV-D).
@@ -133,6 +136,7 @@ func (h *host) launch(reg *core.Region) {
 
 	eng := engine.New()
 	eng.Naive = m.cfg.NaiveEngine
+	eng.CollectFF = m.prof != nil
 	addComp := func(c engine.Component, ghz int) { eng.Add(c, ghz) }
 
 	// Pass 2: buffers, FSMs, links for stream accesses; channel endpoint
@@ -320,11 +324,16 @@ func (h *host) launch(reg *core.Region) {
 		h.failf("launch of %s: %v", reg.Name, err)
 	}
 	m.accelBase += base
+	m.ffJumps += eng.FFJumps
+	m.ffSkipped += eng.FFSkipped
 
 	engHost := float64(base) / float64(hostDiv)
 	m.accelFreeAt = start + engHost
 	m.hostTrace.Span("launch:"+reg.Name, int64(start*float64(hostDiv)), base,
 		trace.KV{K: "accels", V: int64(len(rts))}, trace.KV{K: "base_cycles", V: base})
+	// Profiling: writeback spans the host cycles from here through the
+	// cp_load_rf read-back loop (sync waits included).
+	wbStart := m.hostTimeline()
 	needsSync := false
 	for _, rt := range rts {
 		if len(rt.def.ScalarOut) > 0 {
@@ -367,6 +376,52 @@ func (h *host) launch(reg *core.Region) {
 	}
 	for _, rp := range randomPorts {
 		m.accelMemElem += rp.Loads + rp.Stores
+	}
+
+	if m.prof != nil {
+		// Offload latency phases (base cycles): dispatch covers the host-side
+		// flush + configuration, queue the wait behind a prior in-flight
+		// launch, execute the engine run, writeback the sync + read-back.
+		pr := m.prof.Region(m.kernel.Name, reg.Name)
+		dispatch := int64((hostNow - dispatchStart) * float64(hostDiv))
+		queue := int64((start - hostNow) * float64(hostDiv))
+		writeback := int64((m.hostTimeline() - wbStart) * float64(hostDiv))
+		pr.AddLaunch(dispatch, queue, base, writeback)
+		// Per-component attribution. Cores/fabrics are constructed fresh each
+		// launch and (the substrate is uniform per config) index-align with
+		// rts, so their counters are per-launch values.
+		for i, c := range ioCores {
+			label := fmt.Sprintf("core:%d", rts[i].def.ID)
+			pc := m.prof.Component("core", label)
+			pc.AddBusy(c.BusyBaseCycles())
+			pc.AddStall(c.StallBaseCycles())
+			pc.AddEvents(c.Ops)
+			pr.AddComponent(label, c.BusyBaseCycles()+c.StallBaseCycles())
+		}
+		for i, f := range fabrics {
+			label := fmt.Sprintf("fabric:%d", rts[i].def.ID)
+			pc := m.prof.Component("fabric", label)
+			pc.AddBusy(f.BusyBaseCycles())
+			pc.AddEvents(f.Ops)
+			pr.AddComponent(label, f.BusyBaseCycles())
+			// Per-tile attribution, by PE class: each mapped op occupies one
+			// PE of its class for one fabric cycle per iteration (the mapper
+			// is analytic — modulo scheduling without physical placement).
+			intOps, cplxOps, fpOps, memOps := f.TileOps()
+			for _, tc := range []struct {
+				class string
+				ops   int64
+			}{{"int", intOps}, {"complex", cplxOps}, {"float", fpOps}, {"mem", memOps}} {
+				if tc.ops == 0 {
+					continue
+				}
+				tile := m.prof.Component("cgra_tile", label+"."+tc.class)
+				// One fabric cycle per op per iteration, in base cycles:
+				// BusyBaseCycles() is Iters x clock divisor.
+				tile.AddBusy(tc.ops * f.BusyBaseCycles())
+				tile.AddEvents(tc.ops * f.Iters)
+			}
+		}
 	}
 }
 

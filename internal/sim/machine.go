@@ -11,6 +11,7 @@ import (
 	"distda/internal/engine"
 	"distda/internal/ir"
 	"distda/internal/noc"
+	"distda/internal/profile"
 	"distda/internal/trace"
 )
 
@@ -63,9 +64,13 @@ type machine struct {
 	accelFreeAt float64 // host-cycle time when accelerator resources free
 	cycleAdjust int64   // parallel-section overlap credit (§VI-D)
 
-	// Observability (nil-safe: a nil tracer/registry disables everything).
+	// Observability (nil-safe: a nil tracer/registry/profiler disables
+	// everything).
 	tr        *trace.Tracer
 	met       *trace.Metrics
+	prof      *profile.Profiler
+	ffJumps   int64       // engine fast-forward jumps across launches (profiling)
+	ffSkipped int64       // base cycles those jumps never visited
 	hostTrace trace.Scope // host-timeline track, absolute base-cycle stamps
 	// scoped holds deferred trace-scope attachments for the launch being
 	// assembled; they run once the launch's base-cycle offset is known.
@@ -107,6 +112,13 @@ func newMachine(cfg Config, k *ir.Kernel, params map[string]float64, data map[st
 	}
 	m.tr = cfg.Trace
 	m.met = cfg.Metrics
+	m.prof = cfg.Profile
+	if m.prof != nil {
+		// Per-link and per-channel attribution only allocates (and only pays
+		// its accounting) when a profiler is attached.
+		mesh.EnableLinkProfile()
+		dmem.EnableChannelProfile(profileDRAMChannels)
+	}
 	m.hostTrace = m.tr.Component("host").At(0) // nil-safe: disabled scope on nil tracer
 	m.hostLatH = m.met.Histogram("host/load_lat")
 	m.clusterLatH = m.met.Histogram("cache/cluster_access_lat")
@@ -335,17 +347,24 @@ func (f *privFetcher) LineBytes() int { return 64 }
 type dramFetcher struct{ m *machine }
 
 func (f dramFetcher) Access(cluster int, addr int64, write bool, bytes int) int {
-	return f.m.dmem.Access(write) * int(hostDiv)
+	return f.m.dmem.AccessAt(addr, write) * int(hostDiv)
 }
 
 func (f dramFetcher) LineBytes() int { return 64 }
 
-// newBuffer creates and tracks a decoupling buffer.
+// profileDRAMChannels is the channel fan-out used for per-channel DRAM
+// attribution: pages interleave across four channels (observational only —
+// the timing model keeps its single aggregate latency).
+const profileDRAMChannels = 4
+
+// newBuffer creates and tracks a decoupling buffer, attaching an occupancy
+// histogram when profiling is on.
 func (m *machine) newBuffer() (*accessunit.Buffer, error) {
 	b, err := accessunit.NewBuffer(m.cfg.BufElems, m.meter)
 	if err != nil {
 		return nil, err
 	}
+	b.Occ = m.prof.Queue("buffer", fmt.Sprintf("buf%d", len(m.buffers))) // nil on nil profiler
 	m.buffers = append(m.buffers, b)
 	return b, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"distda/internal/cgra"
 	"distda/internal/compiler"
+	"distda/internal/profile"
 	"distda/internal/trace"
 )
 
@@ -206,6 +207,10 @@ func WithTrace(tr *trace.Tracer) Option { return func(c *Config) { c.Trace = tr 
 
 // WithMetrics attaches a metrics registry (observational only).
 func WithMetrics(m *trace.Metrics) Option { return func(c *Config) { c.Metrics = m } }
+
+// WithProfile attaches a cycle/energy attribution profiler (observational
+// only).
+func WithProfile(p *profile.Profiler) Option { return func(c *Config) { c.Profile = p } }
 
 // WithNaiveEngine selects the reference one-tick-at-a-time scheduler.
 func WithNaiveEngine() Option { return func(c *Config) { c.NaiveEngine = true } }

@@ -153,6 +153,7 @@ func (m *machine) collect(workload string, validated bool) *Result {
 		res.DataMovedBytes += line * m.priv.priv.Accesses
 	}
 	m.snapshotMetrics(res)
+	m.snapshotProfile(res)
 	return res
 }
 

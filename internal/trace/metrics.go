@@ -224,25 +224,37 @@ func (m *Metrics) Table() *report.Table {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	type row struct{ comp, metric, value string }
+	// kind breaks (comp, metric) ties: a counter and a gauge/histogram
+	// registered under the same full name would otherwise order by map
+	// iteration, making the rendered table differ between runs (and between
+	// Merge orders of parallel shards). Counters sort before gauges before
+	// histograms.
+	type row struct {
+		comp, metric string
+		kind         int
+		value        string
+	}
 	var rows []row
 	for name, c := range m.counters {
 		comp, metric := splitName(name)
-		rows = append(rows, row{comp, metric, fmt.Sprintf("%d", c.n)})
+		rows = append(rows, row{comp, metric, 0, fmt.Sprintf("%d", c.n)})
 	}
 	for name, g := range m.gauges {
 		comp, metric := splitName(name)
-		rows = append(rows, row{comp, metric, fmt.Sprintf("%g", g.v)})
+		rows = append(rows, row{comp, metric, 1, fmt.Sprintf("%g", g.v)})
 	}
 	for name, h := range m.hists {
 		comp, metric := splitName(name)
-		rows = append(rows, row{comp, metric, h.h.String()})
+		rows = append(rows, row{comp, metric, 2, h.h.String()})
 	}
 	sort.Slice(rows, func(i, j int) bool {
 		if rows[i].comp != rows[j].comp {
 			return rows[i].comp < rows[j].comp
 		}
-		return rows[i].metric < rows[j].metric
+		if rows[i].metric != rows[j].metric {
+			return rows[i].metric < rows[j].metric
+		}
+		return rows[i].kind < rows[j].kind
 	})
 	for _, r := range rows {
 		t.AddRow(r.comp, r.metric, r.value)

@@ -202,6 +202,45 @@ func (s Scope) Instant(name string, ts int64, args ...KV) {
 	s.c.evs = append(s.c.evs, event{kind: evInstant, name: name, start: ts + s.off, args: args})
 }
 
+// Event is the exported read-only view of one buffered record, as handed to
+// VisitEvents. Timestamps are engine base cycles on the run-global clock.
+type Event struct {
+	Track   string // component (track) name
+	Name    string // event name
+	Start   int64  // base cycle
+	Dur     int64  // span duration in base cycles (0 for instants)
+	Instant bool   // true for instant (point) events
+}
+
+// VisitEvents calls fn for every buffered event in deterministic order:
+// components in registration order, each component's events in recording
+// order. A nil tracer visits nothing. The tracer remains usable afterwards
+// (events are not consumed).
+//
+// This is the supported aggregation surface for the profiling layer
+// (internal/profile); packages outside it must not re-aggregate raw spans
+// (scripts/verify.sh enforces this).
+func (t *Tracer) VisitEvents(fn func(Event)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	comps := append([]*Component(nil), t.comps...)
+	t.mu.Unlock()
+	for _, c := range comps {
+		for i := range c.evs {
+			ev := &c.evs[i]
+			fn(Event{
+				Track:   c.name,
+				Name:    ev.name,
+				Start:   ev.start,
+				Dur:     ev.dur,
+				Instant: ev.kind == evInstant,
+			})
+		}
+	}
+}
+
 // chromeEvent is the trace_event JSON wire format.
 type chromeEvent struct {
 	Name string         `json:"name"`

@@ -1,0 +1,73 @@
+#!/bin/sh
+# bench.sh — run the repository's Go benchmarks and emit a machine-readable
+# snapshot as BENCH_<date>.json in the repo root (schema documented at the
+# end of docs/results-bench.txt). POSIX sh + awk only, no extra tooling.
+#
+# Usage:
+#   sh scripts/bench.sh                # default: -benchtime=1x, all packages
+#   BENCHTIME=5x sh scripts/bench.sh   # more iterations for stable numbers
+#   OUT=custom.json sh scripts/bench.sh
+#
+# The date in the default filename is UTC (YYYY-MM-DD); rerunning on the same
+# day overwrites that day's snapshot, which is the intent — one file per day,
+# tracked in git when a PR wants to record a before/after.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME=${BENCHTIME:-1x}
+DATE=$(date -u +%Y-%m-%d)
+OUT=${OUT:-BENCH_${DATE}.json}
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+echo "== go test -run=NONE -bench=. -benchtime=$BENCHTIME ./..." >&2
+# -run=NONE skips unit tests; benchmarks still run. Benchmark failures must
+# fail the script, so no `|| true`.
+go test -run=NONE -bench=. -benchtime="$BENCHTIME" ./... > "$RAW"
+
+GOVERSION=$(go env GOVERSION)
+GOOS=$(go env GOOS)
+GOARCH=$(go env GOARCH)
+STAMP=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+
+# Parse the standard benchmark output:
+#   pkg: distda/internal/engine
+#   BenchmarkName-8  5  123456 ns/op [ 17 B/op  2 allocs/op ]
+# into one JSON object per benchmark, tagged with its package.
+awk -v benchtime="$BENCHTIME" -v stamp="$STAMP" \
+    -v goversion="$GOVERSION" -v goos="$GOOS" -v goarch="$GOARCH" '
+BEGIN {
+    printf "{\n"
+    printf "  \"schema\": \"distda-bench/v1\",\n"
+    printf "  \"date\": \"%s\",\n", stamp
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"goos\": \"%s\",\n", goos
+    printf "  \"goarch\": \"%s\",\n", goarch
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"benchmarks\": ["
+    n = 0
+}
+/^pkg: / { pkg = $2; next }
+/^Benchmark/ && NF >= 4 && $4 == "ns/op" {
+    name = $1
+    procs = 1
+    if (match(name, /-[0-9]+$/)) {
+        procs = substr(name, RSTART + 1) + 0
+        name = substr(name, 1, RSTART - 1)
+    }
+    if (n++) printf ","
+    printf "\n    {\"package\": \"%s\", \"name\": \"%s\", \"procs\": %d, \"iterations\": %s, \"ns_per_op\": %s", \
+        pkg, name, procs, $2, $3
+    for (i = 5; i + 1 <= NF; i += 2) {
+        if ($(i + 1) == "B/op")      printf ", \"bytes_per_op\": %s", $i
+        if ($(i + 1) == "allocs/op") printf ", \"allocs_per_op\": %s", $i
+    }
+    printf "}"
+}
+END {
+    printf "\n  ]\n}\n"
+}' "$RAW" > "$OUT"
+
+COUNT=$(grep -c '"name"' "$OUT" || true)
+echo "bench: wrote $COUNT benchmark(s) to $OUT" >&2

@@ -31,6 +31,20 @@ if [ -n "$viol" ]; then
     exit 1
 fi
 
+echo "== no raw trace-event aggregation outside internal/profile"
+# internal/profile is the single aggregation layer over raw trace events:
+# everything else must consume profiles (or render Metrics tables), never
+# walk Tracer.VisitEvents itself — otherwise attribution logic fragments
+# across the tree and merge-order determinism stops being one proof.
+viol=$(grep -rn 'VisitEvents(' cmd internal examples --include='*.go' \
+    | grep -v '^internal/profile/' \
+    | grep -v '^internal/trace/' || true)
+if [ -n "$viol" ]; then
+    echo "raw trace span aggregation outside internal/profile (use profile.Profiler):" >&2
+    echo "$viol" >&2
+    exit 1
+fi
+
 echo "== gofmt -l"
 fmt=$(gofmt -l cmd internal examples 2>/dev/null || gofmt -l cmd internal)
 if [ -n "$fmt" ]; then
