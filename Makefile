@@ -21,8 +21,10 @@ fmt:
 verify:
 	sh scripts/verify.sh
 
-# Runs every benchmark once and records the numbers as BENCH_<date>.json
-# (schema: docs/results-bench.txt). BENCHTIME=5x make bench for stable runs.
+# Runs every benchmark SAMPLES times (default 5) and records mean/stddev as
+# BENCH_<date>.json (schema: docs/results-bench.txt). SAMPLES=10 and/or
+# BENCHTIME=5x make bench for tighter statistics. Compare two snapshots with
+# scripts/bench_check.sh (the CI regression gate).
 bench:
 	sh scripts/bench.sh
 

@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"distda/internal/cliutil"
+	"distda/internal/engine"
 	"distda/internal/exp"
 	"distda/internal/profile"
 	"distda/internal/report"
@@ -66,6 +67,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	area := fs.Bool("area", false, "print the area model")
 	offchip := fs.Bool("offchip", false, "evaluate the §VII off-chip placement extension")
 	parallel := fs.Int("parallel", 0, "worker count for the experiment matrix (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
+	engineMode := fs.String("engine", "adaptive", "engine scheduler: adaptive, event, naive (bit-identical output, wall-clock only)")
 	metrics := fs.Bool("metrics", false, "print the matrix's merged per-component metrics table (includes artifact cache hit/miss counters)")
 	statsPath := fs.String("stats", "", "write the matrix's merged gem5-style stats dump (cycle/energy attribution) to this file")
 	foldedPath := fs.String("folded", "", "write the matrix's folded stacks of simulated time (FlameGraph/speedscope input) to this file")
@@ -154,6 +156,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	// The resumable runner: cached compilation, per-cell deadlines, and a
 	// checkpoint that lets an interrupted run pick up where it stopped.
+	emode, err := engine.ParseMode(*engineMode)
+	if err != nil {
+		return fail(err)
+	}
 	buildOpts := exp.Options{
 		Scale:       scale,
 		Workers:     *parallel,
@@ -162,6 +168,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Checkpoint:  *checkpoint,
 		CellTimeout: *cellTimeout,
 		Retries:     *retries,
+		EngineMode:  emode,
 	}
 	// Live introspection: the /progress view is fed per-cell completion
 	// events from exp.Build; expvar and pprof expose the host process.

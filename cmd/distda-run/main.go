@@ -22,6 +22,7 @@ import (
 	"distda/internal/cliutil"
 	"distda/internal/compiler"
 	"distda/internal/core"
+	"distda/internal/engine"
 	"distda/internal/profile"
 	"distda/internal/sim"
 	"distda/internal/trace"
@@ -48,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ghz := fs.Int("ghz", 0, "override accelerator clock (1, 2, 3)")
 	threads := fs.Int("threads", 1, "software threads for parallel-annotated loops")
 	naive := fs.Bool("naive-engine", false, "use the reference one-tick-at-a-time engine scheduler (bit-identical results, slower)")
+	engineMode := fs.String("engine", "adaptive", "engine scheduler: adaptive, event, naive (bit-identical results, wall-clock only)")
 	traceOut := fs.String("trace", "", "write a Chrome trace_event JSON file (load in chrome://tracing or Perfetto)")
 	metrics := fs.Bool("metrics", false, "print the per-component metrics table after the result")
 	statsPath := fs.String("stats", "", "write a gem5-style stats.txt profile dump to this path")
@@ -96,6 +98,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *ghz != 0 {
 		cfg = cfg.WithClock(*ghz)
 	}
+	mode, err := engine.ParseMode(*engineMode)
+	if err != nil {
+		return fail(err)
+	}
+	cfg.EngineMode = mode
 	cfg.NaiveEngine = *naive
 	var tr *trace.Tracer
 	if *traceOut != "" {

@@ -211,6 +211,62 @@ func TestBufferFIFOProperty(t *testing.T) {
 	}
 }
 
+// Property: the cached reclaim watermark always equals a fresh scan of
+// the reader pointers, across random attach/pop/skip/push interleavings.
+func TestBufferWatermarkInvariant(t *testing.T) {
+	f := func(ops []uint8, capRaw uint8) bool {
+		capElems := 2 + int(capRaw%16)
+		b, err := NewBuffer(capElems, nil)
+		if err != nil {
+			return false
+		}
+		scan := func() int64 {
+			if len(b.readers) == 0 {
+				return 0
+			}
+			m := b.readers[0]
+			for _, r := range b.readers[1:] {
+				if r < m {
+					m = r
+				}
+			}
+			return m
+		}
+		readers := []int{b.AttachReader(0)}
+		var next int64
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				if b.CanPush() {
+					b.Push(float64(next))
+					next++
+				}
+			case 1:
+				r := readers[int(op/4)%len(readers)]
+				if b.CanPop(r) {
+					b.Pop(r)
+				}
+			case 2:
+				r := readers[int(op/4)%len(readers)]
+				if n := b.Level(r) / 2; n > 0 {
+					b.Skip(r, n)
+				}
+			case 3:
+				if len(readers) < 4 {
+					readers = append(readers, b.AttachReader(scan()))
+				}
+			}
+			if b.minSeq != scan() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestStreamInDeliversInOrder(t *testing.T) {
 	data := make([]float64, 64)
 	for i := range data {

@@ -21,8 +21,13 @@ type Buffer struct {
 	data    []float64
 	wseq    int64
 	readers []int64
-	closed  bool
-	meter   *energy.Meter
+	// minSeq caches min(readers): the reclaim watermark. Push and CanPush
+	// sit on the simulator's innermost loop and must not rescan every
+	// reader; the cache is refreshed only when the slowest reader advances
+	// (Pop/Skip from the watermark) or a new reader attaches behind it.
+	minSeq int64
+	closed bool
+	meter  *energy.Meter
 
 	Pushes int64
 	Pops   int64
@@ -50,12 +55,18 @@ func (b *Buffer) Cap() int { return b.cap }
 // reader handle.
 func (b *Buffer) AttachReader(startSeq int64) int {
 	b.readers = append(b.readers, startSeq)
+	if len(b.readers) == 1 || startSeq < b.minSeq {
+		b.minSeq = startSeq
+	}
 	return len(b.readers) - 1
 }
 
-func (b *Buffer) minReader() int64 {
+// recomputeMin rescans the readers for the watermark. Called only when
+// the reader that was at the watermark advances.
+func (b *Buffer) recomputeMin() {
 	if len(b.readers) == 0 {
-		return 0 // no consumers wired yet: nothing is reclaimable
+		b.minSeq = 0 // no consumers wired yet: nothing is reclaimable
+		return
 	}
 	m := b.readers[0]
 	for _, r := range b.readers[1:] {
@@ -63,12 +74,12 @@ func (b *Buffer) minReader() int64 {
 			m = r
 		}
 	}
-	return m
+	b.minSeq = m
 }
 
 // CanPush reports whether one more element fits.
 func (b *Buffer) CanPush() bool {
-	return !b.closed && b.wseq-b.minReader() < int64(b.cap)
+	return !b.closed && b.wseq-b.minSeq < int64(b.cap)
 }
 
 // Push appends an element. The caller must check CanPush.
@@ -83,7 +94,7 @@ func (b *Buffer) Push(v float64) {
 		b.meter.Add(energy.CatBuffer, b.meter.Table.BufferPJ)
 	}
 	if b.Occ != nil {
-		b.Occ.Observe(b.wseq - b.minReader())
+		b.Occ.Observe(b.wseq - b.minSeq)
 	}
 }
 
@@ -101,6 +112,9 @@ func (b *Buffer) Pop(r int) float64 {
 	}
 	v := b.data[seq%int64(b.cap)]
 	b.readers[r]++
+	if seq == b.minSeq {
+		b.recomputeMin()
+	}
 	b.Pops++
 	if b.meter != nil {
 		b.meter.Add(energy.CatBuffer, b.meter.Table.BufferPJ)
@@ -113,7 +127,11 @@ func (b *Buffer) Skip(r int, n int64) {
 	if b.readers[r]+n > b.wseq {
 		panic("accessunit: Skip past write pointer")
 	}
+	seq := b.readers[r]
 	b.readers[r] += n
+	if seq == b.minSeq && n > 0 {
+		b.recomputeMin()
+	}
 }
 
 // Close marks end-of-stream: no further pushes. Readers may drain what
@@ -131,4 +149,4 @@ func (b *Buffer) Level(r int) int64 { return b.wseq - b.readers[r] }
 
 // Occupancy returns the elements currently held (window between the write
 // pointer and the slowest reader).
-func (b *Buffer) Occupancy() int64 { return b.wseq - b.minReader() }
+func (b *Buffer) Occupancy() int64 { return b.wseq - b.minSeq }

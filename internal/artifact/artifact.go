@@ -98,6 +98,12 @@ type Cache struct {
 	byKey  map[string]*list.Element // value: *entry
 	flight map[string]*flight
 	stats  Stats
+
+	// Program side (see program.go): same policy, separate namespace.
+	progLL     *list.List               // front = most recently used
+	progByKey  map[string]*list.Element // value: *progEntry
+	progFlight map[string]*progFlight
+	progStats  ProgramStats
 }
 
 type entry struct {
@@ -118,11 +124,14 @@ func New(cfg Config) *Cache {
 		max = DefaultMaxEntries
 	}
 	return &Cache{
-		max:    max,
-		dir:    cfg.Dir,
-		ll:     list.New(),
-		byKey:  map[string]*list.Element{},
-		flight: map[string]*flight{},
+		max:        max,
+		dir:        cfg.Dir,
+		ll:         list.New(),
+		byKey:      map[string]*list.Element{},
+		flight:     map[string]*flight{},
+		progLL:     list.New(),
+		progByKey:  map[string]*list.Element{},
+		progFlight: map[string]*progFlight{},
 	}
 }
 

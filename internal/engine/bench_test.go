@@ -34,11 +34,11 @@ func (s *sleeper) NextEvent(now int64) int64 {
 	return s.next
 }
 
-func benchEngine(b *testing.B, naive bool, build func(e *Engine)) {
+func benchEngine(b *testing.B, mode Mode, build func(e *Engine)) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
 		e := New()
-		e.Naive = naive
+		e.Mode = mode
 		build(e)
 		if _, err := e.Run(1 << 30); err != nil {
 			b.Fatal(err)
@@ -64,8 +64,12 @@ func buildSparse(e *Engine) {
 	}
 }
 
-func BenchmarkEngineLoopDenseFast(b *testing.B)  { benchEngine(b, false, buildDense) }
-func BenchmarkEngineLoopDenseNaive(b *testing.B) { benchEngine(b, true, buildDense) }
+// The *Fast benchmarks exercise the default scheduler (adaptive); the
+// *Event variants pin the always-event-driven mode for comparison.
+func BenchmarkEngineLoopDenseFast(b *testing.B)  { benchEngine(b, ModeAdaptive, buildDense) }
+func BenchmarkEngineLoopDenseEvent(b *testing.B) { benchEngine(b, ModeEvent, buildDense) }
+func BenchmarkEngineLoopDenseNaive(b *testing.B) { benchEngine(b, ModeNaive, buildDense) }
 
-func BenchmarkEngineLoopSparseFast(b *testing.B)  { benchEngine(b, false, buildSparse) }
-func BenchmarkEngineLoopSparseNaive(b *testing.B) { benchEngine(b, true, buildSparse) }
+func BenchmarkEngineLoopSparseFast(b *testing.B)  { benchEngine(b, ModeAdaptive, buildSparse) }
+func BenchmarkEngineLoopSparseEvent(b *testing.B) { benchEngine(b, ModeEvent, buildSparse) }
+func BenchmarkEngineLoopSparseNaive(b *testing.B) { benchEngine(b, ModeNaive, buildSparse) }

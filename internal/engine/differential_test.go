@@ -172,33 +172,82 @@ func buildPipelines(seed int64, log *[]effect, e *Engine) {
 
 func TestDifferentialFuzzFastVsNaive(t *testing.T) {
 	for seed := int64(0); seed < 300; seed++ {
-		var naiveLog, fastLog []effect
+		var naiveLog []effect
 
 		en := New()
-		en.Naive = true
+		en.Mode = ModeNaive
 		buildPipelines(seed, &naiveLog, en)
 		nElapsed, nErr := en.Run(1 << 22)
+		if nErr != nil {
+			t.Fatalf("seed %d: naive err=%v", seed, nErr)
+		}
 
-		ef := New()
-		buildPipelines(seed, &fastLog, ef)
-		fElapsed, fErr := ef.Run(1 << 22)
+		for _, mode := range []Mode{ModeEvent, ModeAdaptive} {
+			var fastLog []effect
+			ef := New()
+			ef.Mode = mode
+			buildPipelines(seed, &fastLog, ef)
+			fElapsed, fErr := ef.Run(1 << 22)
 
-		if nErr != nil || fErr != nil {
-			t.Fatalf("seed %d: naive err=%v fast err=%v", seed, nErr, fErr)
-		}
-		if nElapsed != fElapsed {
-			t.Fatalf("seed %d: elapsed naive=%d fast=%d", seed, nElapsed, fElapsed)
-		}
-		if en.Now() != ef.Now() {
-			t.Fatalf("seed %d: Now naive=%d fast=%d", seed, en.Now(), ef.Now())
-		}
-		if !reflect.DeepEqual(naiveLog, fastLog) {
-			i := 0
-			for i < len(naiveLog) && i < len(fastLog) && naiveLog[i] == fastLog[i] {
-				i++
+			if fErr != nil {
+				t.Fatalf("seed %d: %s err=%v", seed, mode, fErr)
 			}
-			t.Fatalf("seed %d: effect logs diverge at index %d:\nnaive: %v\nfast:  %v",
-				seed, i, tail(naiveLog, i), tail(fastLog, i))
+			if nElapsed != fElapsed {
+				t.Fatalf("seed %d: elapsed naive=%d %s=%d", seed, nElapsed, mode, fElapsed)
+			}
+			if en.Now() != ef.Now() {
+				t.Fatalf("seed %d: Now naive=%d %s=%d", seed, en.Now(), mode, ef.Now())
+			}
+			if !reflect.DeepEqual(naiveLog, fastLog) {
+				i := 0
+				for i < len(naiveLog) && i < len(fastLog) && naiveLog[i] == fastLog[i] {
+					i++
+				}
+				t.Fatalf("seed %d: effect logs diverge at index %d:\nnaive: %v\n%s: %v",
+					seed, i, tail(naiveLog, i), mode, tail(fastLog, i))
+			}
+		}
+	}
+}
+
+// TestAdaptiveModeSwitches drives one population dense enough to enter
+// dense mode and one sparse enough to stay event-driven, and checks both
+// still agree with the naive reference (belt and braces on top of the
+// fuzz, with populations engineered to cross the density thresholds).
+func TestAdaptiveModeSwitches(t *testing.T) {
+	type buildCase struct {
+		name  string
+		build func(*Engine)
+	}
+	for _, bc := range []buildCase{
+		{"dense", buildDense},
+		{"sparse", buildSparse},
+		{"mixed", func(e *Engine) {
+			// Dense phase followed by a sparse tail: tickers drain first,
+			// then sleepers force dense-mode exit and fast-forwarding.
+			for i := 0; i < 8; i++ {
+				e.Add(&ticker{n: 1 << 8}, benchGHz[i%len(benchGHz)])
+			}
+			for i := 0; i < 4; i++ {
+				e.Add(&sleeper{items: 16, latency: 2500}, benchGHz[i%len(benchGHz)])
+			}
+		}},
+	} {
+		en := New()
+		en.Mode = ModeNaive
+		bc.build(en)
+		want, err := en.Run(1 << 30)
+		if err != nil {
+			t.Fatalf("%s: naive: %v", bc.name, err)
+		}
+		ea := New()
+		bc.build(ea)
+		got, err := ea.Run(1 << 30)
+		if err != nil {
+			t.Fatalf("%s: adaptive: %v", bc.name, err)
+		}
+		if got != want {
+			t.Errorf("%s: adaptive elapsed %d, naive %d", bc.name, got, want)
 		}
 	}
 }

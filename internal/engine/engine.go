@@ -3,15 +3,18 @@
 // host, 1 GHz CGRA fabric and 3 GHz sensitivity configurations coexist in
 // one run (base tick = 1/6 ns).
 //
-// The default scheduler is event-driven: components that can predict their
-// next observable effect implement the optional Hinter interface, and the
-// engine fast-forwards over base cycles in which no live component can act
-// instead of polling every component on every tick. Components are
-// partitioned into per-divisor rings so a tick touches only due, live
-// components; finished components are removed (order-preservingly) from
-// their ring. The resulting cycle counts, per-component effect sequences
-// and counters are bit-identical to the naive one-tick-at-a-time loop
-// (Engine.Naive), which is kept as the differential-testing reference.
+// The default scheduler is adaptive: it watches the observed wake density
+// and switches per phase between a dense mode that steps every due clock
+// edge with no event bookkeeping at all and the event-driven mode, in which
+// components that can predict their next observable effect implement the
+// optional Hinter interface and the engine fast-forwards over base cycles
+// in which no live component can act instead of polling every component on
+// every tick. Components are partitioned into per-divisor rings so a tick
+// touches only due, live components; finished components are removed
+// (order-preservingly) from their ring. The resulting cycle counts,
+// per-component effect sequences and counters are bit-identical across all
+// three modes; the naive one-tick-at-a-time loop (ModeNaive) is kept as
+// the differential-testing reference.
 package engine
 
 import (
@@ -41,7 +44,10 @@ func Div(ghz int) int {
 // Contract: Done may only transition as a result of the component's own
 // Step. (All in-tree components satisfy this; it lets the engine track
 // completion incrementally instead of rescanning every component each
-// tick.)
+// tick.) A Step that reports no progress must leave all observable state —
+// its own and any shared queues — unchanged: the scheduler relies on
+// progress-free windows being state-preserving to reuse NextEvent claims
+// without re-querying them.
 type Component interface {
 	Step(now int64) (progress bool)
 	Done() bool
@@ -76,12 +82,62 @@ type Hinter interface {
 	NextEvent(now int64) int64
 }
 
+// Mode selects the scheduling strategy. The zero value is ModeAdaptive,
+// the default.
+type Mode int
+
+const (
+	// ModeAdaptive watches the observed wake density and switches per
+	// phase between dense stepping (every due clock edge, no nextWake
+	// sweep) and the event-driven scheduler. This is the default.
+	ModeAdaptive Mode = iota
+	// ModeEvent always runs the event-driven fast-forward scheduler.
+	ModeEvent
+	// ModeNaive is the reference one-tick-at-a-time scheduler.
+	ModeNaive
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeAdaptive:
+		return "adaptive"
+	case ModeEvent:
+		return "event"
+	case ModeNaive:
+		return "naive"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// ParseMode parses an engine mode name as accepted by the CLIs'
+// -engine flag. The empty string means the default (adaptive).
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "adaptive":
+		return ModeAdaptive, nil
+	case "event":
+		return ModeEvent, nil
+	case "naive":
+		return ModeNaive, nil
+	}
+	return 0, fmt.Errorf("engine: unknown mode %q (want adaptive, event or naive)", s)
+}
+
 // entry is one registered component.
 type entry struct {
 	c    Component
 	hint Hinter // nil when c does not implement Hinter
 	div  int64
 	id   int // registration order; defines intra-cycle step order
+
+	// Cached NextEvent claim. A cached future claim is reusable while no
+	// component in the engine has made progress since it was collected and
+	// the owner has not been stepped (see nextWake); cachedWake is the
+	// claim already aligned up to the owner's clock edge. cachedEpoch pins
+	// the claim to the engine's claimEpoch at collection time.
+	cachedClaim int64
+	cachedWake  int64
+	cachedEpoch uint64
 }
 
 // ring groups the live components sharing one clock divisor, in
@@ -107,6 +163,13 @@ type Engine struct {
 	maxDiv int64 // max divisor ever registered (hoisted from the run loop)
 	now    int64
 
+	// claimEpoch versions the cached NextEvent claims: it advances on
+	// every processed cycle in which some component made progress (and at
+	// the start of every Run, invalidating claims across any mutations
+	// made between Runs), so a cached claim is reusable exactly while the
+	// no-external-action assumption it was collected under still holds.
+	claimEpoch uint64
+
 	running bool
 
 	// Trace, when enabled, records one span per Run plus one span per
@@ -126,13 +189,17 @@ type Engine struct {
 	// tracing is enabled.
 	FFJumps, FFSkipped int64
 
-	// Naive selects the reference one-tick-at-a-time scheduler: every base
-	// cycle is visited and every live component is inspected (and stepped
-	// when due). It is kept for differential testing against the default
-	// event-driven fast-forward scheduler; both produce identical cycle
-	// counts and component effect sequences. On error paths (deadlock vs.
-	// budget exhaustion in the same window) the two schedulers may report
-	// the failure at slightly different base cycles.
+	// Mode selects the scheduling strategy; the zero value is the default
+	// adaptive scheduler. All modes produce identical cycle counts and
+	// component effect sequences. On error paths (deadlock vs. budget
+	// exhaustion in the same window) the modes may report the failure at
+	// slightly different base cycles.
+	Mode Mode
+
+	// Naive, when set, overrides Mode with ModeNaive: the reference
+	// one-tick-at-a-time scheduler in which every base cycle is visited
+	// and every live component is inspected (and stepped when due). It is
+	// kept as a flag for differential tests written before Mode existed.
 	Naive bool
 }
 
@@ -224,10 +291,22 @@ func (e *Engine) Run(maxBaseCycles int64) (int64, error) {
 	e.running = true
 	defer func() { e.running = false }()
 	e.pruneDone()
+	// Anything may have mutated component state between Runs (hosts push
+	// into queues, components join); cached claims from a previous Run are
+	// not trustworthy.
+	e.claimEpoch++
+	mode := e.Mode
 	if e.Naive {
-		return e.runNaive(maxBaseCycles)
+		mode = ModeNaive
 	}
-	return e.runFast(maxBaseCycles)
+	switch mode {
+	case ModeNaive:
+		return e.runNaive(maxBaseCycles)
+	case ModeEvent:
+		return e.runFast(maxBaseCycles)
+	default:
+		return e.runAdaptive(maxBaseCycles)
+	}
 }
 
 // pruneDone drops components that are already finished before the loop
@@ -278,7 +357,10 @@ func (e *Engine) runFast(maxBaseCycles int64) (int64, error) {
 			}
 			return e.now - start, nil
 		}
-		next, future := e.nextWake(progress)
+		if progress {
+			e.claimEpoch++
+		}
+		next, future, _ := e.nextWake(progress)
 		if next == Never {
 			return e.now - start, fmt.Errorf("engine: deadlock at base cycle %d (%s)", e.now, e.describeStuck())
 		}
@@ -319,6 +401,136 @@ func (e *Engine) finishRunSpan(start, jumps, skipped int64) {
 		trace.KV{K: "cycles", V: e.now - start},
 		trace.KV{K: "ff_jumps", V: jumps},
 		trace.KV{K: "ff_skipped_cycles", V: skipped})
+}
+
+// Adaptive-mode thresholds. denseEnterStreak is how many consecutive
+// progress cycles that woke exactly on the earliest possible clock edge
+// are required before the scheduler stops sweeping hints and steps every
+// due edge; denseRecheckEvery is how many dense progress cycles separate
+// full hint sweeps looking for a fast-forward opportunity (it bounds the
+// cycles wasted edge-stepping a phase that has turned sparse).
+const (
+	denseEnterStreak  = 24
+	denseRecheckEvery = 64
+)
+
+// runAdaptive switches per phase between the event-driven scheduler and a
+// dense mode that advances edge to edge with no nextWake sweep at all —
+// the naive loop minus its redundant work. Both behaviors visit a
+// superset of the cycles on which components act, so results stay
+// bit-identical to the other schedulers; only the scheduler's own
+// bookkeeping differs. A cycle without progress immediately drops back to
+// the event-driven path (idle accounting there is identical because a
+// dense phase by construction just made progress, so idle enters at
+// zero), which also keeps deadlock reporting aligned with runFast.
+func (e *Engine) runAdaptive(maxBaseCycles int64) (int64, error) {
+	start := e.now
+	var idle int64
+	window := int64(deadlockWindow) * e.maxDiv
+	traced := e.Trace.Enabled()
+	obs := traced || e.CollectFF
+	var jumps, skipped int64
+	dense := false
+	streak, sinceCheck := 0, 0
+	for {
+		if e.live == 0 {
+			if traced {
+				e.finishRunSpan(start, jumps, skipped)
+			}
+			return e.now - start, nil
+		}
+		if e.now-start >= maxBaseCycles {
+			return e.now - start, fmt.Errorf("engine: exceeded %d base cycles", maxBaseCycles)
+		}
+		progress := e.stepDue()
+		if e.live == 0 {
+			e.now++
+			if traced {
+				e.finishRunSpan(start, jumps, skipped)
+			}
+			return e.now - start, nil
+		}
+		if progress {
+			e.claimEpoch++
+		}
+		if dense {
+			if !progress {
+				// The phase ended; resweep below with event-mode idle
+				// accounting (idle is zero entering, as in runFast after
+				// a progress cycle).
+				dense, streak, sinceCheck = false, 0, 0
+			} else {
+				next := int64(0)
+				if sinceCheck++; sinceCheck >= denseRecheckEvery {
+					// Periodic escape valve: a full sweep detects a phase
+					// that kept progressing but went sparse (e.g. one
+					// component streaming while the rest await a long
+					// latency).
+					sinceCheck = 0
+					nw, _, _ := e.nextWake(false)
+					if nw == Never {
+						return e.now - start, fmt.Errorf("engine: deadlock at base cycle %d (%s)", e.now, e.describeStuck())
+					}
+					next = nw
+				}
+				if edge := e.earliestEdge(); next <= edge {
+					next = edge
+				} else {
+					dense, streak, sinceCheck = false, 0, 0 // real jump: go sparse
+				}
+				if lim := start + maxBaseCycles; next > lim {
+					next = lim
+				}
+				if obs && next-e.now > 1 {
+					d := next - e.now - 1
+					if traced && d >= ffSpanMinCycles {
+						e.Trace.Span("fast-forward", e.now+1, d, trace.KV{K: "cycles", V: d})
+					}
+					jumps++
+					skipped += d
+					e.FFJumps++
+					e.FFSkipped += d
+				}
+				e.now = next
+				continue
+			}
+		}
+		next, future, bound := e.nextWake(progress)
+		if next == Never {
+			return e.now - start, fmt.Errorf("engine: deadlock at base cycle %d (%s)", e.now, e.describeStuck())
+		}
+		if progress || future {
+			idle = 0
+		} else {
+			idle += next - e.now
+			if idle > window {
+				return e.now - start, fmt.Errorf("engine: deadlock at base cycle %d (%s)", e.now, e.describeStuck())
+			}
+		}
+		if progress && next == bound {
+			// Woke on the earliest possible edge again: the phase looks
+			// dense. After enough consecutive such cycles, stop sweeping.
+			if streak++; streak >= denseEnterStreak {
+				dense, streak, sinceCheck = true, 0, 0
+			}
+		} else {
+			streak = 0
+		}
+		if lim := start + maxBaseCycles; next > lim {
+			next = lim
+		}
+		if obs && next-e.now > 1 {
+			d := next - e.now - 1
+			if traced && d >= ffSpanMinCycles {
+				e.Trace.Span("fast-forward", e.now+1, d, trace.KV{K: "cycles", V: d})
+			}
+			jumps++
+			skipped += d
+			e.FFJumps++
+			e.FFSkipped += d
+		}
+		e.now = next
+	}
 }
 
 // runNaive is the reference scheduler: one base cycle at a time. Relative
@@ -405,6 +617,7 @@ func (e *Engine) stepDue() bool {
 			e.live--
 			continue
 		}
+		ent.cachedClaim = 0 // own Step may move its next effect
 		if ent.c.Step(e.now) {
 			progress = true
 		}
@@ -431,6 +644,7 @@ func (e *Engine) stepRing(r *ring) bool {
 			e.live--
 			continue
 		}
+		ent.cachedClaim = 0 // own Step may move its next effect
 		if ent.c.Step(e.now) {
 			progress = true
 		}
@@ -445,13 +659,15 @@ func (e *Engine) stepRing(r *ring) bool {
 	return progress
 }
 
-// nextWake collects a fresh NextEvent claim from every live component and
+// nextWake collects a NextEvent claim from every live component and
 // returns the earliest base cycle at which any of them may act (aligned up
 // to the claimant's own clock edge, and never before now+1). future
 // reports whether some component holds a genuine scheduled future event
 // (as opposed to merely asking to be polled), which distinguishes latency
-// countdowns from dead polling when accounting idle cycles. Components
-// found finished are removed.
+// countdowns from dead polling when accounting idle cycles. bound is the
+// earliest possible clock edge when progress is set (-1 otherwise): the
+// floor on any answer, which the adaptive scheduler compares against next
+// to measure wake density.
 //
 // progress reports whether the just-processed cycle stepped anything. In
 // that case the idle counter resets regardless of the future flag, so the
@@ -461,15 +677,28 @@ func (e *Engine) stepRing(r *ring) bool {
 // hot cursor): in steady pipeline phases that is the same busy component
 // again, so dense phases pay a single hint query per cycle.
 //
-// The sweep is read-only: components finish only inside their own Step
-// (see the Component contract), so stepDue and pruneDone own all ring
-// removals and claims may be collected in any order (min is commutative).
-func (e *Engine) nextWake(progress bool) (next int64, future bool) {
+// A future claim is cached on its entry and reused — skipping the
+// NextEvent call — while the engine's claimEpoch is unchanged and the
+// owner has not been stepped since collection. Both conditions together
+// restate the Hinter contract's no-external-action assumption: progress
+// bumps the epoch, and a progress-free Step leaves observable state (and
+// therefore every component's next effect) unchanged, so a claim
+// collected in the same progress-free window still holds. Reusing a claim
+// can only schedule the same-or-earlier wake-up a fresh query would, so a
+// stale-but-valid claim costs at most a no-op visit — exactly what the
+// naive reference loop does every cycle.
+//
+// The sweep is read-only on component state: components finish only
+// inside their own Step (see the Component contract), so stepDue and
+// pruneDone own all ring removals and claims may be collected in any
+// order (min is commutative).
+func (e *Engine) nextWake(progress bool) (next int64, future bool, bound int64) {
 	next = Never
-	bound := int64(-1)
+	bound = -1
 	if progress {
 		bound = e.earliestEdge()
 	}
+	epoch := e.claimEpoch
 	for _, r := range e.rings {
 		n := len(r.ents)
 		start := r.hot
@@ -485,33 +714,40 @@ func (e *Engine) nextWake(progress bool) (next int64, future bool) {
 			if ent.c.Done() { // defensive; stepDue removes it at its next edge
 				continue
 			}
-			var claim int64
-			if ent.hint != nil {
-				claim = ent.hint.NextEvent(e.now)
-			}
-			if claim == Never {
-				continue // blocked on a peer: contributes no wake-up
-			}
-			if claim > e.now {
+			var t int64
+			if ent.cachedEpoch == epoch && ent.cachedClaim > e.now {
 				future = true
-			}
-			t := claim
-			if t <= e.now {
-				t = e.now + 1
-			}
-			if rem := t % r.div; rem != 0 {
-				t += r.div - rem // align up to the component's next edge
+				t = ent.cachedWake
+			} else {
+				var claim int64
+				if ent.hint != nil {
+					claim = ent.hint.NextEvent(e.now)
+				}
+				if claim == Never {
+					continue // blocked on a peer: contributes no wake-up
+				}
+				t = claim
+				if t <= e.now {
+					t = e.now + 1
+				}
+				if rem := t % r.div; rem != 0 {
+					t += r.div - rem // align up to the component's next edge
+				}
+				if claim > e.now {
+					future = true
+					ent.cachedClaim, ent.cachedWake, ent.cachedEpoch = claim, t, epoch
+				}
 			}
 			if t < next {
 				next = t
 				if next <= bound {
 					r.hot = i
-					return next, future
+					return next, future, bound
 				}
 			}
 		}
 	}
-	return next, future
+	return next, future, bound
 }
 
 // earliestEdge returns the earliest base cycle after now that is a clock

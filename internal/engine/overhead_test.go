@@ -34,7 +34,10 @@ func runFastBaseline(e *Engine, maxBaseCycles int64) (int64, error) {
 			e.now++
 			return e.now - start, nil
 		}
-		next, future := e.nextWake(progress)
+		if progress {
+			e.claimEpoch++
+		}
+		next, future, _ := e.nextWake(progress)
 		if next == Never {
 			return e.now - start, errDeadlock(e)
 		}
@@ -156,7 +159,10 @@ func TestDisabledTracerOverhead(t *testing.T) {
 		reps   = 6
 		budget = 1.02 // satellite acceptance: <= 2% overhead
 	)
-	current := func(e *Engine) (int64, error) { return e.Run(1 << 30) }
+	// Pin the event-driven mode: the baseline is the frozen event loop, so
+	// the comparison isolates tracing instrumentation, not the adaptive
+	// scheduler's dense fast path.
+	current := func(e *Engine) (int64, error) { e.Mode = ModeEvent; return e.Run(1 << 30) }
 	baseline := func(e *Engine) (int64, error) { return runFastBaseline(e, 1<<30) }
 
 	measure := func() (base, cur time.Duration) {
@@ -185,6 +191,51 @@ func TestDisabledTracerOverhead(t *testing.T) {
 		}
 	}
 	t.Errorf("disabled-tracer overhead %.2f%% exceeds 2%% budget", 100*(ratio-1))
+}
+
+// TestAdaptiveDenseOverhead asserts the default adaptive scheduler stays
+// within 5% of the naive reference loop on the dense population — the
+// shape where the event-driven scheduler's sweep used to cost ~1.6x. The
+// adaptive dense mode must make that bookkeeping disappear. Same
+// methodology as TestDisabledTracerOverhead: interleaved trials,
+// best-of-N, retry on marginal results, skipped under -short.
+func TestAdaptiveDenseOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock comparison; skipped under -short")
+	}
+	const (
+		trials = 11
+		reps   = 6
+		budget = 1.05 // tentpole acceptance: DenseFast (adaptive) <= 1.05x DenseNaive
+	)
+	adaptive := func(e *Engine) (int64, error) { return e.Run(1 << 30) }
+	naive := func(e *Engine) (int64, error) { e.Mode = ModeNaive; return e.Run(1 << 30) }
+
+	measure := func() (base, cur time.Duration) {
+		base, cur = time.Duration(1<<62), time.Duration(1<<62)
+		timeRuns(1, buildDense, naive)
+		timeRuns(1, buildDense, adaptive)
+		for i := 0; i < trials; i++ {
+			if d := timeRuns(reps, buildDense, naive); d < base {
+				base = d
+			}
+			if d := timeRuns(reps, buildDense, adaptive); d < cur {
+				cur = d
+			}
+		}
+		return base, cur
+	}
+
+	var ratio float64
+	for attempt := 0; attempt < 3; attempt++ {
+		base, cur := measure()
+		ratio = float64(cur) / float64(base)
+		t.Logf("attempt %d: naive %v, adaptive %v, ratio %.4f", attempt, base, cur, ratio)
+		if ratio <= budget {
+			return
+		}
+	}
+	t.Errorf("adaptive dense overhead %.2f%% exceeds 5%% budget vs naive", 100*(ratio-1))
 }
 
 // Benchmarks for manual comparison: the frozen baseline loop vs the

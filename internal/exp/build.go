@@ -14,6 +14,7 @@ import (
 
 	"distda/internal/artifact"
 	"distda/internal/compiler"
+	"distda/internal/engine"
 	"distda/internal/profile"
 	"distda/internal/sim"
 	"distda/internal/trace"
@@ -37,6 +38,11 @@ type Options struct {
 	// compilations across processes. Cache counters are folded into
 	// Observe.Metrics (artifact/ component) after the run.
 	Cache *artifact.Cache
+
+	// EngineMode selects the engine scheduling strategy for every cell
+	// (adaptive — the zero value —, event-driven, or the naive reference).
+	// Results are bit-identical across modes; this picks wall-clock only.
+	EngineMode engine.Mode
 
 	// Checkpoint, when non-empty, is the path of a JSON checkpoint that is
 	// rewritten (atomically) after every completed cell. If the file
@@ -322,6 +328,14 @@ func Build(ctx context.Context, opts Options) (*Matrix, error) {
 		met.Counter("artifact/rebinds").Add(st.Rebinds)
 		met.Counter("artifact/evicted").Add(st.Evicted)
 		met.Counter("artifact/errors").Add(st.Errors)
+		pst := cache.ProgramStats()
+		met.Counter("artifact/program_requests").Add(pst.Requests)
+		met.Counter("artifact/program_mem_hits").Add(pst.MemHits)
+		met.Counter("artifact/program_disk_hits").Add(pst.DiskHits)
+		met.Counter("artifact/program_compiles").Add(pst.Compiles)
+		met.Counter("artifact/program_rebinds").Add(pst.Rebinds)
+		met.Counter("artifact/program_evicted").Add(pst.Evicted)
+		met.Counter("artifact/program_errors").Add(pst.Errors)
 	}
 	return m, nil
 }
@@ -396,6 +410,17 @@ func (b *builder) attempt(ctx context.Context, w *workloads.Workload, cfg sim.Co
 		if err != nil {
 			return nil, err
 		}
+	}
+	cfg.EngineMode = b.opts.EngineMode
+	if cfg.ValidateEvery {
+		// Fetch the kernel's bytecode program for reference validation from
+		// the same (possibly disk-backed) cache as the offload artifact.
+		pkey := artifact.ProgramKey(w.Name, b.m.Scale.String(), w.Kernel)
+		prog, err := b.cache.GetOrProgram(pkey, w.Kernel)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Program = prog
 	}
 	return sim.RunPrecompiled(w.Kernel, w.Params, cloneData(data), cfg, compiled)
 }

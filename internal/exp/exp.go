@@ -314,7 +314,11 @@ func (m *Matrix) Tab6OffloadCharacteristics() (*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		counts, err := ir.Run(w.Kernel, w.Params, w.NewData(), nil)
+		prog, err := ir.ProgramFor(w.Kernel)
+		if err != nil {
+			return nil, err
+		}
+		counts, err := prog.Run(w.Params, w.NewData(), nil)
 		if err != nil {
 			return nil, err
 		}

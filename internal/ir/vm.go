@@ -1,0 +1,344 @@
+package ir
+
+import "fmt"
+
+// vm executes a compiled Program. One vm serves one Run call; the Program
+// itself is shared and read-only.
+type vm struct {
+	p        *Program
+	regs     []float64
+	slots    []float64
+	assigned []bool // per slot: has the local ever been assigned (params pre-set)
+	bufs     [][]float64
+	counts   *Counts
+	cur      *LoopCounts   // innermost enclosing loop's counts (nil at top level)
+	lc       []*LoopCounts // per loop-table index, resolved lazily like the interpreter
+	curStack []*LoopCounts
+	hooks    Hooks
+}
+
+func (v *vm) fail(format string, args ...any) {
+	panic(runtimeError{fmt.Errorf("ir: kernel %q: "+format, append([]any{v.p.name}, args...)...)})
+}
+
+// Run executes the compiled program against mem (modified in place) and
+// returns dynamic counts. Semantics — evaluation order, Counts, hook
+// event sequences, error messages, stored data — are bit-identical to
+// ir.Run on the same kernel; the differential tests in this package hold
+// the two executors to that.
+func (p *Program) Run(params map[string]float64, mem map[string][]float64, hooks *Hooks) (counts *Counts, err error) {
+	for _, name := range p.params {
+		if _, ok := params[name]; !ok {
+			return nil, fmt.Errorf("ir: kernel %q: missing parameter %q", p.name, name)
+		}
+	}
+	bufs := make([][]float64, len(p.objs))
+	for i, o := range p.objs {
+		buf, ok := mem[o.Name]
+		if !ok {
+			return nil, fmt.Errorf("ir: kernel %q: missing memory object %q", p.name, o.Name)
+		}
+		if len(buf) != o.Len {
+			return nil, fmt.Errorf("ir: kernel %q: object %q has %d elements, declared %d",
+				p.name, o.Name, len(buf), o.Len)
+		}
+		bufs[i] = buf
+	}
+	v := &vm{
+		p:        p,
+		regs:     make([]float64, p.nRegs),
+		slots:    make([]float64, p.nSlots),
+		assigned: make([]bool, p.nSlots),
+		bufs:     bufs,
+		counts:   &Counts{ByLoop: map[*For]*LoopCounts{}},
+		lc:       make([]*LoopCounts, len(p.loops)),
+	}
+	for i, name := range p.params {
+		v.slots[i] = params[name]
+		v.assigned[i] = true
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			re, ok := r.(runtimeError)
+			if !ok {
+				panic(r)
+			}
+			counts, err = nil, re.err
+		}
+	}()
+	if hooks == nil {
+		v.exec()
+	} else {
+		// The hooked variant pays the per-event nil checks the
+		// interpreter pays; the hooks-off loop above pays none.
+		v.hooks = *hooks
+		v.execHooked()
+	}
+	return v.counts, nil
+}
+
+func (v *vm) countOp(class OpClass) {
+	v.counts.Ops++
+	switch class {
+	case ClassInt:
+		v.counts.IntOps++
+	case ClassComplex:
+		v.counts.ComplexOps++
+	case ClassFloat:
+		v.counts.FloatOps++
+	}
+	if lc := v.cur; lc != nil {
+		lc.Ops++
+	}
+}
+
+// iterHead performs the per-iteration accounting shared by both loops:
+// the iteration count, lazy LoopCounts resolution (0-trip loops leave no
+// ByLoop entry) and trip attribution.
+func (v *vm) iterHead(li int32) *For {
+	f := v.p.loops[li]
+	v.counts.LoopIters++
+	lc := v.lc[li]
+	if lc == nil {
+		if lc = v.counts.ByLoop[f]; lc == nil {
+			lc = &LoopCounts{}
+			v.counts.ByLoop[f] = lc
+		}
+		v.lc[li] = lc
+	}
+	v.cur = lc
+	lc.Trips++
+	return f
+}
+
+// exec is the hooks-off dispatch loop.
+func (v *vm) exec() {
+	code := v.p.code
+	regs := v.regs
+	slots := v.slots
+	for pc := 0; pc < len(code); pc++ {
+		op := &code[pc]
+		switch op.Code {
+		case OpConst:
+			regs[op.Dst] = op.Val
+		case OpSlot:
+			regs[op.Dst] = slots[op.A]
+		case OpSlotChecked:
+			if !v.assigned[op.A] {
+				v.fail("read of undefined local %q", v.p.slotNames[op.A])
+			}
+			regs[op.Dst] = slots[op.A]
+		case OpSetSlot:
+			slots[op.Dst] = regs[op.A]
+			v.assigned[op.Dst] = true
+		case OpLoad:
+			o := &v.p.objs[op.Aux]
+			idx := int(regs[op.A])
+			if idx < 0 || idx >= o.Len {
+				v.fail("index %d out of range for object %q (len %d)", idx, o.Name, o.Len)
+			}
+			v.counts.Loads++
+			if lc := v.cur; lc != nil {
+				lc.Loads++
+			}
+			regs[op.Dst] = v.bufs[op.Aux][idx]
+		case OpStoreIdx:
+			o := &v.p.objs[op.Aux]
+			idx := int(regs[op.A])
+			if idx < 0 || idx >= o.Len {
+				v.fail("index %d out of range for object %q (len %d)", idx, o.Name, o.Len)
+			}
+		case OpStore:
+			v.bufs[op.Aux][int(regs[op.A])] = regs[op.B]
+			v.counts.Stores++
+			if lc := v.cur; lc != nil {
+				lc.Stores++
+			}
+		case OpBin:
+			a, b := regs[op.A], regs[op.B]
+			v.countOp(OpClass(op.C))
+			var out float64
+			switch BinOp(op.Aux) {
+			case Add:
+				out = a + b
+			case Sub:
+				out = a - b
+			case Mul:
+				out = a * b
+			default:
+				var err error
+				out, err = ApplyBin(BinOp(op.Aux), a, b)
+				if err != nil {
+					v.fail("%v", err)
+				}
+			}
+			regs[op.Dst] = out
+		case OpUn:
+			a := regs[op.A]
+			v.countOp(OpClass(op.C))
+			regs[op.Dst] = ApplyUn(UnOp(op.Aux), a)
+		case OpSel:
+			c, t, f := regs[op.A], regs[op.B], regs[op.C]
+			v.countOp(ClassInt)
+			if c != 0 {
+				regs[op.Dst] = t
+			} else {
+				regs[op.Dst] = f
+			}
+		case OpJump:
+			pc = int(op.Dst) - 1
+		case OpJumpIfZero:
+			if regs[op.A] == 0 {
+				pc = int(op.Dst) - 1
+			}
+		case OpLoopEnter:
+			step := regs[op.C]
+			if step <= 0 {
+				v.fail("loop %s has non-positive step %g", v.p.loops[op.Aux].IV, step)
+			}
+			slots[op.Dst] = regs[op.A]
+			v.curStack = append(v.curStack, v.cur)
+		case OpLoopTest:
+			if !(slots[op.A] < regs[op.B]) {
+				n := len(v.curStack) - 1
+				v.cur = v.curStack[n]
+				v.curStack = v.curStack[:n]
+				pc = int(op.Dst) - 1
+			}
+		case OpIterHead:
+			v.iterHead(op.Aux)
+		case OpLoopIncr:
+			slots[op.A] += regs[op.B]
+			pc = int(op.Dst) - 1
+		default:
+			panic(fmt.Sprintf("ir: vm: invalid opcode %d at pc %d", op.Code, pc))
+		}
+	}
+}
+
+// execHooked mirrors exec with hook dispatch at the counted events. Kept
+// as a separate loop so the hooks-off path carries no per-op nil checks.
+func (v *vm) execHooked() {
+	code := v.p.code
+	regs := v.regs
+	slots := v.slots
+	for pc := 0; pc < len(code); pc++ {
+		op := &code[pc]
+		switch op.Code {
+		case OpConst:
+			regs[op.Dst] = op.Val
+		case OpSlot:
+			regs[op.Dst] = slots[op.A]
+		case OpSlotChecked:
+			if !v.assigned[op.A] {
+				v.fail("read of undefined local %q", v.p.slotNames[op.A])
+			}
+			regs[op.Dst] = slots[op.A]
+		case OpSetSlot:
+			slots[op.Dst] = regs[op.A]
+			v.assigned[op.Dst] = true
+		case OpLoad:
+			o := &v.p.objs[op.Aux]
+			idx := int(regs[op.A])
+			if idx < 0 || idx >= o.Len {
+				v.fail("index %d out of range for object %q (len %d)", idx, o.Name, o.Len)
+			}
+			v.counts.Loads++
+			if lc := v.cur; lc != nil {
+				lc.Loads++
+			}
+			if v.hooks.OnLoad != nil {
+				v.hooks.OnLoad(o.Name, idx)
+			}
+			regs[op.Dst] = v.bufs[op.Aux][idx]
+		case OpStoreIdx:
+			o := &v.p.objs[op.Aux]
+			idx := int(regs[op.A])
+			if idx < 0 || idx >= o.Len {
+				v.fail("index %d out of range for object %q (len %d)", idx, o.Name, o.Len)
+			}
+		case OpStore:
+			idx := int(regs[op.A])
+			v.bufs[op.Aux][idx] = regs[op.B]
+			v.counts.Stores++
+			if lc := v.cur; lc != nil {
+				lc.Stores++
+			}
+			if v.hooks.OnStore != nil {
+				v.hooks.OnStore(v.p.objs[op.Aux].Name, idx)
+			}
+		case OpBin:
+			a, b := regs[op.A], regs[op.B]
+			class := OpClass(op.C)
+			v.countOp(class)
+			if v.hooks.OnOp != nil {
+				v.hooks.OnOp(class)
+			}
+			var out float64
+			switch BinOp(op.Aux) {
+			case Add:
+				out = a + b
+			case Sub:
+				out = a - b
+			case Mul:
+				out = a * b
+			default:
+				var err error
+				out, err = ApplyBin(BinOp(op.Aux), a, b)
+				if err != nil {
+					v.fail("%v", err)
+				}
+			}
+			regs[op.Dst] = out
+		case OpUn:
+			a := regs[op.A]
+			class := OpClass(op.C)
+			v.countOp(class)
+			if v.hooks.OnOp != nil {
+				v.hooks.OnOp(class)
+			}
+			regs[op.Dst] = ApplyUn(UnOp(op.Aux), a)
+		case OpSel:
+			c, t, f := regs[op.A], regs[op.B], regs[op.C]
+			v.countOp(ClassInt)
+			if v.hooks.OnOp != nil {
+				v.hooks.OnOp(ClassInt)
+			}
+			if c != 0 {
+				regs[op.Dst] = t
+			} else {
+				regs[op.Dst] = f
+			}
+		case OpJump:
+			pc = int(op.Dst) - 1
+		case OpJumpIfZero:
+			if regs[op.A] == 0 {
+				pc = int(op.Dst) - 1
+			}
+		case OpLoopEnter:
+			step := regs[op.C]
+			if step <= 0 {
+				v.fail("loop %s has non-positive step %g", v.p.loops[op.Aux].IV, step)
+			}
+			slots[op.Dst] = regs[op.A]
+			v.curStack = append(v.curStack, v.cur)
+		case OpLoopTest:
+			if !(slots[op.A] < regs[op.B]) {
+				n := len(v.curStack) - 1
+				v.cur = v.curStack[n]
+				v.curStack = v.curStack[:n]
+				pc = int(op.Dst) - 1
+			}
+		case OpIterHead:
+			f := v.iterHead(op.Aux)
+			if v.hooks.OnLoopIter != nil {
+				v.hooks.OnLoopIter(f)
+			}
+		case OpLoopIncr:
+			slots[op.A] += regs[op.B]
+			pc = int(op.Dst) - 1
+		default:
+			panic(fmt.Sprintf("ir: vm: invalid opcode %d at pc %d", op.Code, pc))
+		}
+	}
+}

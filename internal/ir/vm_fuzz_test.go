@@ -1,0 +1,285 @@
+package ir
+
+// Fuzz cross-check between the bytecode VM and the tree-walk
+// interpreter. A deterministic generator builds random kernels that pass
+// Validate — mirroring the validator's scoping rules for induction
+// variables and locals — then both executors run the same inputs and
+// must agree on counts, stored data, hook event sequences, and error
+// strings. The generator deliberately produces runtime-error cases the
+// validator cannot rule out: out-of-range indices, divide/mod by zero,
+// non-positive steps, and reads of locals only defined inside 0-trip
+// loop bodies.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// memBitsEqual compares stored data bit-for-bit: NaNs produced
+// identically by both executors must compare equal, and the invariant is
+// bit-identical results, not IEEE ==.
+func memBitsEqual(a, b map[string][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok || len(va) != len(vb) {
+			return false
+		}
+		for i := range va {
+			if math.Float64bits(va[i]) != math.Float64bits(vb[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+type kgen struct {
+	r      *rand.Rand
+	objs   []ObjDecl
+	ivs    []string        // in-scope induction variables, innermost last
+	locals map[string]bool // validator-style definedness
+	depth  int             // loop nesting
+	budget int             // remaining statement budget
+	nextIV int
+}
+
+var fuzzParams = []string{"n", "a", "b"}
+
+func genKernel(seed int64) (*Kernel, map[string]float64, map[string][]float64) {
+	r := rand.New(rand.NewSource(seed))
+	g := &kgen{
+		r: r,
+		objs: []ObjDecl{
+			{Name: "o0", Len: 5 + r.Intn(4), ElemBytes: 8},
+			{Name: "o1", Len: 8 + r.Intn(5), ElemBytes: 4},
+		},
+		locals: map[string]bool{},
+		budget: 6 + r.Intn(8),
+	}
+	k := &Kernel{
+		Name:    fmt.Sprintf("fuzz%d", seed),
+		Params:  fuzzParams,
+		Objects: g.objs,
+		Body:    g.stmts(1 + r.Intn(4)),
+	}
+	vals := []float64{-2, -1, 0, 0.5, 1, 2, 3}
+	params := map[string]float64{
+		"n": float64(r.Intn(6)),
+		"a": vals[r.Intn(len(vals))],
+		"b": vals[r.Intn(len(vals))],
+	}
+	mem := map[string][]float64{}
+	for _, o := range g.objs {
+		buf := make([]float64, o.Len)
+		for i := range buf {
+			buf[i] = float64(r.Intn(7)) - 2
+		}
+		mem[o.Name] = buf
+	}
+	return k, params, mem
+}
+
+func (g *kgen) stmts(n int) []Stmt {
+	var out []Stmt
+	for i := 0; i < n && g.budget > 0; i++ {
+		g.budget--
+		out = append(out, g.stmt())
+	}
+	if len(out) == 0 {
+		out = append(out, g.storeStmt())
+	}
+	return out
+}
+
+func (g *kgen) stmt() Stmt {
+	switch c := g.r.Intn(10); {
+	case c < 3:
+		name := fmt.Sprintf("l%d", g.r.Intn(4))
+		s := Set(name, g.expr(2))
+		g.locals[name] = true
+		return s
+	case c < 6:
+		return g.storeStmt()
+	case c < 8:
+		// If: arms checked against independent snapshots, only common
+		// definitions persist — same rule as the validator.
+		cond := g.expr(2)
+		base := cloneSet(g.locals)
+		then := g.stmts(1 + g.r.Intn(2))
+		thenLocals := g.locals
+		g.locals = cloneSet(base)
+		els := g.stmts(1 + g.r.Intn(2))
+		elseLocals := g.locals
+		g.locals = base
+		for name := range thenLocals {
+			if elseLocals[name] {
+				g.locals[name] = true
+			}
+		}
+		return Cond(cond, then, els)
+	default:
+		if g.depth >= 3 {
+			return g.storeStmt()
+		}
+		iv := fmt.Sprintf("iv%d", g.nextIV) // unique: never shadows
+		g.nextIV++
+		lo := Expr(C(float64(g.r.Intn(2))))
+		hi := Expr(C(float64(g.r.Intn(6))))
+		if g.r.Intn(4) == 0 {
+			hi = P("n")
+		}
+		step := Expr(C(1))
+		switch g.r.Intn(12) {
+		case 0:
+			step = C(2)
+		case 1:
+			step = C(0) // non-positive step: runtime error parity
+		}
+		g.ivs = append(g.ivs, iv)
+		g.depth++
+		body := g.stmts(1 + g.r.Intn(3))
+		g.depth--
+		g.ivs = g.ivs[:len(g.ivs)-1]
+		// Loop-body definitions persist per the validator, even though a
+		// 0-trip execution never makes them: later reads exercise the
+		// undefined-local runtime error in both executors.
+		return &For{IV: iv, Lo: lo, Hi: hi, Step: step, Body: body}
+	}
+}
+
+func (g *kgen) storeStmt() Stmt {
+	o := g.objs[g.r.Intn(len(g.objs))]
+	return St(o.Name, g.idx(o.Len), g.expr(2))
+}
+
+// idx returns an index expression: usually clamped in-range via
+// mod-of-abs, sometimes raw so out-of-range errors get coverage.
+func (g *kgen) idx(length int) Expr {
+	if g.r.Intn(5) == 0 {
+		return g.expr(1)
+	}
+	return ModE(AbsE(g.expr(1)), C(float64(length)))
+}
+
+func (g *kgen) expr(depth int) Expr {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		return g.leaf()
+	}
+	switch g.r.Intn(8) {
+	case 0, 1, 2:
+		ops := []BinOp{Add, Sub, Mul, Div, Mod, Min, Max, Lt, Le, Gt, Ge, Eq, Ne}
+		return Bin{Op: ops[g.r.Intn(len(ops))], A: g.expr(depth - 1), B: g.expr(depth - 1)}
+	case 3:
+		ops := []UnOp{Abs, Neg, Sqrt, Floor}
+		return Un{Op: ops[g.r.Intn(len(ops))], A: g.expr(depth - 1)}
+	case 4:
+		return SelE(g.expr(depth-1), g.expr(depth-1), g.expr(depth-1))
+	case 5, 6:
+		o := g.objs[g.r.Intn(len(g.objs))]
+		return Ld(o.Name, g.idx(o.Len))
+	default:
+		return g.leaf()
+	}
+}
+
+func (g *kgen) leaf() Expr {
+	switch c := g.r.Intn(8); {
+	case c < 3:
+		return C(float64(g.r.Intn(9)) - 2)
+	case c < 5:
+		return P(fuzzParams[g.r.Intn(len(fuzzParams))])
+	case c < 7 && len(g.ivs) > 0:
+		return V(g.ivs[g.r.Intn(len(g.ivs))])
+	default:
+		var defined []string
+		for _, name := range []string{"l0", "l1", "l2", "l3"} {
+			if g.locals[name] {
+				defined = append(defined, name)
+			}
+		}
+		if len(defined) > 0 {
+			return L(defined[g.r.Intn(len(defined))])
+		}
+		return C(float64(g.r.Intn(5)))
+	}
+}
+
+// crossCheck runs one generated kernel through both executors (hooks off
+// and hooks on) and reports any divergence.
+func crossCheck(t *testing.T, seed int64) {
+	t.Helper()
+	k, params, mem := genKernel(seed)
+	if err := Validate(k); err != nil {
+		t.Fatalf("seed %d: generator produced invalid kernel: %v\n%s", seed, err, Format(k))
+	}
+	p, err := NewProgram(k)
+	if err != nil {
+		t.Fatalf("seed %d: compile: %v\n%s", seed, err, Format(k))
+	}
+
+	memI, memV := copyMem(mem), copyMem(mem)
+	cI, errI := Run(k, params, memI, nil)
+	cV, errV := p.Run(params, memV, nil)
+	diverge := func(stage, format string, args ...any) {
+		t.Fatalf("seed %d: %s: %s\nkernel:\n%s", seed, stage, fmt.Sprintf(format, args...), Format(k))
+	}
+	if (errI == nil) != (errV == nil) || (errI != nil && errI.Error() != errV.Error()) {
+		diverge("hooks off", "error parity: interp=%v vm=%v", errI, errV)
+	}
+	if errI == nil {
+		if !reflect.DeepEqual(cI, cV) {
+			diverge("hooks off", "counts: interp=%+v vm=%+v", cI, cV)
+		}
+		if !memBitsEqual(memI, memV) {
+			diverge("hooks off", "data: interp=%v vm=%v", memI, memV)
+		}
+	}
+
+	var logI, logV []hookEvent
+	memI, memV = copyMem(mem), copyMem(mem)
+	cI, errI = Run(k, params, memI, recordingHooks(&logI))
+	cV, errV = p.Run(params, memV, recordingHooks(&logV))
+	if (errI == nil) != (errV == nil) || (errI != nil && errI.Error() != errV.Error()) {
+		diverge("hooked", "error parity: interp=%v vm=%v", errI, errV)
+	}
+	if !reflect.DeepEqual(logI, logV) {
+		diverge("hooked", "event sequences: interp %d events, vm %d events", len(logI), len(logV))
+	}
+	if errI == nil {
+		if !reflect.DeepEqual(cI, cV) {
+			diverge("hooked", "counts: interp=%+v vm=%+v", cI, cV)
+		}
+		if !memBitsEqual(memI, memV) {
+			diverge("hooked", "data: interp=%v vm=%v", memI, memV)
+		}
+	}
+}
+
+// TestVMFuzzCorpus sweeps a fixed seed range on every test run, so the
+// cross-check runs in plain CI without -fuzz.
+func TestVMFuzzCorpus(t *testing.T) {
+	n := int64(500)
+	if testing.Short() {
+		n = 100
+	}
+	for seed := int64(0); seed < n; seed++ {
+		crossCheck(t, seed)
+	}
+}
+
+// FuzzVMvsInterp is the open-ended variant: go test -fuzz=FuzzVMvsInterp
+// explores seeds beyond the fixed corpus.
+func FuzzVMvsInterp(f *testing.F) {
+	for seed := int64(0); seed < 16; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		crossCheck(t, seed)
+	})
+}

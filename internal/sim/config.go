@@ -10,6 +10,8 @@ package sim
 import (
 	"distda/internal/cgra"
 	"distda/internal/compiler"
+	"distda/internal/engine"
+	"distda/internal/ir"
 	"distda/internal/profile"
 	"distda/internal/trace"
 )
@@ -82,12 +84,27 @@ type Config struct {
 	// Profilers from parallel runs fold together with Profiler.Merge.
 	Profile *profile.Profiler
 
+	// EngineMode selects the engine scheduling strategy for every offload
+	// launch: adaptive (the zero value and default; switches between dense
+	// edge-stepping and event-driven fast-forward by observed wake
+	// density), pure event-driven, or the naive one-tick-at-a-time
+	// reference. Results are bit-identical across all three (the
+	// differential tests enforce it).
+	EngineMode engine.Mode
+
 	// NaiveEngine drives every offload launch with the engine's reference
 	// one-tick-at-a-time scheduler instead of the event-driven fast-forward
 	// one. Results are bit-identical either way (the differential tests
 	// enforce it); this exists for those tests and for wall-clock
-	// comparisons.
+	// comparisons. It overrides EngineMode when set.
 	NaiveEngine bool
+
+	// Program, when non-nil and compiled from this run's kernel, is the
+	// bytecode program used for reference validation (ValidateEvery)
+	// instead of compiling one on the fly. Populated by the experiment
+	// matrix from the artifact cache; runs with a nil or mismatched
+	// Program fall back to the process-wide ir.ProgramFor cache.
+	Program *ir.Program
 
 	// Cancel, when non-nil, interrupts the run when closed: the host stops
 	// at the next loop boundary and Run returns an error wrapping

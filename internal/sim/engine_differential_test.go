@@ -4,38 +4,44 @@ import (
 	"reflect"
 	"testing"
 
+	"distda/internal/engine"
 	"distda/internal/workloads"
 )
 
 // TestEngineSchedulerDifferential runs every workload under every paper
-// configuration twice — once with the reference one-tick-at-a-time engine
-// scheduler and once with the event-driven fast-forward scheduler — and
-// requires bit-identical results. The fast scheduler is an optimization
-// only: every counter, every energy figure and every cycle count must
-// match the naive loop exactly.
+// configuration once per engine scheduling mode — the reference
+// one-tick-at-a-time loop, the event-driven fast-forward loop, and the
+// default adaptive loop — and requires bit-identical results. The fast
+// schedulers are optimizations only: every counter, every energy figure
+// and every cycle count must match the naive loop exactly.
 func TestEngineSchedulerDifferential(t *testing.T) {
 	ws := workloads.All(workloads.ScaleTest)
 	ws = append(ws, workloads.SpMV(workloads.ScaleTest))
 	for _, w := range ws {
-		// Generate the input once per workload so both schedulers see
+		// Generate the input once per workload so every scheduler sees
 		// identical data (workload generators share a seeded rng, so
 		// generation order is observable).
 		data := w.NewData()
 		for _, cfg := range AllPaperConfigs() {
 			naiveCfg := cfg
-			naiveCfg.NaiveEngine = true
+			naiveCfg.EngineMode = engine.ModeNaive
 			nRes, nErr := Run(w.Kernel, w.Params, copyData(data), naiveCfg)
-			fastCfg := cfg
-			fastCfg.NaiveEngine = false
-			fRes, fErr := Run(w.Kernel, w.Params, copyData(data), fastCfg)
-			if nErr != nil || fErr != nil {
-				t.Fatalf("%s on %s: naive err=%v fast err=%v", w.Name, cfg.Name, nErr, fErr)
+			if nErr != nil {
+				t.Fatalf("%s on %s: naive err=%v", w.Name, cfg.Name, nErr)
 			}
-			// Config echoes the scheduler choice nowhere, so the full
-			// result structs must agree field for field.
-			if !reflect.DeepEqual(nRes, fRes) {
-				t.Errorf("%s on %s: results diverge between schedulers:\nnaive: %+v\nfast:  %+v",
-					w.Name, cfg.Name, nRes, fRes)
+			for _, mode := range []engine.Mode{engine.ModeEvent, engine.ModeAdaptive} {
+				fastCfg := cfg
+				fastCfg.EngineMode = mode
+				fRes, fErr := Run(w.Kernel, w.Params, copyData(data), fastCfg)
+				if fErr != nil {
+					t.Fatalf("%s on %s (%s): err=%v", w.Name, cfg.Name, mode, fErr)
+				}
+				// Config echoes the scheduler choice nowhere, so the full
+				// result structs must agree field for field.
+				if !reflect.DeepEqual(nRes, fRes) {
+					t.Errorf("%s on %s: results diverge between naive and %s:\nnaive: %+v\n%s: %+v",
+						w.Name, cfg.Name, mode, nRes, mode, fRes)
+				}
 			}
 		}
 	}
@@ -53,16 +59,46 @@ func TestEngineSchedulerDifferentialThreads(t *testing.T) {
 		cfg.NoStreams = true
 		for _, threads := range []int{1, 4} {
 			naiveCfg := cfg
-			naiveCfg.NaiveEngine = true
+			naiveCfg.EngineMode = engine.ModeNaive
 			nRes, nErr := RunThreads(w.Kernel, w.Params, copyData(data), naiveCfg, threads)
-			fRes, fErr := RunThreads(w.Kernel, w.Params, copyData(data), cfg, threads)
-			if nErr != nil || fErr != nil {
-				t.Fatalf("%s x%d: naive err=%v fast err=%v", w.Name, threads, nErr, fErr)
+			if nErr != nil {
+				t.Fatalf("%s x%d: naive err=%v", w.Name, threads, nErr)
 			}
-			if !reflect.DeepEqual(nRes, fRes) {
-				t.Errorf("%s x%d: results diverge between schedulers:\nnaive: %+v\nfast:  %+v",
-					w.Name, threads, nRes, fRes)
+			for _, mode := range []engine.Mode{engine.ModeEvent, engine.ModeAdaptive} {
+				fastCfg := cfg
+				fastCfg.EngineMode = mode
+				fRes, fErr := RunThreads(w.Kernel, w.Params, copyData(data), fastCfg, threads)
+				if fErr != nil {
+					t.Fatalf("%s x%d (%s): err=%v", w.Name, threads, mode, fErr)
+				}
+				if !reflect.DeepEqual(nRes, fRes) {
+					t.Errorf("%s x%d: results diverge between naive and %s:\nnaive: %+v\n%s: %+v",
+						w.Name, threads, mode, nRes, mode, fRes)
+				}
 			}
 		}
+	}
+}
+
+// TestNaiveEngineFlagStillOverrides keeps the legacy boolean working: a
+// config asking for the adaptive mode but with NaiveEngine set must run
+// the reference scheduler (the two knobs coexist during migration).
+func TestNaiveEngineFlagStillOverrides(t *testing.T) {
+	w := workloads.Pathfinder(workloads.ScaleTest)
+	data := w.NewData()
+	cfg := DistDAIO()
+	cfg.EngineMode = engine.ModeAdaptive
+	cfg.NaiveEngine = true
+	nRes, err := Run(w.Kernel, w.Params, copyData(data), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.NaiveEngine = false
+	aRes, err := Run(w.Kernel, w.Params, copyData(data), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(nRes, aRes) {
+		t.Error("results diverge between override and adaptive modes")
 	}
 }

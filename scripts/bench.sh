@@ -4,9 +4,15 @@
 # end of docs/results-bench.txt). POSIX sh + awk only, no extra tooling.
 #
 # Usage:
-#   sh scripts/bench.sh                # default: -benchtime=1x, all packages
-#   BENCHTIME=5x sh scripts/bench.sh   # more iterations for stable numbers
+#   sh scripts/bench.sh                 # default: 5 samples of -benchtime=1x
+#   SAMPLES=10 sh scripts/bench.sh      # more samples for tighter stddev
+#   BENCHTIME=5x sh scripts/bench.sh    # more iterations per sample
 #   OUT=custom.json sh scripts/bench.sh
+#
+# Each benchmark runs SAMPLES times (go test -count); the snapshot records
+# the per-benchmark mean, sample standard deviation, min and max of ns/op,
+# so a reader can tell a real regression from scheduler noise without
+# rerunning. Schema distda-bench/v2 (v1 recorded a single sample).
 #
 # The date in the default filename is UTC (YYYY-MM-DD); rerunning on the same
 # day overwrites that day's snapshot, which is the intent — one file per day,
@@ -16,15 +22,18 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BENCHTIME=${BENCHTIME:-1x}
+SAMPLES=${SAMPLES:-5}
 DATE=$(date -u +%Y-%m-%d)
 OUT=${OUT:-BENCH_${DATE}.json}
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
-echo "== go test -run=NONE -bench=. -benchtime=$BENCHTIME ./..." >&2
-# -run=NONE skips unit tests; benchmarks still run. Benchmark failures must
-# fail the script, so no `|| true`.
-go test -run=NONE -bench=. -benchtime="$BENCHTIME" ./... > "$RAW"
+echo "== go test -p 1 -run=NONE -bench=. -benchtime=$BENCHTIME -count=$SAMPLES ./..." >&2
+# -run=NONE skips unit tests; benchmarks still run. -p 1 serializes package
+# test binaries: by default go test runs several packages concurrently,
+# which corrupts wall-clock benchmark numbers. Benchmark failures must fail
+# the script, so no `|| true`.
+go test -p 1 -run=NONE -bench=. -benchtime="$BENCHTIME" -count="$SAMPLES" ./... > "$RAW"
 
 GOVERSION=$(go env GOVERSION)
 GOOS=$(go env GOOS)
@@ -34,20 +43,10 @@ STAMP=$(date -u +%Y-%m-%dT%H:%M:%SZ)
 # Parse the standard benchmark output:
 #   pkg: distda/internal/engine
 #   BenchmarkName-8  5  123456 ns/op [ 17 B/op  2 allocs/op ]
-# into one JSON object per benchmark, tagged with its package.
+# repeated SAMPLES times per benchmark, into one JSON object per benchmark
+# with mean/stddev/min/max over the samples, tagged with its package.
 awk -v benchtime="$BENCHTIME" -v stamp="$STAMP" \
     -v goversion="$GOVERSION" -v goos="$GOOS" -v goarch="$GOARCH" '
-BEGIN {
-    printf "{\n"
-    printf "  \"schema\": \"distda-bench/v1\",\n"
-    printf "  \"date\": \"%s\",\n", stamp
-    printf "  \"go\": \"%s\",\n", goversion
-    printf "  \"goos\": \"%s\",\n", goos
-    printf "  \"goarch\": \"%s\",\n", goarch
-    printf "  \"benchtime\": \"%s\",\n", benchtime
-    printf "  \"benchmarks\": ["
-    n = 0
-}
 /^pkg: / { pkg = $2; next }
 /^Benchmark/ && NF >= 4 && $4 == "ns/op" {
     name = $1
@@ -56,18 +55,49 @@ BEGIN {
         procs = substr(name, RSTART + 1) + 0
         name = substr(name, 1, RSTART - 1)
     }
-    if (n++) printf ","
-    printf "\n    {\"package\": \"%s\", \"name\": \"%s\", \"procs\": %d, \"iterations\": %s, \"ns_per_op\": %s", \
-        pkg, name, procs, $2, $3
+    key = pkg SUBSEP name
+    if (!(key in count)) { order[++nkeys] = key; pkgof[key] = pkg; nameof[key] = name; procsof[key] = procs }
+    count[key]++
+    ns = $3 + 0
+    sum[key] += ns
+    sumsq[key] += ns * ns
+    if (count[key] == 1 || ns < minv[key]) minv[key] = ns
+    if (count[key] == 1 || ns > maxv[key]) maxv[key] = ns
     for (i = 5; i + 1 <= NF; i += 2) {
-        if ($(i + 1) == "B/op")      printf ", \"bytes_per_op\": %s", $i
-        if ($(i + 1) == "allocs/op") printf ", \"allocs_per_op\": %s", $i
+        if ($(i + 1) == "B/op")      { bsum[key] += $i; bn[key]++ }
+        if ($(i + 1) == "allocs/op") { asum[key] += $i; an[key]++ }
     }
-    printf "}"
+    next
 }
 END {
+    printf "{\n"
+    printf "  \"schema\": \"distda-bench/v2\",\n"
+    printf "  \"date\": \"%s\",\n", stamp
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"goos\": \"%s\",\n", goos
+    printf "  \"goarch\": \"%s\",\n", goarch
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"benchmarks\": ["
+    for (j = 1; j <= nkeys; j++) {
+        key = order[j]
+        n = count[key]
+        mean = sum[key] / n
+        sd = 0
+        if (n > 1) {
+            var = (sumsq[key] - sum[key] * sum[key] / n) / (n - 1)
+            if (var > 0) sd = sqrt(var)
+        }
+        if (j > 1) printf ","
+        printf "\n    {\"package\": \"%s\", \"name\": \"%s\", \"procs\": %d, \"samples\": %d", \
+            pkgof[key], nameof[key], procsof[key], n
+        printf ", \"ns_per_op\": %.1f, \"ns_stddev\": %.1f, \"ns_min\": %.1f, \"ns_max\": %.1f", \
+            mean, sd, minv[key], maxv[key]
+        if (bn[key]) printf ", \"bytes_per_op\": %.1f", bsum[key] / bn[key]
+        if (an[key]) printf ", \"allocs_per_op\": %.1f", asum[key] / an[key]
+        printf "}"
+    }
     printf "\n  ]\n}\n"
 }' "$RAW" > "$OUT"
 
 COUNT=$(grep -c '"name"' "$OUT" || true)
-echo "bench: wrote $COUNT benchmark(s) to $OUT" >&2
+echo "bench: wrote $COUNT benchmark(s) x $SAMPLES sample(s) to $OUT" >&2

@@ -45,6 +45,21 @@ if [ -n "$viol" ]; then
     exit 1
 fi
 
+echo "== no tree-walk ir.Run on non-test hot paths"
+# The bytecode VM (ir.Program.Run, via ir.ProgramFor / the artifact program
+# cache) replaced the tree-walk interpreter everywhere results are produced;
+# ir.Run survives as the reference semantics for differential tests only.
+# Non-test code outside internal/ir must not call it, or the hot paths
+# silently regress to the slow executor.
+viol=$(grep -rn 'ir\.Run(' cmd internal examples --include='*.go' \
+    | grep -v '^internal/ir/' \
+    | grep -v '_test\.go:' || true)
+if [ -n "$viol" ]; then
+    echo "tree-walk ir.Run outside internal/ir or tests (use ir.ProgramFor(k).Run):" >&2
+    echo "$viol" >&2
+    exit 1
+fi
+
 echo "== gofmt -l"
 fmt=$(gofmt -l cmd internal examples 2>/dev/null || gofmt -l cmd internal)
 if [ -n "$fmt" ]; then
