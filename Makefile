@@ -1,6 +1,6 @@
 # Convenience targets; the source of truth for the gate is scripts/verify.sh.
 
-.PHONY: build test vet race fmt verify bench clean-cache
+.PHONY: build test vet race fmt verify bench serve serve-smoke clean-cache
 
 build:
 	go build ./...
@@ -12,7 +12,7 @@ vet:
 	go vet ./...
 
 race:
-	go test -race ./internal/exp/... ./internal/sim/...
+	go test -race ./internal/exp/... ./internal/sim/... ./internal/serve/...
 
 fmt:
 	gofmt -l cmd internal examples
@@ -20,6 +20,16 @@ fmt:
 # The full pre-merge gate: build + test + vet + race + gofmt.
 verify:
 	sh scripts/verify.sh
+
+# Run the simulation-as-a-service job server on localhost:8080 with the
+# default on-disk caches (see docs/SERVING.md for the API).
+serve:
+	go run ./cmd/distda-serve -addr localhost:8080 -cache-dir .distda-cache -state-dir .distda-serve
+
+# End-to-end smoke test: start a server, submit jobs over HTTP, assert the
+# served bytes match the batch CLIs.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # Runs every benchmark SAMPLES times (default 5) and records mean/stddev as
 # BENCH_<date>.json (schema: docs/results-bench.txt). SAMPLES=10 and/or

@@ -11,6 +11,7 @@
 package distda_test
 
 import (
+	"context"
 	"os"
 	"runtime"
 	"sync"
@@ -43,7 +44,7 @@ var (
 func sharedMatrix(b *testing.B) *exp.Matrix {
 	b.Helper()
 	matrixOnce.Do(func() {
-		matrix, matrixErr = exp.BuildMatrix(benchScale())
+		matrix, matrixErr = exp.Build(context.Background(), exp.Options{Scale: benchScale()})
 	})
 	if matrixErr != nil {
 		b.Fatal(matrixErr)
@@ -65,7 +66,7 @@ func benchReproMatrix(b *testing.B, workers int) {
 	scale := benchScale()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.BuildMatrixParallel(scale, workers); err != nil {
+		if _, err := exp.Build(context.Background(), exp.Options{Scale: scale, Workers: workers}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,10 +27,21 @@ func main() {
 	showSrc := flag.Bool("src", false, "print the kernel source before the compiler artifacts")
 	profileKeys := flag.Bool("profile-keys", false, "print the folded-stack key space (kernel;region keys and per-accel component labels) a profiled run would emit, then exit")
 	scaleName := flag.String("scale", "bench", "input scale: test, bench, paper")
+	httpAddr := flag.String("http", "", "serve live introspection (expvar, pprof) on this address while inspecting, e.g. localhost:6060")
 	flag.Parse()
 	if *name == "" {
 		flag.Usage()
 		os.Exit(cliutil.ExitUsage)
+	}
+	if *httpAddr != "" {
+		intro, err := cliutil.ServeIntrospection(*httpAddr, nil)
+		if err != nil {
+			fatal(err)
+		}
+		// Graceful stop on the normal exit path; error paths os.Exit and
+		// tear the listener down with the process.
+		defer intro.Shutdown(context.Background())
+		fmt.Fprintf(os.Stderr, "distda-inspect: introspection on http://%s (/debug/vars, /debug/pprof/)\n", intro.Addr())
 	}
 	scale, err := cliutil.ParseScale(*scaleName)
 	if err != nil {

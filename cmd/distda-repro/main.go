@@ -28,24 +28,8 @@ import (
 	"distda/internal/engine"
 	"distda/internal/exp"
 	"distda/internal/profile"
-	"distda/internal/report"
 	"distda/internal/trace"
-	"distda/internal/workloads"
 )
-
-var (
-	validFigs = []string{"7", "8", "9", "10", "11a", "11b", "12a", "12b", "13", "14"}
-	validTabs = []string{"3", "4", "5", "6"}
-)
-
-func contains(set []string, v string) bool {
-	for _, s := range set {
-		if s == v {
-			return true
-		}
-	}
-	return false
-}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -94,28 +78,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
+	sel := exp.Selection{
+		Figs: figs, Tabs: tabs,
+		Headline: *headline, Params: *params, Sens: *sens,
+		Area: *area, OffChip: *offchip, Ablations: *ablations,
+	}
 	if *all {
-		figs = append(cliutil.StringList{}, validFigs...)
-		tabs = append(cliutil.StringList{}, validTabs...)
-		*headline = true
-		*sens = true
-		*area = true
-		*ablations = true
-		*offchip = true
+		sel.SetAll()
 	}
 	// Validate every selection up front: a typo must not cost a matrix
 	// build, and must not leave earlier tables on stdout.
-	for _, f := range figs {
-		if !contains(validFigs, f) {
-			return fail(fmt.Errorf("unknown figure %q (want one of %v)", f, validFigs))
-		}
+	if err := sel.Validate(); err != nil {
+		return fail(err)
 	}
-	for _, t := range tabs {
-		if !contains(validTabs, t) {
-			return fail(fmt.Errorf("unknown table %q (want one of %v)", t, validTabs))
-		}
-	}
-	if len(figs) == 0 && len(tabs) == 0 && !*headline && !*ablations && !*sens && !*params && !*area && !*offchip {
+	if sel.Empty() {
 		fs.Usage()
 		return cliutil.ExitUsage
 	}
@@ -174,11 +150,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// events from exp.Build; expvar and pprof expose the host process.
 	if *httpAddr != "" {
 		prog := profile.NewProgress(0)
-		bound, err := cliutil.ServeIntrospection(*httpAddr, prog)
+		intro, err := cliutil.ServeIntrospection(*httpAddr, prog)
 		if err != nil {
 			return fail(err)
 		}
-		fmt.Fprintf(stderr, "distda-repro: introspection on http://%s (/progress, /debug/vars, /debug/pprof/)\n", bound)
+		defer intro.Shutdown(context.Background())
+		fmt.Fprintf(stderr, "distda-repro: introspection on http://%s (/progress, /debug/vars, /debug/pprof/)\n", intro.Addr())
 		buildOpts.Progress = func(ev exp.ProgressEvent) {
 			prog.SetTotal(ev.Total)
 			prog.Record(profile.CellStatus{
@@ -232,98 +209,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return matrix
 	}
 
-	if *params {
-		fmt.Fprintln(stdout, exp.Tab3Params().Render())
-	}
-	for _, tab := range tabs {
-		switch tab {
-		case "3":
-			fmt.Fprintln(stdout, exp.Tab3Params().Render())
-		case "4":
-			m := needMatrix()
-			if m == nil {
-				return fail(buildErr)
-			}
-			fmt.Fprintln(stdout, m.Tab4Workloads().Render())
-		case "5":
-			m := needMatrix()
-			if m == nil {
-				return fail(buildErr)
-			}
-			fmt.Fprintln(stdout, m.Tab5MechanismCoverage().Render())
-		case "6":
-			m := needMatrix()
-			if m == nil {
-				return fail(buildErr)
-			}
-			t, err := m.Tab6OffloadCharacteristics()
-			if err != nil {
-				return fail(err)
-			}
-			fmt.Fprintln(stdout, t.Render())
+	// All selected tables and figures render through exp.RenderSelection —
+	// the same entry point the distda-serve job server uses — so the bytes
+	// on stdout for a given selection are identical across both front ends.
+	if err := exp.RenderSelection(stdout, scale, sel, func() (*exp.Matrix, error) {
+		if m := needMatrix(); m != nil {
+			return m, nil
 		}
-	}
-	for _, fig := range figs {
-		var render func() (string, error)
-		switch fig {
-		case "7":
-			render = matrixTable(needMatrix, &buildErr, (*exp.Matrix).Fig7EnergyEfficiency)
-		case "8":
-			render = matrixTable(needMatrix, &buildErr, (*exp.Matrix).Fig8CacheAccesses)
-		case "9":
-			render = matrixTable(needMatrix, &buildErr, (*exp.Matrix).Fig9AccessDistribution)
-		case "10":
-			render = matrixTable(needMatrix, &buildErr, (*exp.Matrix).Fig10NoCTraffic)
-		case "11a":
-			render = matrixTable(needMatrix, &buildErr, (*exp.Matrix).Fig11aIPC)
-		case "11b":
-			render = matrixTable(needMatrix, &buildErr, (*exp.Matrix).Fig11bSpeedup)
-		case "12a":
-			render = scaleTable(scale, exp.Fig12aCaseStudies)
-		case "12b":
-			render = scaleTable(scale, exp.Fig12bMultithread)
-		case "13":
-			render = scaleTable(scale, exp.Fig13Clocking)
-		case "14":
-			render = scaleTable(scale, exp.Fig14SoftwareOpt)
-		}
-		out, err := render()
-		if err != nil {
-			return fail(err)
-		}
-		fmt.Fprintln(stdout, out)
-	}
-	if *headline {
-		m := needMatrix()
-		if m == nil {
-			return fail(buildErr)
-		}
-		fmt.Fprintln(stdout, m.Headline().Render())
-		fmt.Fprintln(stdout, m.DataMovement().Render())
-	}
-	if *sens {
-		t, err := exp.SensWorkingSet(scale)
-		if err != nil {
-			return fail(err)
-		}
-		fmt.Fprintln(stdout, t.Render())
-	}
-	if *area {
-		fmt.Fprintln(stdout, exp.Tab3Area().Render())
-	}
-	if *offchip {
-		t, err := exp.OffChipExtension(scale)
-		if err != nil {
-			return fail(err)
-		}
-		fmt.Fprintln(stdout, t.Render())
-	}
-	if *ablations {
-		t, err := exp.Ablations(scale)
-		if err != nil {
-			return fail(err)
-		}
-		fmt.Fprintln(stdout, t.Render())
+		return nil, buildErr
+	}); err != nil {
+		return fail(err)
 	}
 	if met != nil {
 		if matrix == nil {
@@ -357,28 +252,4 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cliutil.ExitDegraded
 	}
 	return cliutil.ExitOK
-}
-
-// matrixTable adapts a Matrix figure method into a deferred renderer that
-// builds the matrix on demand.
-func matrixTable(need func() *exp.Matrix, buildErr *error, f func(*exp.Matrix) *report.Table) func() (string, error) {
-	return func() (string, error) {
-		m := need()
-		if m == nil {
-			return "", *buildErr
-		}
-		return f(m).Render(), nil
-	}
-}
-
-// scaleTable adapts a scale-parameterized experiment into a deferred
-// renderer.
-func scaleTable(scale workloads.Scale, f func(workloads.Scale) (*report.Table, error)) func() (string, error) {
-	return func() (string, error) {
-		t, err := f(scale)
-		if err != nil {
-			return "", err
-		}
-		return t.Render(), nil
-	}
 }

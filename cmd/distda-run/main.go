@@ -12,16 +12,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"sort"
 
 	"distda/internal/artifact"
 	"distda/internal/cliutil"
 	"distda/internal/compiler"
-	"distda/internal/core"
 	"distda/internal/engine"
 	"distda/internal/profile"
 	"distda/internal/sim"
@@ -120,11 +119,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cfg.Profile = prof
 	}
 	if *httpAddr != "" {
-		bound, err := cliutil.ServeIntrospection(*httpAddr, nil)
+		intro, err := cliutil.ServeIntrospection(*httpAddr, nil)
 		if err != nil {
 			return fail(err)
 		}
-		fmt.Fprintf(stderr, "distda-run: introspection on http://%s (/debug/vars, /debug/pprof/)\n", bound)
+		defer intro.Shutdown(context.Background())
+		fmt.Fprintf(stderr, "distda-run: introspection on http://%s (/debug/vars, /debug/pprof/)\n", intro.Addr())
 	}
 
 	// Compile through the content-addressed cache (disk-backed under
@@ -152,7 +152,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
-	print(stdout, res)
+	cliutil.FprintResult(stdout, res)
 	if met != nil {
 		fmt.Fprintln(stdout)
 		fmt.Fprintln(stdout, met.Table().Render())
@@ -182,38 +182,4 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "distda-run: %s -> %s\n", tr.Summary(), *traceOut)
 	}
 	return cliutil.ExitOK
-}
-
-func print(w io.Writer, r *sim.Result) {
-	fmt.Fprintf(w, "workload      %s\n", r.Workload)
-	fmt.Fprintf(w, "config        %s\n", r.Config)
-	fmt.Fprintf(w, "validated     %v\n", r.Validated)
-	fmt.Fprintf(w, "cycles        %d (2 GHz host clock)\n", r.Cycles)
-	fmt.Fprintf(w, "instructions  %d host + %d accel, IPC %.2f\n", r.HostInstr, r.AccelOps, r.IPC())
-	fmt.Fprintf(w, "mem ops       %d (%.3f per cycle)\n", r.MemOps, r.MemOpRate())
-	fmt.Fprintf(w, "energy        %.3f uJ\n", r.EnergyPJ/1e6)
-	cats := make([]string, 0, len(r.EnergyByCat))
-	for c := range r.EnergyByCat {
-		cats = append(cats, c)
-	}
-	sort.Strings(cats)
-	for _, c := range cats {
-		fmt.Fprintf(w, "  %-10s  %10.3f uJ\n", c, r.EnergyByCat[c]/1e6)
-	}
-	fmt.Fprintf(w, "cache acc     L1 %d, L2 %d, L3 %d, DRAM %d\n", r.CacheL1, r.CacheL2, r.CacheL3, r.DRAM)
-	fmt.Fprintf(w, "data moved    %d bytes\n", r.DataMovedBytes)
-	fmt.Fprintf(w, "accel traffic intra %d, D-A %d, A-A %d bytes\n", r.IntraBytes, r.DABytes, r.AABytes)
-	fmt.Fprintf(w, "NoC bytes     ctrl %d, data %d, acc_ctrl %d, acc_data %d\n",
-		r.NoCBytes["ctrl"], r.NoCBytes["data"], r.NoCBytes["acc_ctrl"], r.NoCBytes["acc_data"])
-	if r.Launches > 0 {
-		fmt.Fprintf(w, "offloads      %d launches, %.1f buffers avg, %%init %.2f\n",
-			r.Launches, r.AvgBuffers, r.InitOverheadPct())
-		fmt.Fprintf(w, "mechanisms   ")
-		for _, in := range core.Intrinsics() {
-			if r.MMIO.Used(in) {
-				fmt.Fprintf(w, " %s", in)
-			}
-		}
-		fmt.Fprintln(w)
-	}
 }

@@ -104,6 +104,11 @@ type Cache struct {
 	progByKey  map[string]*list.Element // value: *progEntry
 	progFlight map[string]*progFlight
 	progStats  ProgramStats
+
+	// Result side (see result.go): same policy, separate namespace.
+	resultLL    *list.List               // front = most recently used
+	resultByKey map[string]*list.Element // value: *resultEntry
+	resultStats ResultStats
 }
 
 type entry struct {
@@ -124,14 +129,16 @@ func New(cfg Config) *Cache {
 		max = DefaultMaxEntries
 	}
 	return &Cache{
-		max:        max,
-		dir:        cfg.Dir,
-		ll:         list.New(),
-		byKey:      map[string]*list.Element{},
-		flight:     map[string]*flight{},
-		progLL:     list.New(),
-		progByKey:  map[string]*list.Element{},
-		progFlight: map[string]*progFlight{},
+		max:         max,
+		dir:         cfg.Dir,
+		ll:          list.New(),
+		byKey:       map[string]*list.Element{},
+		flight:      map[string]*flight{},
+		progLL:      list.New(),
+		progByKey:   map[string]*list.Element{},
+		progFlight:  map[string]*progFlight{},
+		resultLL:    list.New(),
+		resultByKey: map[string]*list.Element{},
 	}
 }
 

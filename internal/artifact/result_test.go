@@ -1,0 +1,136 @@
+package artifact
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestResultKeyDeterministicAndDelimited(t *testing.T) {
+	a := ResultKey("run", "fdtd-2d", "Dist-DA-F")
+	b := ResultKey("run", "fdtd-2d", "Dist-DA-F")
+	if a != b {
+		t.Fatalf("same parts, different keys: %s vs %s", a, b)
+	}
+	if len(a) != 64 {
+		t.Fatalf("key length = %d, want 64 hex chars", len(a))
+	}
+	// Length-prefixing must keep adjacent parts from bleeding into each
+	// other: ("ab","c") and ("a","bc") concatenate identically.
+	if ResultKey("ab", "c") == ResultKey("a", "bc") {
+		t.Error("part boundaries not delimited")
+	}
+	if ResultKey("x") == ResultKey("x", "") {
+		t.Error("empty trailing part not distinguished")
+	}
+}
+
+func TestResultStoreMemoryRoundTrip(t *testing.T) {
+	c := New(Config{})
+	key := ResultKey("run", "a")
+	if _, ok := c.GetResult(key); ok {
+		t.Fatal("hit on empty cache")
+	}
+	body := []byte("workload fdtd-2d\ncycles 42\n")
+	if err := c.PutResult(key, map[string]string{"kind": "run"}, body); err != nil {
+		t.Fatal(err)
+	}
+	env, ok := c.GetResult(key)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if !bytes.Equal(env.Body, body) || env.Meta["kind"] != "run" {
+		t.Fatalf("envelope = %+v", env)
+	}
+	// The stored body is a copy: mutating the caller's slice must not
+	// reach the envelope.
+	body[0] = 'X'
+	env2, _ := c.GetResult(key)
+	if env2.Body[0] == 'X' {
+		t.Error("PutResult aliased the caller's body slice")
+	}
+	st := c.ResultStats()
+	if st.Requests != 3 || st.MemHits != 2 || st.Misses != 1 || st.Stores != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestResultStoreDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	key := ResultKey("matrix", "test", "figs=7")
+	body := []byte("Fig. 7 table bytes")
+
+	c1 := New(Config{Dir: dir})
+	if err := c1.PutResult(key, map[string]string{"b": "2", "a": "1"}, body); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, key+".result.gob")); err != nil {
+		t.Fatalf("result file not written: %v", err)
+	}
+
+	// A fresh cache (new process) serves the envelope from disk.
+	c2 := New(Config{Dir: dir})
+	env, ok := c2.GetResult(key)
+	if !ok {
+		t.Fatal("disk miss in fresh cache")
+	}
+	if !bytes.Equal(env.Body, body) || env.Meta["a"] != "1" || env.Meta["b"] != "2" {
+		t.Fatalf("envelope = %+v", env)
+	}
+	st := c2.ResultStats()
+	if st.DiskHits != 1 {
+		t.Errorf("stats = %+v, want 1 disk hit", st)
+	}
+	// Promoted to memory: the second Get is a mem hit.
+	if _, ok := c2.GetResult(key); !ok {
+		t.Fatal("miss after disk promotion")
+	}
+	if st := c2.ResultStats(); st.MemHits != 1 {
+		t.Errorf("stats = %+v, want 1 mem hit", st)
+	}
+}
+
+func TestResultStoreCorruptDiskEntryMisses(t *testing.T) {
+	dir := t.TempDir()
+	key := ResultKey("run", "x")
+	path := filepath.Join(dir, key+".result.gob")
+	if err := os.WriteFile(path, []byte("not gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{Dir: dir})
+	if _, ok := c.GetResult(key); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	st := c.ResultStats()
+	if st.Errors != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 error and 1 miss", st)
+	}
+	// Overwriting repairs the entry.
+	if err := c.PutResult(key, nil, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	c2 := New(Config{Dir: dir})
+	if env, ok := c2.GetResult(key); !ok || string(env.Body) != "fresh" {
+		t.Fatalf("repair failed: %v %v", env, ok)
+	}
+}
+
+func TestResultStoreLRUEviction(t *testing.T) {
+	c := New(Config{MaxEntries: 2})
+	k1, k2, k3 := ResultKey("1"), ResultKey("2"), ResultKey("3")
+	for _, k := range []string{k1, k2, k3} {
+		if err := c.PutResult(k, nil, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := c.GetResult(k1); ok {
+		t.Error("LRU tail survived eviction")
+	}
+	if _, ok := c.GetResult(k3); !ok {
+		t.Error("most recent entry evicted")
+	}
+	if st := c.ResultStats(); st.Evicted != 1 {
+		t.Errorf("stats = %+v, want 1 eviction", st)
+	}
+}

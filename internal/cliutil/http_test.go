@@ -1,6 +1,7 @@
 package cliutil
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -69,10 +70,11 @@ func TestIntrospectionMuxDebugRoutes(t *testing.T) {
 }
 
 func TestServeIntrospectionBindsEphemeralPort(t *testing.T) {
-	bound, err := ServeIntrospection("127.0.0.1:0", nil)
+	intro, err := ServeIntrospection("127.0.0.1:0", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	bound := intro.Addr()
 	if !strings.HasPrefix(bound, "127.0.0.1:") || strings.HasSuffix(bound, ":0") {
 		t.Fatalf("bound address = %q, want resolved 127.0.0.1 port", bound)
 	}
@@ -83,6 +85,27 @@ func TestServeIntrospectionBindsEphemeralPort(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("status = %d", resp.StatusCode)
+	}
+
+	// Graceful shutdown: the listener closes and further requests fail; a
+	// second Shutdown (and a nil handle) are no-ops.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := intro.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + bound + "/progress"); err == nil {
+		t.Error("request after Shutdown succeeded, want connection error")
+	}
+	if err := intro.Shutdown(ctx); err != nil {
+		t.Errorf("second Shutdown: %v", err)
+	}
+	var nilIntro *Introspection
+	if err := nilIntro.Shutdown(ctx); err != nil {
+		t.Errorf("nil Shutdown: %v", err)
+	}
+	if nilIntro.Addr() != "" {
+		t.Errorf("nil Addr = %q", nilIntro.Addr())
 	}
 }
 

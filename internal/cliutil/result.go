@@ -1,0 +1,49 @@
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"distda/internal/core"
+	"distda/internal/sim"
+)
+
+// FprintResult writes the human-readable single-run result report — cycles,
+// energy breakdown, traffic categories, interface mechanism usage and
+// validation status. It is the one renderer for single-run output: both
+// distda-run and the distda-serve job server print through it, so a served
+// "run" job's result is byte-identical to the equivalent distda-run stdout.
+func FprintResult(w io.Writer, r *sim.Result) {
+	fmt.Fprintf(w, "workload      %s\n", r.Workload)
+	fmt.Fprintf(w, "config        %s\n", r.Config)
+	fmt.Fprintf(w, "validated     %v\n", r.Validated)
+	fmt.Fprintf(w, "cycles        %d (2 GHz host clock)\n", r.Cycles)
+	fmt.Fprintf(w, "instructions  %d host + %d accel, IPC %.2f\n", r.HostInstr, r.AccelOps, r.IPC())
+	fmt.Fprintf(w, "mem ops       %d (%.3f per cycle)\n", r.MemOps, r.MemOpRate())
+	fmt.Fprintf(w, "energy        %.3f uJ\n", r.EnergyPJ/1e6)
+	cats := make([]string, 0, len(r.EnergyByCat))
+	for c := range r.EnergyByCat {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	for _, c := range cats {
+		fmt.Fprintf(w, "  %-10s  %10.3f uJ\n", c, r.EnergyByCat[c]/1e6)
+	}
+	fmt.Fprintf(w, "cache acc     L1 %d, L2 %d, L3 %d, DRAM %d\n", r.CacheL1, r.CacheL2, r.CacheL3, r.DRAM)
+	fmt.Fprintf(w, "data moved    %d bytes\n", r.DataMovedBytes)
+	fmt.Fprintf(w, "accel traffic intra %d, D-A %d, A-A %d bytes\n", r.IntraBytes, r.DABytes, r.AABytes)
+	fmt.Fprintf(w, "NoC bytes     ctrl %d, data %d, acc_ctrl %d, acc_data %d\n",
+		r.NoCBytes["ctrl"], r.NoCBytes["data"], r.NoCBytes["acc_ctrl"], r.NoCBytes["acc_data"])
+	if r.Launches > 0 {
+		fmt.Fprintf(w, "offloads      %d launches, %.1f buffers avg, %%init %.2f\n",
+			r.Launches, r.AvgBuffers, r.InitOverheadPct())
+		fmt.Fprintf(w, "mechanisms   ")
+		for _, in := range core.Intrinsics() {
+			if r.MMIO.Used(in) {
+				fmt.Fprintf(w, " %s", in)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

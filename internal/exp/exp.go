@@ -4,7 +4,6 @@
 package exp
 
 import (
-	"context"
 	"fmt"
 
 	"distda/internal/ir"
@@ -36,23 +35,6 @@ func (m *Matrix) DegradedCount() int {
 	return n
 }
 
-// BuildMatrix runs all twelve benchmarks under the six tested
-// configurations, fanning the cells out over GOMAXPROCS workers. The
-// collected results (and therefore every rendered table) are byte-identical
-// to a serial run.
-//
-// Deprecated: use Build.
-func BuildMatrix(scale workloads.Scale) (*Matrix, error) {
-	return Build(context.Background(), Options{Scale: scale})
-}
-
-// BuildMatrixParallel is BuildMatrix with an explicit worker count.
-//
-// Deprecated: use Build.
-func BuildMatrixParallel(scale workloads.Scale, workers int) (*Matrix, error) {
-	return Build(context.Background(), Options{Scale: scale, Workers: workers})
-}
-
 // Observe configures observability for a matrix build. Every cell owns its
 // private tracer and metrics registry (recording stays lock-free inside the
 // worker), so traced or metered matrices remain byte-identical at any
@@ -72,14 +54,6 @@ type Observe struct {
 	// parallel phase. Merge is commutative, so the folded profile is
 	// identical at any worker count.
 	Profile *profile.Profiler
-}
-
-// BuildMatrixObserved is BuildMatrixParallel with per-cell tracing and
-// metrics collection attached.
-//
-// Deprecated: use Build.
-func BuildMatrixObserved(scale workloads.Scale, workers int, obs Observe) (*Matrix, error) {
-	return Build(context.Background(), Options{Scale: scale, Workers: workers, Observe: obs})
 }
 
 func (m *Matrix) get(w, cfg string) *sim.Result { return m.Res[w][cfg] }

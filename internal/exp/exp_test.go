@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"sync"
@@ -17,7 +18,7 @@ var (
 
 func testMatrix(t *testing.T) *Matrix {
 	t.Helper()
-	mOnce.Do(func() { mVal, mErr = BuildMatrix(workloads.ScaleTest) })
+	mOnce.Do(func() { mVal, mErr = Build(context.Background(), Options{Scale: workloads.ScaleTest}) })
 	if mErr != nil {
 		t.Fatal(mErr)
 	}

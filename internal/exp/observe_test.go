@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -14,7 +15,7 @@ import (
 // build. This is the repro-level trace-on/off differential — every figure
 // and table renders from Res, so equal Res means byte-identical output.
 func TestObservedMatrixIdentical(t *testing.T) {
-	plain, err := BuildMatrixParallel(workloads.ScaleTest, 1)
+	plain, err := Build(context.Background(), Options{Scale: workloads.ScaleTest, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +30,7 @@ func TestObservedMatrixIdentical(t *testing.T) {
 		},
 		Metrics: met,
 	}
-	observed, err := BuildMatrixObserved(workloads.ScaleTest, 8, obs)
+	observed, err := Build(context.Background(), Options{Scale: workloads.ScaleTest, Workers: 8, Observe: obs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestObservedMatrixIdentical(t *testing.T) {
 func TestObservedMetricsDeterministic(t *testing.T) {
 	build := func(workers int) string {
 		met := trace.NewMetrics()
-		if _, err := BuildMatrixObserved(workloads.ScaleTest, workers, Observe{Metrics: met}); err != nil {
+		if _, err := Build(context.Background(), Options{Scale: workloads.ScaleTest, Workers: workers, Observe: Observe{Metrics: met}}); err != nil {
 			t.Fatal(err)
 		}
 		return met.Table().Render()

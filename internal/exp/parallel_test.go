@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -12,11 +13,11 @@ import (
 // must be field-for-field equal and every rendered table byte-identical.
 // The worker count must be an implementation detail, never an output knob.
 func TestParallelMatrixDeterminism(t *testing.T) {
-	serial, err := BuildMatrixParallel(workloads.ScaleTest, 1)
+	serial, err := Build(context.Background(), Options{Scale: workloads.ScaleTest, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := BuildMatrixParallel(workloads.ScaleTest, 8)
+	par, err := Build(context.Background(), Options{Scale: workloads.ScaleTest, Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,12 +53,12 @@ func TestParallelMatrixDeterminism(t *testing.T) {
 // TestParallelMatrixWorkerCounts exercises odd worker counts (more workers
 // than cells, and a count that does not divide the matrix evenly).
 func TestParallelMatrixWorkerCounts(t *testing.T) {
-	base, err := BuildMatrixParallel(workloads.ScaleTest, 1)
+	base, err := Build(context.Background(), Options{Scale: workloads.ScaleTest, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{5, 200} {
-		m, err := BuildMatrixParallel(workloads.ScaleTest, workers)
+		m, err := Build(context.Background(), Options{Scale: workloads.ScaleTest, Workers: workers})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}

@@ -1,0 +1,616 @@
+package serve
+
+// Custom-kernel support for submitted jobs: ParseKernel reads the textual
+// kernel dialect ir.Format emits (the same pseudo-C distda-inspect -src
+// prints), so a client can round-trip any kernel the tools can show — or
+// write one from scratch — and POST it as the job's "kernel" field. The
+// grammar is exactly Format's output language:
+//
+//	kernel name(p1, p2)
+//	  object a[64] (8B elems)
+//	  acc = 0
+//	  for i = 0 .. $n step 1 {
+//	    acc = (%acc add a[i])
+//	    if (i lt $n) { out[i] = %acc }
+//	  }
+//
+// Expressions are fully parenthesized binary forms `(a add b)`, unary
+// calls `neg(x)`, predicated selects `sel(c, t, f)`, loads `obj[idx]`,
+// parameters `$p`, locals `%v`, bare induction variables, and numeric
+// literals. Whitespace and indentation are insignificant.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"distda/internal/ir"
+)
+
+// ParseKernel parses kernel source in the ir.Format dialect and validates
+// the result with the IR validator. For every kernel k the tools can
+// print, ParseKernel(ir.Format(k)) reproduces k up to formatting:
+// ir.Format of the parsed kernel is byte-identical to the input's
+// canonical form.
+func ParseKernel(src string) (*ir.Kernel, error) {
+	p := &kernelParser{lex: newLexer(src)}
+	k, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	if err := ir.Validate(k); err != nil {
+		return nil, fmt.Errorf("serve: kernel %q: %w", k.Name, err)
+	}
+	return k, nil
+}
+
+// --- lexer ---
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokParam // $name
+	tokLocal // %name
+	tokPunct // one of ( ) [ ] { } , = and ".."
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokParam:
+		return "$" + t.text
+	case tokLocal:
+		return "%" + t.text
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdent(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == '-'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next scans one token. Identifiers may contain '-' (workload kernels use
+// names like fdtd-2d) but never start with it; '-' followed by a digit
+// starts a negative number.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\n' {
+			l.line++
+			l.pos++
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\r' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line}, nil
+	}
+	start, line := l.pos, l.line
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdent(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: line}, nil
+	case c == '$' || c == '%':
+		l.pos++
+		ns := l.pos
+		for l.pos < len(l.src) && isIdent(l.src[l.pos]) {
+			l.pos++
+		}
+		if l.pos == ns {
+			return token{}, fmt.Errorf("serve: kernel source line %d: %q without a name", line, string(c))
+		}
+		kind := tokParam
+		if c == '%' {
+			kind = tokLocal
+		}
+		return token{kind: kind, text: l.src[ns:l.pos], line: line}, nil
+	case isDigit(c) || (c == '-' && l.pos+1 < len(l.src) && (isDigit(l.src[l.pos+1]) || l.src[l.pos+1] == '.')),
+		c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+		return l.lexNumber()
+	case c == '.':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '.' {
+			l.pos += 2
+			return token{kind: tokPunct, text: "..", line: line}, nil
+		}
+		return token{}, fmt.Errorf("serve: kernel source line %d: stray '.'", line)
+	case strings.IndexByte("()[]{},=", c) >= 0:
+		l.pos++
+		return token{kind: tokPunct, text: string(c), line: line}, nil
+	default:
+		return token{}, fmt.Errorf("serve: kernel source line %d: unexpected character %q", line, string(c))
+	}
+}
+
+// lexNumber scans a Go %g-style literal: [-]digits[.digits][e[+-]digits].
+// A '.' is consumed only when followed by a digit, so "0 .. 10" lexes as
+// number, "..", number.
+func (l *lexer) lexNumber() (token, error) {
+	start, line := l.pos, l.line
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos+1 < len(l.src) && l.src[l.pos] == '.' && isDigit(l.src[l.pos+1]) {
+		l.pos++
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		p := l.pos + 1
+		if p < len(l.src) && (l.src[p] == '+' || l.src[p] == '-') {
+			p++
+		}
+		if p < len(l.src) && isDigit(l.src[p]) {
+			l.pos = p
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+		}
+	}
+	text := l.src[start:l.pos]
+	if _, err := strconv.ParseFloat(text, 64); err != nil {
+		return token{}, fmt.Errorf("serve: kernel source line %d: bad number %q", line, text)
+	}
+	return token{kind: tokNumber, text: text, line: line}, nil
+}
+
+// --- parser ---
+
+type kernelParser struct {
+	lex    *lexer
+	tok    token
+	peeked bool
+}
+
+func (p *kernelParser) peek() (token, error) {
+	if !p.peeked {
+		t, err := p.lex.next()
+		if err != nil {
+			return token{}, err
+		}
+		p.tok, p.peeked = t, true
+	}
+	return p.tok, nil
+}
+
+func (p *kernelParser) next() (token, error) {
+	t, err := p.peek()
+	p.peeked = false
+	return t, err
+}
+
+func (p *kernelParser) expectPunct(text string) error {
+	t, err := p.next()
+	if err != nil {
+		return err
+	}
+	if t.kind != tokPunct || t.text != text {
+		return fmt.Errorf("serve: kernel source line %d: expected %q, got %s", t.line, text, t)
+	}
+	return nil
+}
+
+func (p *kernelParser) expectIdent(word string) error {
+	t, err := p.next()
+	if err != nil {
+		return err
+	}
+	if t.kind != tokIdent || t.text != word {
+		return fmt.Errorf("serve: kernel source line %d: expected %q, got %s", t.line, word, t)
+	}
+	return nil
+}
+
+func (p *kernelParser) ident() (string, error) {
+	t, err := p.next()
+	if err != nil {
+		return "", err
+	}
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("serve: kernel source line %d: expected identifier, got %s", t.line, t)
+	}
+	return t.text, nil
+}
+
+func (p *kernelParser) intLit() (int, error) {
+	t, err := p.next()
+	if err != nil {
+		return 0, err
+	}
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("serve: kernel source line %d: expected integer, got %s", t.line, t)
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, fmt.Errorf("serve: kernel source line %d: expected integer, got %q", t.line, t.text)
+	}
+	return n, nil
+}
+
+func (p *kernelParser) parse() (*ir.Kernel, error) {
+	if err := p.expectIdent("kernel"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	k := &ir.Kernel{Name: name}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == tokPunct && t.text == ")" {
+			p.peeked = false
+			break
+		}
+		param, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		k.Params = append(k.Params, param)
+		t, err = p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == tokPunct && t.text == "," {
+			p.peeked = false
+		}
+	}
+	// Object declarations: object name[len] (NB elems). The element width
+	// lexes as number then the bare identifier "B".
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind != tokIdent || t.text != "object" {
+			break
+		}
+		p.peeked = false
+		o := ir.ObjDecl{}
+		if o.Name, err = p.ident(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("["); err != nil {
+			return nil, err
+		}
+		if o.Len, err = p.intLit(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		if o.ElemBytes, err = p.intLit(); err != nil {
+			return nil, err
+		}
+		if err := p.expectIdent("B"); err != nil {
+			return nil, err
+		}
+		if err := p.expectIdent("elems"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		k.Objects = append(k.Objects, o)
+	}
+	body, err := p.stmts(false)
+	if err != nil {
+		return nil, err
+	}
+	k.Body = body
+	t, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	if t.kind != tokEOF {
+		return nil, fmt.Errorf("serve: kernel source line %d: trailing %s after kernel body", t.line, t)
+	}
+	return k, nil
+}
+
+// stmts parses statements until EOF (top level) or a closing '}' (inside a
+// block; the '}' is consumed).
+func (p *kernelParser) stmts(inBlock bool) ([]ir.Stmt, error) {
+	var out []ir.Stmt
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case t.kind == tokEOF:
+			if inBlock {
+				return nil, fmt.Errorf("serve: kernel source line %d: unexpected end of input inside block", t.line)
+			}
+			return out, nil
+		case t.kind == tokPunct && t.text == "}":
+			if !inBlock {
+				return nil, fmt.Errorf("serve: kernel source line %d: unexpected '}'", t.line)
+			}
+			p.peeked = false
+			return out, nil
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}
+
+func (p *kernelParser) stmt() (ir.Stmt, error) {
+	t, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	if t.kind != tokIdent {
+		return nil, fmt.Errorf("serve: kernel source line %d: expected statement, got %s", t.line, t)
+	}
+	switch t.text {
+	case "if":
+		p.peeked = false
+		return p.ifStmt()
+	case "for", "parfor":
+		p.peeked = false
+		return p.forStmt(t.text == "parfor")
+	}
+	// Let (`name = expr`) or Store (`name[idx] = expr`).
+	p.peeked = false
+	name := t.text
+	t2, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	if t2.kind == tokPunct && t2.text == "[" {
+		p.peeked = false
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return ir.Store{Obj: name, Idx: idx, Val: val}, nil
+	}
+	if err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return ir.Let{Name: name, E: e}, nil
+}
+
+func (p *kernelParser) ifStmt() (ir.Stmt, error) {
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	then, err := p.stmts(true)
+	if err != nil {
+		return nil, err
+	}
+	s := ir.If{Cond: cond, Then: then}
+	t, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	if t.kind == tokIdent && t.text == "else" {
+		p.peeked = false
+		if err := p.expectPunct("{"); err != nil {
+			return nil, err
+		}
+		if s.Else, err = p.stmts(true); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (p *kernelParser) forStmt(parallel bool) (ir.Stmt, error) {
+	iv, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	lo, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(".."); err != nil {
+		return nil, err
+	}
+	hi, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectIdent("step"); err != nil {
+		return nil, err
+	}
+	step, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	body, err := p.stmts(true)
+	if err != nil {
+		return nil, err
+	}
+	return &ir.For{IV: iv, Lo: lo, Hi: hi, Step: step, Body: body, Parallel: parallel}, nil
+}
+
+var binOps = map[string]ir.BinOp{
+	"add": ir.Add, "sub": ir.Sub, "mul": ir.Mul, "div": ir.Div, "mod": ir.Mod,
+	"min": ir.Min, "max": ir.Max, "lt": ir.Lt, "le": ir.Le, "gt": ir.Gt,
+	"ge": ir.Ge, "eq": ir.Eq, "ne": ir.Ne, "and": ir.And, "or": ir.Or,
+}
+
+var unOps = map[string]ir.UnOp{
+	"neg": ir.Neg, "abs": ir.Abs, "sqrt": ir.Sqrt, "not": ir.Not, "floor": ir.Floor,
+}
+
+func (p *kernelParser) expr() (ir.Expr, error) {
+	t, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	switch t.kind {
+	case tokNumber:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("serve: kernel source line %d: bad number %q", t.line, t.text)
+		}
+		return ir.Const{V: v}, nil
+	case tokParam:
+		return ir.Param{Name: t.text}, nil
+	case tokLocal:
+		return ir.Local{Name: t.text}, nil
+	case tokPunct:
+		if t.text != "(" {
+			return nil, fmt.Errorf("serve: kernel source line %d: expected expression, got %s", t.line, t)
+		}
+		// Parenthesized binary form: (a op b).
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		opTok, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		op, ok := binOps[opTok.text]
+		if opTok.kind != tokIdent || !ok {
+			return nil, fmt.Errorf("serve: kernel source line %d: unknown binary operator %s", opTok.line, opTok)
+		}
+		b, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return ir.Bin{Op: op, A: a, B: b}, nil
+	case tokIdent:
+		if t.text == "sel" {
+			if next, err := p.peek(); err == nil && next.kind == tokPunct && next.text == "(" {
+				p.peeked = false
+				c, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct(","); err != nil {
+					return nil, err
+				}
+				tt, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct(","); err != nil {
+					return nil, err
+				}
+				f, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				return ir.Sel{Cond: c, T: tt, F: f}, nil
+			} else if err != nil {
+				return nil, err
+			}
+		}
+		if op, ok := unOps[t.text]; ok {
+			if next, err := p.peek(); err == nil && next.kind == tokPunct && next.text == "(" {
+				p.peeked = false
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				return ir.Un{Op: op, A: a}, nil
+			} else if err != nil {
+				return nil, err
+			}
+		}
+		// Load (`obj[idx]`) or bare induction variable.
+		if next, err := p.peek(); err == nil && next.kind == tokPunct && next.text == "[" {
+			p.peeked = false
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			return ir.Load{Obj: t.text, Idx: idx}, nil
+		} else if err != nil {
+			return nil, err
+		}
+		return ir.IV{Name: t.text}, nil
+	default:
+		return nil, fmt.Errorf("serve: kernel source line %d: expected expression, got %s", t.line, t)
+	}
+}

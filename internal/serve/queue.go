@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+)
+
+// Queue errors.
+var (
+	// ErrQueueFull is returned by push when the bounded queue is at
+	// capacity; the HTTP layer maps it to 429.
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrQueueClosed is returned by push after shutdown began.
+	ErrQueueClosed = errors.New("serve: job queue closed")
+)
+
+// queue is the bounded, tenant-fair job queue. Each tenant gets a FIFO
+// sub-queue; dequeue round-robins across tenants with pending work, so one
+// tenant flooding the queue cannot starve another — within a tenant,
+// submission order is preserved. The capacity bound is global: a full
+// queue rejects everyone (backpressure), which is what keeps the server's
+// memory footprint flat under overload.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	cap    int
+	n      int
+	subs   map[string][]*execution
+	ring   []string // tenants with pending work, round-robin order
+	next   int      // ring cursor
+	closed bool
+}
+
+func newQueue(capacity int) *queue {
+	q := &queue{cap: capacity, subs: make(map[string][]*execution)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues e at the tail of its tenant's sub-queue.
+func (q *queue) push(e *execution) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	if q.n >= q.cap {
+		return ErrQueueFull
+	}
+	if _, ok := q.subs[e.tenant]; !ok {
+		q.ring = append(q.ring, e.tenant)
+	}
+	q.subs[e.tenant] = append(q.subs[e.tenant], e)
+	q.n++
+	q.cond.Signal()
+	return nil
+}
+
+// pop blocks until an execution is available and returns it, or returns
+// false once the queue is closed (remaining entries are abandoned to
+// drain, not handed to workers).
+func (q *queue) pop() (*execution, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return nil, false
+	}
+	return q.take(), true
+}
+
+// take removes and returns the next execution in round-robin order.
+// Caller holds q.mu and has checked q.n > 0.
+func (q *queue) take() *execution {
+	if q.next >= len(q.ring) {
+		q.next = 0
+	}
+	tenant := q.ring[q.next]
+	sub := q.subs[tenant]
+	e := sub[0]
+	sub = sub[1:]
+	if len(sub) == 0 {
+		delete(q.subs, tenant)
+		q.ring = append(q.ring[:q.next], q.ring[q.next+1:]...)
+		// The cursor now indexes the tenant that followed the removed one.
+	} else {
+		q.subs[tenant] = sub
+		q.next++
+	}
+	q.n--
+	return e
+}
+
+// remove deletes e from its tenant's sub-queue (job canceled while
+// queued). Returns false if e was already dequeued.
+func (q *queue) remove(e *execution) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	sub := q.subs[e.tenant]
+	for i, cand := range sub {
+		if cand != e {
+			continue
+		}
+		sub = append(sub[:i], sub[i+1:]...)
+		if len(sub) == 0 {
+			delete(q.subs, e.tenant)
+			for ri, t := range q.ring {
+				if t == e.tenant {
+					q.ring = append(q.ring[:ri], q.ring[ri+1:]...)
+					if ri < q.next {
+						q.next--
+					}
+					break
+				}
+			}
+		} else {
+			q.subs[e.tenant] = sub
+		}
+		q.n--
+		return true
+	}
+	return false
+}
+
+// len returns the number of queued executions.
+func (q *queue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// close stops the queue: pop returns false, push returns ErrQueueClosed,
+// and every still-queued execution is returned in fair dequeue order so
+// shutdown can journal them.
+func (q *queue) close() []*execution {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	q.closed = true
+	var rest []*execution
+	for q.n > 0 {
+		rest = append(rest, q.take())
+	}
+	q.cond.Broadcast()
+	return rest
+}

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func exec(tenant string) *execution {
+	return &execution{tenant: tenant}
+}
+
+func TestQueueTenantFairness(t *testing.T) {
+	q := newQueue(16)
+	a1, a2, a3, b1 := exec("a"), exec("a"), exec("a"), exec("b")
+	// Tenant a floods the queue before b's single job arrives; round-robin
+	// still serves b second, and a's jobs stay FIFO among themselves.
+	for _, e := range []*execution{a1, a2, a3, b1} {
+		if err := q.push(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []*execution{a1, b1, a2, a3}
+	for i, w := range want {
+		got, ok := q.pop()
+		if !ok || got != w {
+			t.Fatalf("pop %d = %v (tenant %s), want tenant %s", i, got, got.tenant, w.tenant)
+		}
+	}
+}
+
+func TestQueueBoundAndClose(t *testing.T) {
+	q := newQueue(2)
+	if err := q.push(exec("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(exec("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.push(exec("c")); err != ErrQueueFull {
+		t.Fatalf("push over capacity = %v, want ErrQueueFull", err)
+	}
+	rest := q.close()
+	if len(rest) != 2 {
+		t.Fatalf("close drained %d executions, want 2", len(rest))
+	}
+	if err := q.push(exec("a")); err != ErrQueueClosed {
+		t.Fatalf("push after close = %v, want ErrQueueClosed", err)
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop after close returned an execution")
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	q := newQueue(8)
+	a1, a2, b1 := exec("a"), exec("a"), exec("b")
+	for _, e := range []*execution{a1, a2, b1} {
+		if err := q.push(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !q.remove(a1) {
+		t.Fatal("remove of queued execution failed")
+	}
+	if q.remove(a1) {
+		t.Fatal("second remove of same execution succeeded")
+	}
+	if got, _ := q.pop(); got != a2 {
+		t.Fatalf("pop = tenant %s, want a2", got.tenant)
+	}
+	if got, _ := q.pop(); got != b1 {
+		t.Fatalf("pop = tenant %s, want b1", got.tenant)
+	}
+	if q.len() != 0 {
+		t.Fatalf("len = %d, want 0", q.len())
+	}
+}
+
+func TestQueuePopBlocksUntilPush(t *testing.T) {
+	q := newQueue(4)
+	got := make(chan *execution, 1)
+	go func() {
+		e, _ := q.pop()
+		got <- e
+	}()
+	e := exec("a")
+	time.Sleep(10 * time.Millisecond)
+	if err := q.push(e); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case g := <-got:
+		if g != e {
+			t.Fatal("pop returned the wrong execution")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pop did not wake on push")
+	}
+}
+
+func TestLimiterTokenBucket(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := newLimiter(1, 2, func() time.Time { return now })
+	// Burst of 2, then dry.
+	if !l.allow("a") || !l.allow("a") {
+		t.Fatal("burst tokens rejected")
+	}
+	if l.allow("a") {
+		t.Fatal("allowed past burst")
+	}
+	// Tenants are isolated.
+	if !l.allow("b") {
+		t.Fatal("tenant b rejected by tenant a's empty bucket")
+	}
+	// One token per second accrues.
+	now = now.Add(time.Second)
+	if !l.allow("a") {
+		t.Fatal("accrued token rejected")
+	}
+	if l.allow("a") {
+		t.Fatal("allowed with empty bucket")
+	}
+	// Accrual caps at burst.
+	now = now.Add(time.Hour)
+	if !l.allow("a") || !l.allow("a") {
+		t.Fatal("capped burst rejected")
+	}
+	if l.allow("a") {
+		t.Fatal("accrued past burst cap")
+	}
+	// Rate 0 disables limiting.
+	open := newLimiter(0, 1, func() time.Time { return now })
+	for i := 0; i < 100; i++ {
+		if !open.allow("a") {
+			t.Fatal("unlimited limiter rejected")
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// limiter is a per-tenant token bucket: each tenant accrues Rate tokens
+// per second up to Burst, and a submission spends one. Tenants are
+// isolated — one tenant burning its budget never affects another's.
+// The clock is injectable so tests are deterministic.
+type limiter struct {
+	mu    sync.Mutex
+	rate  float64 // tokens per second; <= 0 disables limiting
+	burst float64
+	now   func() time.Time
+	m     map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newLimiter(rate float64, burst int, now func() time.Time) *limiter {
+	if now == nil {
+		now = time.Now
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &limiter{rate: rate, burst: float64(burst), now: now, m: make(map[string]*bucket)}
+}
+
+// allow reports whether tenant may submit now, spending a token if so.
+func (l *limiter) allow(tenant string) bool {
+	if l.rate <= 0 {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t := l.now()
+	b, ok := l.m[tenant]
+	if !ok {
+		b = &bucket{tokens: l.burst, last: t}
+		l.m[tenant] = b
+	} else {
+		b.tokens += t.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = t
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -15,8 +15,8 @@ go test ./...
 echo "== go vet ./..."
 go vet ./...
 
-echo "== go test -race ./internal/exp/... ./internal/sim/..."
-go test -race ./internal/exp/... ./internal/sim/...
+echo "== go test -race ./internal/exp/... ./internal/sim/... ./internal/serve/..."
+go test -race ./internal/exp/... ./internal/sim/... ./internal/serve/...
 
 echo "== no sim.Config struct literals outside internal/sim"
 # Configs must come from the constructors + functional options so Validate
