@@ -12,7 +12,8 @@ vet:
 	go vet ./...
 
 race:
-	go test -race ./internal/exp/... ./internal/sim/... ./internal/serve/...
+	go test -race ./internal/exp/... ./internal/sim/... ./internal/serve/... \
+	    ./internal/serveclient/... ./internal/backend/... ./internal/pimdram/...
 
 fmt:
 	gofmt -l cmd internal examples

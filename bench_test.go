@@ -376,3 +376,24 @@ func BenchmarkExtOffChip(b *testing.B) {
 		runOne(b, w, sim.DistDAOffChip())
 	}
 }
+
+// BenchmarkPIMWorkload is the headline entry for the PIM-in-DRAM backend:
+// one streaming workload simulated end to end on bank-level compute at the
+// memory controller, with the near-L3-vs-in-DRAM comparison table rendered
+// under -v. Gated by scripts/bench_check.sh in CI.
+func BenchmarkPIMWorkload(b *testing.B) {
+	t, err := exp.PIMExtension(benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
+	logTable(b, t)
+	w := workloads.Pathfinder(benchScale())
+	cfg := sim.DistDAPIM()
+	near := runOne(b, w, sim.DistDAIO())
+	pim := runOne(b, w, cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runOne(b, w, cfg)
+	}
+	b.ReportMetric(pim.SpeedupVs(near), "xSpeedupVsNearL3")
+}

@@ -50,6 +50,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	params := fs.Bool("params", false, "print Table III parameters")
 	area := fs.Bool("area", false, "print the area model")
 	offchip := fs.Bool("offchip", false, "evaluate the §VII off-chip placement extension")
+	pim := fs.Bool("pim", false, "compare near-L3 offload against the PIM-in-DRAM backend")
 	parallel := fs.Int("parallel", 0, "worker count for the experiment matrix (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
 	engineMode := fs.String("engine", "adaptive", "engine scheduler: adaptive, event, naive (bit-identical output, wall-clock only)")
 	metrics := fs.Bool("metrics", false, "print the matrix's merged per-component metrics table (includes artifact cache hit/miss counters)")
@@ -81,7 +82,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sel := exp.Selection{
 		Figs: figs, Tabs: tabs,
 		Headline: *headline, Params: *params, Sens: *sens,
-		Area: *area, OffChip: *offchip, Ablations: *ablations,
+		Area: *area, OffChip: *offchip, PIM: *pim, Ablations: *ablations,
 	}
 	if *all {
 		sel.SetAll()

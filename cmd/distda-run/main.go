@@ -133,7 +133,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.Threads = *threads
 	kernel := sim.ThreadKernel(w.Kernel, *threads)
 	var compiled *compiler.Compiled
-	if cfg.Substrate != sim.SubNone {
+	if cfg.HasAccel() {
 		cache := cliutil.OpenCache(*cacheDir)
 		copts := sim.CompileOptions(cfg)
 		key := artifact.Key(w.Name, scale.String(), kernel, copts)

@@ -12,14 +12,16 @@ import (
 	"log"
 
 	"distda/internal/accessunit"
+	"distda/internal/backend"
 	"distda/internal/core"
 	"distda/internal/energy"
 	"distda/internal/engine"
-	"distda/internal/iocore"
 	"distda/internal/ir"
 	"distda/internal/memfake"
 	"distda/internal/microcode"
 	"distda/internal/noc"
+
+	_ "distda/internal/backend/iocorebackend"
 )
 
 func main() {
@@ -94,14 +96,28 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Engines come from the backend registry — the same pluggable interface
+	// the simulator assembly uses.
+	be, ok := backend.Lookup("iocore")
+	if !ok {
+		log.Fatal("iocore backend not registered")
+	}
 	rp := accessunit.NewRandomPort(mem, fetch, 0, stats, meter)
-	core0, err := iocore.New(def0, n, map[int]*accessunit.InPort{0: inPort},
-		map[int]*accessunit.OutPort{1: {Buf: chSrc}}, rp, meter)
+	core0, err := be.NewEngine(backend.LaunchSpec{
+		Def: def0, Trips: n,
+		In:     map[int]*accessunit.InPort{0: inPort},
+		Out:    map[int]*accessunit.OutPort{1: {Buf: chSrc}},
+		Random: rp, GHz: 2, Width: 1, Meter: meter,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	core1, err := iocore.New(def1, -1, map[int]*accessunit.InPort{0: chPort},
-		map[int]*accessunit.OutPort{1: {Buf: bufOut}}, rp, meter)
+	core1, err := be.NewEngine(backend.LaunchSpec{
+		Def: def1, Trips: -1,
+		In:     map[int]*accessunit.InPort{0: chPort},
+		Out:    map[int]*accessunit.OutPort{1: {Buf: bufOut}},
+		Random: rp, GHz: 2, Width: 1, Meter: meter,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -128,5 +144,5 @@ func main() {
 	fmt.Printf("traffic: D-A %d B, A-A %d B over the NoC (%d acc_data bytes)\n",
 		stats.DABytes, stats.AABytes, mesh.Bytes[noc.AccData])
 	fmt.Printf("energy: %.1f pJ total\n", meter.TotalPJ())
-	fmt.Printf("iterations: scale=%d bias=%d (decoupled, overlapped)\n", core0.Iters, core1.Iters)
+	fmt.Printf("micro-ops: scale=%d bias=%d (decoupled, overlapped)\n", core0.Ops(), core1.Ops())
 }

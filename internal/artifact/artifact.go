@@ -31,7 +31,7 @@ import (
 
 // FormatVersion is bumped whenever the key derivation or the on-disk
 // encoding changes; old entries then simply miss.
-const FormatVersion = 1
+const FormatVersion = 2
 
 func init() {
 	// The artifact graph reaches ir.Expr interface values (stream
@@ -54,8 +54,8 @@ func init() {
 func Key(workload, scale string, k *ir.Kernel, opts compiler.Options) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "distda-artifact-v%d\nworkload=%s\nscale=%s\n", FormatVersion, workload, scale)
-	fmt.Fprintf(h, "mode=%d maxpart=%d noobj=%t nostream=%t nofold=%t\n",
-		opts.Mode, opts.MaxPartitions, opts.NoObjConstraint, opts.NoStreamSpecialization, opts.NoEpilogueFold)
+	fmt.Fprintf(h, "mode=%d maxpart=%d noobj=%t nostream=%t nofold=%t pim=%d\n",
+		opts.Mode, opts.MaxPartitions, opts.NoObjConstraint, opts.NoStreamSpecialization, opts.NoEpilogueFold, opts.PIMBytes)
 	fmt.Fprintf(h, "kernel:\n%s", ir.Format(k))
 	return hex.EncodeToString(h.Sum(nil))
 }

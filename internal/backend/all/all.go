@@ -1,0 +1,11 @@
+// Package all links every in-tree accelerator backend into the registry.
+// Importing it (blank) is how the simulator and CLIs get the full set:
+//
+//	import _ "distda/internal/backend/all"
+package all
+
+import (
+	_ "distda/internal/backend/cgrabackend"
+	_ "distda/internal/backend/iocorebackend"
+	_ "distda/internal/pimdram"
+)

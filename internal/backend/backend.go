@@ -1,0 +1,149 @@
+// Package backend formalizes the paper's accelerator-agnostic offload
+// interface as a pluggable contract. An accelerator backend consumes
+// decoupled request/response channels — the access-unit buffers with their
+// valid/ready handshake (CanPop/Pop, CanPush/Push, Close) — plus a random
+// access port and a scalar register file, and turns one compiled
+// accelerator definition into a clocked engine component. The simulator
+// assembly (internal/sim) talks only to this interface; the in-order core
+// (iocore), the CGRA fabric (cgra) and the PIM-in-DRAM engine (pimdram)
+// are registered implementations behind it.
+package backend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"distda/internal/accessunit"
+	"distda/internal/core"
+	"distda/internal/energy"
+	"distda/internal/profile"
+	"distda/internal/trace"
+)
+
+// Caps is a backend's capability descriptor, consulted for placement and
+// compilation decisions instead of backend-name switches.
+type Caps struct {
+	// MaxPortWidth is the widest request port (micro-ops issued per cycle)
+	// the backend accepts; LaunchSpec.Width beyond it is rejected.
+	MaxPortWidth int
+	// NearData: engines execute at the NUCA cluster owning their data
+	// (the paper's near-L3 placement).
+	NearData bool
+	// InDRAM: engines execute at the DRAM channel (the memory-controller
+	// node); resident data never traverses the on-chip NoC.
+	InDRAM bool
+	// RandomAccess: the backend serves cp_read/cp_write random accesses.
+	RandomAccess bool
+}
+
+// Options is backend-scoped configuration: an ordered key=value list. It
+// replaces backend-specific fields in the top-level sim config (the CGRA
+// grid shape, for example, is Opt("grid", "5x5")). The canonical String
+// form feeds config names and content-addressed cache keys, so options
+// must stay deterministic value types.
+type Options []Option
+
+// Option is one backend-scoped key=value setting.
+type Option struct {
+	Key   string
+	Value string
+}
+
+// Opt builds a single backend option.
+func Opt(key, value string) Option { return Option{Key: key, Value: value} }
+
+// Get returns the last value set for key.
+func (o Options) Get(key string) (string, bool) {
+	for i := len(o) - 1; i >= 0; i-- {
+		if o[i].Key == key {
+			return o[i].Value, true
+		}
+	}
+	return "", false
+}
+
+// String renders the canonical "k=v,k=v" form, keys sorted, later
+// duplicates winning.
+func (o Options) String() string {
+	m := map[string]string{}
+	for _, kv := range o {
+		m[kv.Key] = kv.Value
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%s", k, m[k])
+	}
+	return b.String()
+}
+
+// LaunchSpec carries everything a backend needs to instantiate one engine
+// for one accelerator definition of an offload launch. The ports embody
+// the valid/ready protocol: an engine may consume only when CanPop reports
+// valid data, produce only when CanPush reports a ready slot, and must
+// Close its output buffers on completion.
+type LaunchSpec struct {
+	Def   *core.AccelDef
+	Trips int64 // orchestrator count; < 0 selects while-input
+
+	// In / Out are the request/response stream endpoints by access id.
+	In  map[int]*accessunit.InPort
+	Out map[int]*accessunit.OutPort
+	// Random serves cp_read / cp_write accesses (nil when the program has
+	// none).
+	Random *accessunit.RandomPort
+
+	GHz   int // engine clock in GHz (engine.Div derives the base divisor)
+	Width int // request port width: micro-ops issued per engine cycle
+
+	Meter   *energy.Meter  // energy accounting (may be nil)
+	Metrics *trace.Metrics // latency histograms (nil-safe handle)
+	Opts    Options        // backend-scoped configuration
+}
+
+// Engine is one running accelerator instance: a clocked component with the
+// engine scheduler's Step/Done/NextEvent contract plus the scalar register
+// file (cp_set_rf / cp_load_rf) and observability attachment points. The
+// Attach/Add methods are observational only — results must be bit-identical
+// with or without them.
+type Engine interface {
+	Step(now int64) bool
+	Done() bool
+	// NextEvent is the engine scheduler's fast-forward hint
+	// (engine.Hinter); backends that cannot predict return 0 to be polled.
+	NextEvent(now int64) int64
+
+	SetReg(r int, v float64)
+	Reg(r int) float64
+
+	// Ops returns retired micro-operations (the accelerator dynamic
+	// instruction count).
+	Ops() int64
+
+	// AttachTrace binds the engine's trace scope at the launch's base-cycle
+	// offset on the run-global timeline.
+	AttachTrace(tr *trace.Tracer, off int64)
+	// AddProfile folds the engine's cycle/energy attribution into the
+	// profiler and the launch's region after the run.
+	AddProfile(p *profile.Profiler, r *profile.Region)
+}
+
+// Backend turns compiled accelerator definitions into engines.
+type Backend interface {
+	// Name is the registry key ("iocore", "cgra", "pimdram", ...).
+	Name() string
+	Caps() Caps
+	// ValidateOptions rejects unknown or malformed backend-scoped options
+	// at config construction time.
+	ValidateOptions(opts Options) error
+	// NewEngine instantiates one engine for one accelerator definition.
+	NewEngine(spec LaunchSpec) (Engine, error)
+}

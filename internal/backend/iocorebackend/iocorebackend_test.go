@@ -1,0 +1,11 @@
+package iocorebackend_test
+
+import (
+	"testing"
+
+	"distda/internal/backend/backendtest"
+)
+
+func TestConformance(t *testing.T) {
+	backendtest.Conformance(t, "iocore")
+}

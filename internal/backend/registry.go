@@ -1,0 +1,55 @@
+package backend
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The registry maps backend names to implementations. Backends register
+// from init (import distda/internal/backend/all for the full set), so
+// lookups after program start never race registration; the mutex keeps
+// tests that register fixtures race-clean anyway.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Backend{}
+)
+
+// Register adds a backend under its Name. Registering a duplicate name or
+// an invalid descriptor panics: both are programmer errors at package-init
+// time, not runtime conditions.
+func Register(b Backend) {
+	name := b.Name()
+	if name == "" {
+		panic("backend: Register with empty name")
+	}
+	if b.Caps().MaxPortWidth < 1 {
+		panic(fmt.Sprintf("backend: %q registers MaxPortWidth %d < 1", name, b.Caps().MaxPortWidth))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("backend: duplicate registration of %q", name))
+	}
+	registry[name] = b
+}
+
+// Lookup resolves a registered backend by name.
+func Lookup(name string) (Backend, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	b, ok := registry[name]
+	return b, ok
+}
+
+// Names returns the registered backend names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -63,14 +63,14 @@ func LookupWorkload(name string, scale workloads.Scale) (*workloads.Workload, er
 // only source of configurations here — no Config is assembled by hand.
 func LookupConfig(name string) (sim.Config, error) {
 	all := sim.AllPaperConfigs()
-	all = append(all, sim.DistDAIOSW(), sim.DistDAFA(), sim.DistDAOffChip())
+	all = append(all, sim.DistDAIOSW(), sim.DistDAFA(), sim.DistDAOffChip(), sim.DistDAPIM())
 	for _, c := range all {
 		if strings.EqualFold(c.Name, name) {
 			return c, nil
 		}
 	}
 	var zero sim.Config
-	return zero, fmt.Errorf("unknown configuration %q (want OoO, Mono-CA, Mono-DA-IO, Mono-DA-F, Dist-DA-IO, Dist-DA-F, Dist-DA-IO+SW, Dist-DA-F+A or Dist-DA-OffChip)", name)
+	return zero, fmt.Errorf("unknown configuration %q (want OoO, Mono-CA, Mono-DA-IO, Mono-DA-F, Dist-DA-IO, Dist-DA-F, Dist-DA-IO+SW, Dist-DA-F+A, Dist-DA-OffChip or Dist-DA-PIM)", name)
 }
 
 // StringList is a repeatable string flag (flag.Value).

@@ -44,6 +44,7 @@ func TestLookupConfigCaseInsensitive(t *testing.T) {
 		"mono-ca":         "Mono-CA",
 		"dist-da-io+sw":   "Dist-DA-IO+SW",
 		"dist-da-offchip": "Dist-DA-OffChip",
+		"dist-da-pim":     "Dist-DA-PIM",
 	} {
 		c, err := LookupConfig(in)
 		if err != nil {

@@ -36,6 +36,7 @@ type Table struct {
 	OoOInstrPJ  float64 // 5-way OoO: rename, ROB, LSQ, bypass — dominates
 	IOInstrPJ   float64 // single-issue in-order accelerator core
 	CGRAOpPJ    float64 // statically mapped fabric: config-driven, no fetch
+	PIMOpPJ     float64 // bank-level in-DRAM compute unit: no front end
 	RegFilePJ   float64 // scalar register file read/write
 	BufferPJ    float64 // access-unit SRAM buffer read/write (per word)
 	PrefetchPJ  float64 // prefetcher decision/issue overhead
@@ -64,6 +65,7 @@ func Default32nm() Table {
 		OoOInstrPJ:   180,
 		IOInstrPJ:    14,
 		CGRAOpPJ:     1.5,
+		PIMOpPJ:      2.0,
 		RegFilePJ:    1.2,
 		BufferPJ:     2.4,
 		PrefetchPJ:   4,

@@ -400,7 +400,7 @@ func (b *builder) attempt(ctx context.Context, w *workloads.Workload, cfg sim.Co
 		}
 	}
 	var compiled *compiler.Compiled
-	if cfg.Substrate != sim.SubNone {
+	if cfg.HasAccel() {
 		copts := sim.CompileOptions(cfg)
 		key := artifact.Key(w.Name, b.m.Scale.String(), w.Kernel, copts)
 		var err error

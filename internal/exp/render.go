@@ -35,6 +35,8 @@ type Selection struct {
 	Area bool `json:"area,omitempty"`
 	// OffChip renders the §VII off-chip placement extension.
 	OffChip bool `json:"offchip,omitempty"`
+	// PIM renders the PIM-in-DRAM backend comparison (near-L3 vs in-DRAM).
+	PIM bool `json:"pim,omitempty"`
 	// Ablations renders the DESIGN.md ablation benches.
 	Ablations bool `json:"ablations,omitempty"`
 }
@@ -49,13 +51,14 @@ func (s *Selection) SetAll() {
 	s.Sens = true
 	s.Area = true
 	s.OffChip = true
+	s.PIM = true
 	s.Ablations = true
 }
 
 // Empty reports whether the selection renders nothing.
 func (s Selection) Empty() bool {
 	return len(s.Figs) == 0 && len(s.Tabs) == 0 && !s.Headline && !s.Params &&
-		!s.Sens && !s.Area && !s.OffChip && !s.Ablations
+		!s.Sens && !s.Area && !s.OffChip && !s.PIM && !s.Ablations
 }
 
 // Validate rejects unknown figure or table names before anything is
@@ -106,7 +109,7 @@ func containsName(set []string, v string) bool {
 
 // RenderSelection writes the selected tables and figures to w in
 // distda-repro's order: params, tables, figures, headline (+ data
-// movement), sensitivity, area, off-chip, ablations — each table followed
+// movement), sensitivity, area, off-chip, pim, ablations — each table followed
 // by a blank line. matrix supplies the built experiment matrix and is
 // invoked at most once, and only when the selection needs it, so
 // selections of scale-only sections never pay for a matrix build.
@@ -232,6 +235,11 @@ func RenderSelection(w io.Writer, scale workloads.Scale, sel Selection, matrix f
 	}
 	if sel.OffChip {
 		if err := scaleTable(func(s workloads.Scale) (interface{ Render() string }, error) { return OffChipExtension(s) }); err != nil {
+			return err
+		}
+	}
+	if sel.PIM {
+		if err := scaleTable(func(s workloads.Scale) (interface{ Render() string }, error) { return PIMExtension(s) }); err != nil {
 			return err
 		}
 	}

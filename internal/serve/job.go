@@ -97,6 +97,15 @@ type plan struct {
 	sel exp.Selection
 }
 
+// Backend is the resolved accelerator backend a run job launches on
+// ("" for backend-less configs and for matrix jobs, which span many).
+func (p *plan) Backend() string {
+	if p.kind != KindRun {
+		return ""
+	}
+	return p.cfg.Backend
+}
+
 // planJob validates and resolves a submitted spec.
 func planJob(spec JobSpec) (*plan, error) {
 	p := &plan{spec: spec}
@@ -297,6 +306,9 @@ func (p *plan) Equivalent() string {
 		}
 		if s.OffChip {
 			parts = append(parts, "-offchip")
+		}
+		if s.PIM {
+			parts = append(parts, "-pim")
 		}
 		if s.Ablations {
 			parts = append(parts, "-ablations")

@@ -59,7 +59,7 @@ func (r *runner) runOne(ctx context.Context, p *plan, prog *profile.Progress) ([
 	cfg.Cancel = ctx.Done()
 	kernel := sim.ThreadKernel(p.kernel, p.spec.Threads)
 	var compiled *compiler.Compiled
-	if cfg.Substrate != sim.SubNone {
+	if cfg.HasAccel() {
 		copts := sim.CompileOptions(cfg)
 		key := artifact.Key(p.workload.Name, p.scale.String(), kernel, copts)
 		var err error

@@ -105,15 +105,19 @@ type execution struct {
 
 // Stats are the server's cumulative counters plus current queue state.
 type Stats struct {
-	Submitted    int64                `json:"submitted"`
-	Completed    int64                `json:"completed"`
-	Failed       int64                `json:"failed"`
-	Canceled     int64                `json:"canceled"`
-	CacheHits    int64                `json:"cache_hits"` // served without executing
-	Coalesced    int64                `json:"coalesced"`  // attached to an in-flight execution
-	RejectedFull int64                `json:"rejected_full"`
-	RejectedRate int64                `json:"rejected_rate"`
-	Restored     int64                `json:"restored"` // journaled jobs resubmitted at startup
+	Submitted    int64 `json:"submitted"`
+	Completed    int64 `json:"completed"`
+	Failed       int64 `json:"failed"`
+	Canceled     int64 `json:"canceled"`
+	CacheHits    int64 `json:"cache_hits"` // served without executing
+	Coalesced    int64 `json:"coalesced"`  // attached to an in-flight execution
+	RejectedFull int64 `json:"rejected_full"`
+	RejectedRate int64 `json:"rejected_rate"`
+	Restored     int64 `json:"restored"` // journaled jobs resubmitted at startup
+	// Backends counts submitted run jobs by resolved accelerator backend
+	// ("none" for backend-less configs; matrix jobs are not counted — they
+	// span many backends).
+	Backends     map[string]int64     `json:"backends,omitempty"`
 	QueueLen     int                  `json:"queue_len"`
 	Running      int                  `json:"running"`
 	ResultCache  artifact.ResultStats `json:"result_cache"`
@@ -297,6 +301,16 @@ func (s *Server) register(j *Job) {
 	s.jobs[j.id] = j
 	s.byID = append(s.byID, j.id)
 	s.stats.Submitted++
+	if j.plan.kind == KindRun {
+		name := j.plan.Backend()
+		if name == "" {
+			name = "none"
+		}
+		if s.stats.Backends == nil {
+			s.stats.Backends = make(map[string]int64)
+		}
+		s.stats.Backends[name]++
+	}
 }
 
 // worker executes queued jobs until the queue closes.
@@ -438,6 +452,12 @@ func (s *Server) Get(id string) (*Job, error) {
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	st := s.stats
+	if len(s.stats.Backends) > 0 {
+		st.Backends = make(map[string]int64, len(s.stats.Backends))
+		for k, v := range s.stats.Backends {
+			st.Backends[k] = v
+		}
+	}
 	st.Running = s.running
 	s.mu.Unlock()
 	st.QueueLen = s.queue.len()
@@ -460,6 +480,7 @@ type JobStatus struct {
 	Coalesced  bool             `json:"coalesced,omitempty"`
 	Degraded   bool             `json:"degraded,omitempty"`
 	Key        string           `json:"key"`
+	Backend    string           `json:"backend,omitempty"` // resolved accelerator backend (run jobs)
 	Equivalent string           `json:"equivalent,omitempty"`
 	Submitted  time.Time        `json:"submitted"`
 	Started    *time.Time       `json:"started,omitempty"`
@@ -482,6 +503,7 @@ func (s *Server) Status(j *Job) JobStatus {
 		Coalesced:  j.coalesced,
 		Degraded:   j.degraded,
 		Key:        j.plan.key,
+		Backend:    j.plan.Backend(),
 		Equivalent: j.plan.Equivalent(),
 		Submitted:  j.submitted,
 		Spec:       j.plan.spec,

@@ -40,7 +40,7 @@ func directRun(t *testing.T, wname, cname string) []byte {
 	cfg.Threads = 1
 	kernel := sim.ThreadKernel(w.Kernel, 1)
 	var compiled *compiler.Compiled
-	if cfg.Substrate != sim.SubNone {
+	if cfg.HasAccel() {
 		compiled, err = compiler.Compile(kernel, sim.CompileOptions(cfg))
 		if err != nil {
 			t.Fatal(err)
@@ -245,6 +245,56 @@ func TestCustomKernelJob(t *testing.T) {
 	resp, _ := postJob(t, ts, `{"workload": "fdtd-2d", "scale": "test", "kernel": "kernel broken("}`)
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad kernel submit = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestJobReportsBackend(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	// A custom-kernel run job reports its config's resolved backend both in
+	// the job JSON and in the per-backend submission counters.
+	w, _ := cliutil.LookupWorkload("fdtd-2d", workloads.ScaleTest)
+	spec, _ := json.Marshal(JobSpec{Workload: "fdtd-2d", Config: "Dist-DA-F", Scale: "test", Kernel: ir.Format(w.Kernel)})
+	_, st := postJob(t, ts, string(spec))
+	if st.Backend != "cgra" {
+		t.Errorf("custom-kernel Dist-DA-F job backend = %q, want cgra", st.Backend)
+	}
+	_, stIO := postJob(t, ts, `{"workload": "fdtd-2d", "config": "Dist-DA-IO", "scale": "test"}`)
+	if stIO.Backend != "iocore" {
+		t.Errorf("Dist-DA-IO job backend = %q, want iocore", stIO.Backend)
+	}
+	_, stOoO := postJob(t, ts, `{"workload": "fdtd-2d", "config": "OoO", "scale": "test"}`)
+	if stOoO.Backend != "" {
+		t.Errorf("OoO job backend = %q, want empty", stOoO.Backend)
+	}
+	_, stMat := postJob(t, ts, `{"kind": "matrix", "scale": "test", "selection": {"headline": true}}`)
+	if stMat.Backend != "" {
+		t.Errorf("matrix job backend = %q, want empty", stMat.Backend)
+	}
+	for _, id := range []string{st.ID, stIO.ID, stOoO.ID, stMat.ID} {
+		waitDone(t, ts, id)
+	}
+	stats := s.Stats()
+	want := map[string]int64{"cgra": 1, "iocore": 1, "none": 1}
+	for name, n := range want {
+		if stats.Backends[name] != n {
+			t.Errorf("stats.Backends[%q] = %d, want %d (all: %v)", name, stats.Backends[name], n, stats.Backends)
+		}
+	}
+	if len(stats.Backends) != len(want) {
+		t.Errorf("stats.Backends = %v, want exactly %v (matrix jobs uncounted)", stats.Backends, want)
+	}
+	// GET /api/v1/stats carries the same counters over the wire.
+	resp, err := http.Get(ts.URL + "/api/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var wire Stats
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	if wire.Backends["cgra"] != 1 || wire.Backends["iocore"] != 1 || wire.Backends["none"] != 1 {
+		t.Errorf("wire stats backends = %v", wire.Backends)
 	}
 }
 

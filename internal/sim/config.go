@@ -8,34 +8,31 @@
 package sim
 
 import (
-	"distda/internal/cgra"
+	"distda/internal/backend"
 	"distda/internal/compiler"
 	"distda/internal/engine"
 	"distda/internal/ir"
 	"distda/internal/profile"
 	"distda/internal/trace"
-)
 
-// Substrate selects the accelerator execution substrate.
-type Substrate int
-
-const (
-	// SubNone: no accelerators (the OoO baseline).
-	SubNone Substrate = iota
-	// SubIO: lightweight single-issue in-order cores.
-	SubIO
-	// SubCGRA: statically mapped CGRA fabric.
-	SubCGRA
+	// Every in-tree accelerator backend registers itself; importing the
+	// aggregate here guarantees registration precedes any config validation.
+	_ "distda/internal/backend/all"
 )
 
 // Config describes one tested configuration.
 type Config struct {
-	Name        string
-	Substrate   Substrate
+	Name string
+	// Backend names the registered accelerator backend ("iocore", "cgra",
+	// "pimdram") executing offloaded regions; empty means no accelerators
+	// (the OoO baseline). BackendOpts carries backend-scoped configuration —
+	// the CGRA grid shape, for example, is backend.Opt("grid", "5x5") rather
+	// than a top-level field.
+	Backend     string
+	BackendOpts backend.Options
 	Distribute  bool // distributed computation (Dist-DA) vs monolithic
 	Centralized bool // Mono-CA: access units centralized at the accel node
 	AccelGHz    int  // accelerator clock (Table III: IO 2 GHz, CGRA 1 GHz)
-	Grid        cgra.GridConfig
 
 	BufElems      int   // per-buffer decoupling window, in elements
 	CombineWindow int64 // multi-access combining window, in elements
@@ -53,6 +50,12 @@ type Config struct {
 	// controller and access DRAM directly, bypassing the on-chip L3 path.
 	OffChip          bool
 	OffChipThreshold int
+
+	// PIMThreshold, when positive, lets the partitioner steer individual
+	// offloaded regions to the "pimdram" backend: a region whose summed
+	// object footprint is at least PIMThreshold bytes executes in DRAM
+	// regardless of Config.Backend. Zero disables per-region selection.
+	PIMThreshold int
 
 	CompilerMode  compiler.Mode
 	MaxEngine     int64 // engine budget per launch, base cycles
@@ -131,9 +134,13 @@ func Base() Config {
 	return c
 }
 
+// HasAccel reports whether the configuration offloads to an accelerator
+// backend at all (false only for the OoO host baseline).
+func (c Config) HasAccel() bool { return c.Backend != "" }
+
 // OoO is the out-of-order host baseline (①).
 func OoO() Config {
-	return MustConfig(Base, WithName("OoO"), WithSubstrate(SubNone))
+	return MustConfig(Base, WithName("OoO"))
 }
 
 // MonoCA is the monolithic accelerator on the L3 bus with centralized,
@@ -141,7 +148,7 @@ func OoO() Config {
 func MonoCA() Config {
 	return MustConfig(Base,
 		WithName("Mono-CA"),
-		WithSubstrate(SubIO),
+		WithBackend("iocore"),
 		WithAccelGHz(2),
 		WithCentralized(true),
 		WithCompilerMode(compiler.ModeMono),
@@ -153,7 +160,7 @@ func MonoCA() Config {
 func MonoDAIO() Config {
 	return MustConfig(Base,
 		WithName("Mono-DA-IO"),
-		WithSubstrate(SubIO),
+		WithBackend("iocore"),
 		WithAccelGHz(2),
 		WithCompilerMode(compiler.ModeMono))
 }
@@ -163,9 +170,8 @@ func MonoDAIO() Config {
 func MonoDAF() Config {
 	return MustConfig(Base,
 		WithName("Mono-DA-F"),
-		WithSubstrate(SubCGRA),
+		WithBackend("cgra", backend.Opt("grid", "8x8")),
 		WithAccelGHz(1),
-		WithGrid(cgra.Grid8x8()),
 		WithCompilerMode(compiler.ModeMono))
 }
 
@@ -174,7 +180,7 @@ func MonoDAF() Config {
 func DistDAIO() Config {
 	return MustConfig(Base,
 		WithName("Dist-DA-IO"),
-		WithSubstrate(SubIO),
+		WithBackend("iocore"),
 		WithAccelGHz(2),
 		WithDistribute(true),
 		WithCompilerMode(compiler.ModeDist))
@@ -185,9 +191,8 @@ func DistDAIO() Config {
 func DistDAF() Config {
 	return MustConfig(Base,
 		WithName("Dist-DA-F"),
-		WithSubstrate(SubCGRA),
+		WithBackend("cgra", backend.Opt("grid", "5x5")),
 		WithAccelGHz(1),
-		WithGrid(cgra.Grid5x5()),
 		WithDistribute(true),
 		WithCompilerMode(compiler.ModeDist))
 }
@@ -237,6 +242,17 @@ func DistDAOffChip() Config {
 	return MustConfig(DistDAIO,
 		WithName("Dist-DA-OffChip"),
 		WithOffChip(1<<20))
+}
+
+// DistDAPIM is the PIM-in-DRAM configuration: distributed offload lowering
+// as in Dist-DA-IO, but every region executes on bank-level compute units
+// at the DRAM channel (1 GHz engine clock, channel-bandwidth-bound issue,
+// no NoC traversal for resident data).
+func DistDAPIM() Config {
+	return MustConfig(DistDAIO,
+		WithName("Dist-DA-PIM"),
+		WithBackend("pimdram"),
+		WithAccelGHz(1))
 }
 
 // AllPaperConfigs returns the six configurations of §VI-A in paper order.

@@ -1,0 +1,63 @@
+package sim
+
+// Deprecated substrate-era configuration surface, kept for one release.
+// The Substrate enum and the CGRA-only WithGrid option predate the
+// pluggable backend registry (internal/backend); new code selects backends
+// by name with WithBackend and moves backend-specific knobs into
+// backend-scoped options. This file is the only non-test code outside
+// internal/backend allowed to import the concrete accelerator packages
+// (scripts/verify.sh enforces the ban and exempts it explicitly).
+
+import (
+	"distda/internal/backend"
+	"distda/internal/cgra"
+)
+
+// Substrate selects the accelerator execution substrate.
+//
+// Deprecated: backends are selected by registry name; use WithBackend.
+type Substrate int
+
+const (
+	// SubNone: no accelerators (the OoO baseline).
+	//
+	// Deprecated: use WithBackend("").
+	SubNone Substrate = iota
+	// SubIO: lightweight single-issue in-order cores.
+	//
+	// Deprecated: use WithBackend("iocore").
+	SubIO
+	// SubCGRA: statically mapped CGRA fabric.
+	//
+	// Deprecated: use WithBackend("cgra", backend.Opt("grid", ...)).
+	SubCGRA
+)
+
+// WithSubstrate selects the accelerator execution substrate.
+//
+// Deprecated: use WithBackend. SubCGRA keeps any grid option already set
+// (or the one a later WithGrid supplies).
+func WithSubstrate(s Substrate) Option {
+	return func(c *Config) {
+		switch s {
+		case SubNone:
+			c.Backend = ""
+			c.BackendOpts = nil
+		case SubIO:
+			c.Backend = "iocore"
+			c.BackendOpts = nil
+		case SubCGRA:
+			c.Backend = "cgra"
+		}
+	}
+}
+
+// WithGrid sets the CGRA fabric provisioning.
+//
+// Deprecated: use WithBackend("cgra", backend.Opt("grid", g.Name)).
+func WithGrid(g cgra.GridConfig) Option {
+	return func(c *Config) {
+		c.Backend = "cgra"
+		c.BackendOpts = append(c.BackendOpts, backend.Opt("grid", g.Name))
+	}
+}

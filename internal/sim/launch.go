@@ -4,11 +4,10 @@ import (
 	"fmt"
 
 	"distda/internal/accessunit"
-	"distda/internal/cgra"
+	"distda/internal/backend"
 	"distda/internal/core"
 	"distda/internal/energy"
 	"distda/internal/engine"
-	"distda/internal/iocore"
 	"distda/internal/ir"
 	"distda/internal/microcode"
 	"distda/internal/noc"
@@ -29,10 +28,29 @@ type accelRT struct {
 	regs     regFile
 }
 
-// regFile abstracts cp_set_rf / cp_load_rf over both substrates.
+// regFile abstracts cp_set_rf / cp_load_rf over every backend engine.
 type regFile interface {
 	SetReg(r int, v float64)
 	Reg(r int) float64
+}
+
+// backendFor resolves the accelerator backend executing a region: the
+// partitioner's per-region choice (Region.Backend) wins over the config
+// default. Backend options follow the config's backend only — a region
+// steered elsewhere gets that backend's defaults.
+func (h *host) backendFor(reg *core.Region) (backend.Backend, backend.Options) {
+	name := reg.Backend
+	opts := h.m.cfg.BackendOpts
+	if name == "" {
+		name = h.m.cfg.Backend
+	} else if name != h.m.cfg.Backend {
+		opts = nil
+	}
+	be, ok := backend.Lookup(name)
+	if !ok {
+		h.failf("launch: region %s has no registered accelerator backend (%q)", reg.Name, name)
+	}
+	return be, opts
 }
 
 // mmioHost accounts one host-initiated MMIO transaction to a cluster.
@@ -67,6 +85,7 @@ func (h *host) launch(reg *core.Region) {
 		return
 	}
 	m.launches++
+	be, beOpts := h.backendFor(reg)
 	m.scoped = m.scoped[:0] // deferred trace attachments for this launch
 	// Profiling: the dispatch phase spans every host cycle from here (flush,
 	// buffer planning, MMIO configuration) until the engine takes over.
@@ -131,6 +150,15 @@ func (h *host) launch(reg *core.Region) {
 					break
 				}
 			}
+		}
+	}
+	// In-DRAM backends execute at the memory controller: every engine and
+	// its access FSMs sit at the channel and fetch through the direct-DRAM
+	// path — resident data never crosses the on-chip NoC.
+	if be.Caps().InDRAM {
+		for _, rt := range rts {
+			rt.offChip = true
+			rt.cluster = 7 // the memory-controller node
 		}
 	}
 
@@ -212,9 +240,8 @@ func (h *host) launch(reg *core.Region) {
 		}
 	}
 
-	// Pass 4: cores / fabrics, scalar initialization, cp_run.
-	var ioCores []*iocore.Core
-	var fabrics []*cgra.Fabric
+	// Pass 4: backend engines, scalar initialization, cp_run.
+	var engines []backend.Engine
 	var randomPorts []*accessunit.RandomPort
 	for _, rt := range rts {
 		fetch := h.fetcherFor(rt)
@@ -242,43 +269,22 @@ func (h *host) launch(reg *core.Region) {
 			}
 		}
 		randomPorts = append(randomPorts, rp)
-		switch m.cfg.Substrate {
-		case SubIO:
-			c, err := iocore.New(rt.def, trips[rt.def.ID], rt.inPorts, rt.outPorts, rp, m.meter)
-			if err != nil {
-				h.failf("launch: %v", err)
-			}
-			c.Width = m.cfg.IOWidth
-			c.ClockDiv = int64(engine.Div(m.cfg.AccelGHz))
-			c.StallHist = m.met.Histogram("iocore/stall_lat")
-			if m.tr != nil {
-				id := rt.def.ID
-				m.scoped = append(m.scoped, func(off int64) {
-					c.Trace = m.tr.Component(fmt.Sprintf("core:%d", id)).At(off)
-				})
-			}
-			rt.regs = c
-			ioCores = append(ioCores, c)
-			addComp(c, m.cfg.AccelGHz)
-		case SubCGRA:
-			f, err := cgra.NewFabric(rt.def, m.cfg.Grid, trips[rt.def.ID], rt.inPorts, rt.outPorts, rp,
-				int64(engine.Div(m.cfg.AccelGHz)), m.meter)
-			if err != nil {
-				h.failf("launch: %v", err)
-			}
-			f.IterHist = m.met.Histogram("cgra/iter_lat")
-			if m.tr != nil {
-				id := rt.def.ID
-				m.scoped = append(m.scoped, func(off int64) {
-					f.Trace = m.tr.Component(fmt.Sprintf("fabric:%d", id)).At(off)
-				})
-			}
-			rt.regs = f
-			fabrics = append(fabrics, f)
-			addComp(f, m.cfg.AccelGHz)
-		default:
-			h.failf("launch: config %q has no accelerator substrate", m.cfg.Name)
+		e, err := be.NewEngine(backend.LaunchSpec{
+			Def: rt.def, Trips: trips[rt.def.ID],
+			In: rt.inPorts, Out: rt.outPorts, Random: rp,
+			GHz: m.cfg.AccelGHz, Width: m.cfg.IOWidth,
+			Meter: m.meter, Metrics: m.met, Opts: beOpts,
+		})
+		if err != nil {
+			h.failf("launch: backend %s: %v", be.Name(), err)
 		}
+		if m.tr != nil {
+			e := e
+			m.scoped = append(m.scoped, func(off int64) { e.AttachTrace(m.tr, off) })
+		}
+		rt.regs = e
+		engines = append(engines, e)
+		addComp(e, m.cfg.AccelGHz)
 		firstLaunch := !m.scalarsSent[rt.def]
 		m.scalarsSent[rt.def] = true
 		for _, sb := range rt.def.ScalarInit {
@@ -371,11 +377,8 @@ func (h *host) launch(reg *core.Region) {
 			m.mmioHost(core.CpLoadRF, rt.cluster)
 		}
 	}
-	for _, c := range ioCores {
-		m.accelOps += c.Ops
-	}
-	for _, f := range fabrics {
-		m.accelOps += f.Ops
+	for _, e := range engines {
+		m.accelOps += e.Ops()
 	}
 	for _, rp := range randomPorts {
 		m.accelMemElem += rp.Loads + rp.Stores
@@ -390,40 +393,11 @@ func (h *host) launch(reg *core.Region) {
 		queue := int64((start - hostNow) * float64(hostDiv))
 		writeback := int64((m.hostTimeline() - wbStart) * float64(hostDiv))
 		pr.AddLaunch(dispatch, queue, base, writeback)
-		// Per-component attribution. Cores/fabrics are constructed fresh each
-		// launch and (the substrate is uniform per config) index-align with
-		// rts, so their counters are per-launch values.
-		for i, c := range ioCores {
-			label := fmt.Sprintf("core:%d", rts[i].def.ID)
-			pc := m.prof.Component("core", label)
-			pc.AddBusy(c.BusyBaseCycles())
-			pc.AddStall(c.StallBaseCycles())
-			pc.AddEvents(c.Ops)
-			pr.AddComponent(label, c.BusyBaseCycles()+c.StallBaseCycles())
-		}
-		for i, f := range fabrics {
-			label := fmt.Sprintf("fabric:%d", rts[i].def.ID)
-			pc := m.prof.Component("fabric", label)
-			pc.AddBusy(f.BusyBaseCycles())
-			pc.AddEvents(f.Ops)
-			pr.AddComponent(label, f.BusyBaseCycles())
-			// Per-tile attribution, by PE class: each mapped op occupies one
-			// PE of its class for one fabric cycle per iteration (the mapper
-			// is analytic — modulo scheduling without physical placement).
-			intOps, cplxOps, fpOps, memOps := f.TileOps()
-			for _, tc := range []struct {
-				class string
-				ops   int64
-			}{{"int", intOps}, {"complex", cplxOps}, {"float", fpOps}, {"mem", memOps}} {
-				if tc.ops == 0 {
-					continue
-				}
-				tile := m.prof.Component("cgra_tile", label+"."+tc.class)
-				// One fabric cycle per op per iteration, in base cycles:
-				// BusyBaseCycles() is Iters x clock divisor.
-				tile.AddBusy(tc.ops * f.BusyBaseCycles())
-				tile.AddEvents(tc.ops * f.Iters)
-			}
+		// Per-component attribution. Engines are constructed fresh each launch,
+		// so their counters are per-launch values; each backend folds its own
+		// breakdown (core busy/stall, per-tile CGRA occupancy, ...) in.
+		for _, e := range engines {
+			e.AddProfile(m.prof, pr)
 		}
 	}
 }

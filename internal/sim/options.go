@@ -3,8 +3,9 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"strings"
 
-	"distda/internal/cgra"
+	"distda/internal/backend"
 	"distda/internal/compiler"
 	"distda/internal/engine"
 	"distda/internal/ir"
@@ -71,29 +72,51 @@ func (c Config) Validate() error {
 	if c.Centralized && c.Distribute {
 		return fail("Centralized (Mono-CA) and Distribute (Dist-DA) are mutually exclusive")
 	}
-	if c.Substrate == SubNone {
+	if !c.HasAccel() {
 		if c.Distribute {
-			return fail("Distribute requires an accelerator substrate")
+			return fail("Distribute requires an accelerator backend")
 		}
 		if c.Centralized {
-			return fail("Centralized accesses require an accelerator substrate")
+			return fail("Centralized accesses require an accelerator backend")
 		}
 		if c.AccelGHz != 0 {
-			return fail("AccelGHz %d set without an accelerator substrate", c.AccelGHz)
+			return fail("AccelGHz %d set without an accelerator backend", c.AccelGHz)
+		}
+		if len(c.BackendOpts) > 0 {
+			return fail("backend options set without an accelerator backend")
+		}
+		if c.PIMThreshold != 0 {
+			return fail("PIMThreshold set without an accelerator backend")
 		}
 	} else {
+		be, ok := backend.Lookup(c.Backend)
+		if !ok {
+			return fail("unknown accelerator backend %q (registered: %s)",
+				c.Backend, strings.Join(backend.Names(), ", "))
+		}
+		if err := be.ValidateOptions(c.BackendOpts); err != nil {
+			return fail("%v", err)
+		}
 		if c.AccelGHz < 1 || c.AccelGHz > 3 {
 			return fail("AccelGHz %d outside the modeled 1-3 GHz range", c.AccelGHz)
 		}
+		if c.IOWidth < 1 {
+			return fail("request port width %d < 1", c.IOWidth)
+		}
+		if w := be.Caps().MaxPortWidth; c.IOWidth > w {
+			return fail("request port width %d exceeds backend %q maximum %d", c.IOWidth, c.Backend, w)
+		}
+		if c.PIMThreshold != 0 {
+			if c.PIMThreshold < 0 {
+				return fail("PIMThreshold %d negative", c.PIMThreshold)
+			}
+			if _, ok := backend.Lookup("pimdram"); !ok {
+				return fail("PIMThreshold set but no \"pimdram\" backend registered")
+			}
+		}
 	}
-	if c.Centralized && c.Substrate != SubIO {
-		return fail("Mono-CA centralized accesses are modeled on the in-order substrate only")
-	}
-	if c.Substrate == SubCGRA && c.Grid.IntPEs <= 0 {
-		return fail("CGRA substrate without a provisioned grid")
-	}
-	if c.Substrate == SubIO && c.IOWidth < 1 {
-		return fail("in-order issue width %d < 1", c.IOWidth)
+	if c.Centralized && c.Backend != "iocore" {
+		return fail("Mono-CA centralized accesses are modeled on the in-order backend only")
 	}
 	if c.BufElems <= 0 {
 		return fail("BufElems %d must be positive", c.BufElems)
@@ -125,8 +148,26 @@ func (c Config) Validate() error {
 // WithName replaces the configuration's display name.
 func WithName(name string) Option { return func(c *Config) { c.Name = name } }
 
-// WithSubstrate selects the accelerator execution substrate.
-func WithSubstrate(s Substrate) Option { return func(c *Config) { c.Substrate = s } }
+// WithBackend selects the registered accelerator backend executing
+// offloaded regions, plus any backend-scoped options:
+//
+//	sim.WithBackend("cgra", backend.Opt("grid", "5x5"))
+//
+// It replaces any backend options set so far. An empty name restores the
+// accelerator-free OoO baseline.
+func WithBackend(name string, opts ...backend.Option) Option {
+	return func(c *Config) {
+		c.Backend = name
+		c.BackendOpts = backend.Options(opts)
+	}
+}
+
+// WithPIMThreshold enables per-region PIM-in-DRAM selection: offloaded
+// regions whose summed object footprint is at least threshold bytes are
+// steered to the "pimdram" backend instead of Config.Backend.
+func WithPIMThreshold(threshold int) Option {
+	return func(c *Config) { c.PIMThreshold = threshold }
+}
 
 // WithDistribute toggles distributed computation (Dist-DA).
 func WithDistribute(on bool) Option { return func(c *Config) { c.Distribute = on } }
@@ -136,9 +177,6 @@ func WithCentralized(on bool) Option { return func(c *Config) { c.Centralized = 
 
 // WithAccelGHz sets the accelerator clock (modeled range 1-3).
 func WithAccelGHz(ghz int) Option { return func(c *Config) { c.AccelGHz = ghz } }
-
-// WithGrid sets the CGRA fabric provisioning.
-func WithGrid(g cgra.GridConfig) Option { return func(c *Config) { c.Grid = g } }
 
 // WithBufElems sets the per-buffer decoupling window, in elements.
 func WithBufElems(n int) Option { return func(c *Config) { c.BufElems = n } }

@@ -37,7 +37,7 @@ func TestProfilerDifferential(t *testing.T) {
 			// The profiled run must actually have attributed something for
 			// accelerated configs — a silently dead profiler would also pass
 			// the differential check.
-			if cfg.Substrate != SubNone && onRes.Launches > 0 {
+			if cfg.HasAccel() && onRes.Launches > 0 {
 				if len(onCfg.Profile.Regions()) == 0 {
 					t.Errorf("%s on %s: profiler captured no regions despite %d launches",
 						w.Name, cfg.Name, onRes.Launches)

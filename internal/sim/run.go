@@ -22,7 +22,7 @@ func Run(k *ir.Kernel, params map[string]float64, data map[string][]float64, cfg
 func RunAnnotated(k *ir.Kernel, params map[string]float64, data map[string][]float64, cfg Config,
 	annotate func(*compiler.Compiled) error) (*Result, error) {
 	var compiled *compiler.Compiled
-	if cfg.Substrate != SubNone {
+	if cfg.HasAccel() {
 		var err error
 		compiled, err = Compiled(k, cfg)
 		if err != nil {
@@ -43,10 +43,10 @@ func RunAnnotated(k *ir.Kernel, params map[string]float64, data map[string][]flo
 // simulator only reads the artifact, so one compilation may be shared
 // across concurrent runs of configurations with the same compiler
 // options — the experiment matrix memoizes on this. compiled is ignored
-// for substrate-less (OoO) configs.
+// for backend-less (OoO) configs.
 func RunPrecompiled(k *ir.Kernel, params map[string]float64, data map[string][]float64, cfg Config,
 	compiled *compiler.Compiled) (*Result, error) {
-	if cfg.Substrate == SubNone {
+	if !cfg.HasAccel() {
 		compiled = nil
 	}
 	var refData map[string][]float64
@@ -93,6 +93,7 @@ func CompileOptions(cfg Config) compiler.Options {
 		NoObjConstraint:        cfg.NoObjConstr,
 		NoStreamSpecialization: cfg.NoStreams,
 		NoEpilogueFold:         cfg.NoFolding,
+		PIMBytes:               cfg.PIMThreshold,
 	}
 }
 

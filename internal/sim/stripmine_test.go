@@ -104,7 +104,7 @@ func TestConfigConstructors(t *testing.T) {
 		if cfg.Name == "" {
 			t.Fatal("unnamed config")
 		}
-		if cfg.Substrate != SubNone && cfg.AccelGHz == 0 {
+		if cfg.HasAccel() && cfg.AccelGHz == 0 {
 			t.Fatalf("%s: no accel clock", cfg.Name)
 		}
 	}

@@ -23,7 +23,7 @@ if [ $# -lt 2 ]; then
 fi
 BASE=$1
 CUR=$2
-PATTERN=${3:-'^Benchmark(EngineLoop|ReproMatrix|BuildMatrix|Executors)'}
+PATTERN=${3:-'^Benchmark(EngineLoop|ReproMatrix|BuildMatrix|Executors|PIMWorkload)'}
 MAX=${4:-1.15}
 
 # Each benchmark object is emitted on its own line by bench.sh, so a

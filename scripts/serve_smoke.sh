@@ -1,8 +1,10 @@
 #!/bin/sh
 # serve_smoke.sh — end-to-end smoke test for the distda-serve job server:
-# starts a server, submits one run job and one matrix job over HTTP, and
-# asserts the served bytes are identical to the equivalent batch CLI
-# invocations (the serving layer's core guarantee). Requires curl and jq.
+# builds the CLIs, generates batch reference outputs, starts a server, and
+# runs distda-smoke (cmd/distda-smoke), which submits a run job and a
+# matrix job through the internal/serveclient Go client and asserts the
+# served bytes are identical to the batch CLI invocations (the serving
+# layer's core guarantee). No curl/jq needed.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -19,7 +21,7 @@ cleanup() {
 trap cleanup EXIT INT TERM
 
 echo "== build"
-go build -o "$tmp/bin/" ./cmd/distda-serve ./cmd/distda-run ./cmd/distda-repro
+go build -o "$tmp/bin/" ./cmd/distda-serve ./cmd/distda-run ./cmd/distda-repro ./cmd/distda-smoke
 
 echo "== batch CLI reference output"
 "$tmp/bin/distda-run" -w fdtd-2d -c Dist-DA-F -scale test -cache-dir "$tmp/cache" >"$tmp/run.want" 2>/dev/null
@@ -40,48 +42,9 @@ if [ -z "$base" ]; then
     cat "$tmp/serve.log" >&2
     exit 1
 fi
-curl -fsS "$base/healthz" >/dev/null
 
-submit_and_fetch() {
-    # $1 job spec JSON, $2 output file
-    id=$(curl -fsS -X POST -d "$1" "$base/api/v1/jobs" | jq -r .id)
-    for _ in $(seq 1 300); do
-        state=$(curl -fsS "$base/api/v1/jobs/$id" | jq -r .state)
-        case "$state" in
-            done) break ;;
-            failed|canceled)
-                echo "job $id ended $state:" >&2
-                curl -fsS "$base/api/v1/jobs/$id" >&2
-                exit 1 ;;
-        esac
-        sleep 0.2
-    done
-    curl -fsS "$base/api/v1/jobs/$id/result" >"$2"
-}
-
-echo "== run job"
-submit_and_fetch '{"workload": "fdtd-2d", "config": "Dist-DA-F", "scale": "test"}' "$tmp/run.got"
-cmp "$tmp/run.want" "$tmp/run.got" || {
-    echo "served run output differs from distda-run" >&2
-    exit 1
-}
-
-echo "== matrix job"
-submit_and_fetch '{"kind": "matrix", "scale": "test", "selection": {"figs": ["7"]}}' "$tmp/matrix.got"
-cmp "$tmp/matrix.want" "$tmp/matrix.got" || {
-    echo "served matrix output differs from distda-repro" >&2
-    exit 1
-}
-
-echo "== cached resubmission"
-hits_before=$(curl -fsS "$base/api/v1/stats" | jq .cache_hits)
-submit_and_fetch '{"workload": "fdtd-2d", "config": "Dist-DA-F", "scale": "test"}' "$tmp/run.again"
-cmp "$tmp/run.want" "$tmp/run.again"
-hits_after=$(curl -fsS "$base/api/v1/stats" | jq .cache_hits)
-if [ "$hits_after" -le "$hits_before" ]; then
-    echo "resubmission did not hit the result cache ($hits_before -> $hits_after)" >&2
-    exit 1
-fi
+"$tmp/bin/distda-smoke" -base "$base" \
+    -run-want "$tmp/run.want" -matrix-want "$tmp/matrix.want"
 
 echo "== graceful shutdown"
 kill -TERM "$pid"

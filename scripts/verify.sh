@@ -15,8 +15,9 @@ go test ./...
 echo "== go vet ./..."
 go vet ./...
 
-echo "== go test -race ./internal/exp/... ./internal/sim/... ./internal/serve/..."
-go test -race ./internal/exp/... ./internal/sim/... ./internal/serve/...
+echo "== go test -race (parallel-heavy packages)"
+go test -race ./internal/exp/... ./internal/sim/... ./internal/serve/... \
+    ./internal/serveclient/... ./internal/backend/... ./internal/pimdram/...
 
 echo "== no sim.Config struct literals outside internal/sim"
 # Configs must come from the constructors + functional options so Validate
@@ -56,6 +57,26 @@ viol=$(grep -rn 'ir\.Run(' cmd internal examples --include='*.go' \
     | grep -v '_test\.go:' || true)
 if [ -n "$viol" ]; then
     echo "tree-walk ir.Run outside internal/ir or tests (use ir.ProgramFor(k).Run):" >&2
+    echo "$viol" >&2
+    exit 1
+fi
+
+echo "== no direct accelerator imports outside internal/backend"
+# The backend registry (internal/backend) is the only seam the rest of the
+# tree may reach accelerators through: sim, compiler, partition and profile
+# stay accelerator-agnostic, and new engines plug in by registering.
+# internal/sim/deprecated.go keeps the pre-registry option shims alive for
+# one release and is the single documented exemption; tests may import the
+# concrete packages to reach their own internals.
+viol=$(grep -rn '"distda/internal/\(iocore\|cgra\|pimdram\)"' cmd internal examples --include='*.go' \
+    | grep -v '^internal/backend/' \
+    | grep -v '^internal/iocore/' \
+    | grep -v '^internal/cgra/' \
+    | grep -v '^internal/pimdram/' \
+    | grep -v '^internal/sim/deprecated\.go:' \
+    | grep -v '_test\.go:' || true)
+if [ -n "$viol" ]; then
+    echo "direct accelerator import outside internal/backend (go through backend.Lookup):" >&2
     echo "$viol" >&2
     exit 1
 fi
