@@ -1,6 +1,11 @@
 # Convenience targets; the source of truth for the gate is scripts/verify.sh.
 
-.PHONY: build test vet race fmt verify bench serve serve-smoke clean-cache
+# Pinned lint tool versions — keep in sync with scripts/verify.sh and
+# .github/workflows/ci.yml.
+STATICCHECK_VERSION = 2025.1.1
+GOVULNCHECK_VERSION = v1.1.4
+
+.PHONY: build test vet race fmt lint lint-tools verify bench serve serve-smoke clean-cache
 
 build:
 	go build ./...
@@ -12,13 +17,24 @@ vet:
 	go vet ./...
 
 race:
-	go test -race ./internal/exp/... ./internal/sim/... ./internal/serve/... \
-	    ./internal/serveclient/... ./internal/backend/... ./internal/pimdram/...
+	go test -race ./internal/engine/... ./internal/exp/... ./internal/sim/... \
+	    ./internal/serve/... ./internal/serveclient/... ./internal/backend/... \
+	    ./internal/pimdram/...
 
 fmt:
 	gofmt -l cmd internal examples
 
-# The full pre-merge gate: build + test + vet + race + gofmt.
+# Static analysis + known-vulnerability scan. Skips any tool that is not
+# installed (the hermetic dev container ships neither); `make lint-tools`
+# installs the pinned versions where the network allows it.
+lint:
+	sh scripts/verify.sh lint
+
+lint-tools:
+	go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+
+# The full pre-merge gate: build + test + vet + race + lint + gofmt.
 verify:
 	sh scripts/verify.sh
 

@@ -53,6 +53,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	pim := fs.Bool("pim", false, "compare near-L3 offload against the PIM-in-DRAM backend")
 	parallel := fs.Int("parallel", 0, "worker count for the experiment matrix (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
 	engineMode := fs.String("engine", "adaptive", "engine scheduler: adaptive, event, naive (bit-identical output, wall-clock only)")
+	shards := fs.Int("shards", 1, "goroutine shards per offload launch, one per NUCA island (bit-identical output, wall-clock only)")
 	metrics := fs.Bool("metrics", false, "print the matrix's merged per-component metrics table (includes artifact cache hit/miss counters)")
 	statsPath := fs.String("stats", "", "write the matrix's merged gem5-style stats dump (cycle/energy attribution) to this file")
 	foldedPath := fs.String("folded", "", "write the matrix's folded stacks of simulated time (FlameGraph/speedscope input) to this file")
@@ -146,6 +147,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		CellTimeout: *cellTimeout,
 		Retries:     *retries,
 		EngineMode:  emode,
+		Shards:      *shards,
 	}
 	// Live introspection: the /progress view is fed per-cell completion
 	// events from exp.Build; expvar and pprof expose the host process.

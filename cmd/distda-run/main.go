@@ -48,6 +48,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ghz := fs.Int("ghz", 0, "override accelerator clock (1, 2, 3)")
 	threads := fs.Int("threads", 1, "software threads for parallel-annotated loops")
 	naive := fs.Bool("naive-engine", false, "use the reference one-tick-at-a-time engine scheduler (bit-identical results, slower)")
+	shards := fs.Int("shards", 1, "execute each offload launch across up to N goroutine shards, one per NUCA island (bit-identical results, wall-clock only)")
 	engineMode := fs.String("engine", "adaptive", "engine scheduler: adaptive, event, naive (bit-identical results, wall-clock only)")
 	traceOut := fs.String("trace", "", "write a Chrome trace_event JSON file (load in chrome://tracing or Perfetto)")
 	metrics := fs.Bool("metrics", false, "print the per-component metrics table after the result")
@@ -103,6 +104,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	cfg.EngineMode = mode
 	cfg.NaiveEngine = *naive
+	cfg.Shards = *shards
 	var tr *trace.Tracer
 	if *traceOut != "" {
 		tr = trace.New()

@@ -47,7 +47,7 @@ func main() {
 	chSrc, _ := accessunit.NewBuffer(16, meter)
 	chDst, _ := accessunit.NewBuffer(16, meter)
 	chPort := accessunit.NewInPort(chDst, 0)
-	link := accessunit.NewLink(chSrc, chDst, mesh, 0, 3, 8, stats)
+	linkTx, linkRx := accessunit.NewLocalLink(chSrc, chDst, mesh, 0, 3, 8, stats)
 	bufOut, _ := accessunit.NewBuffer(32, meter)
 	drain, err := accessunit.NewStreamOut(bufOut, mem, fetch, 3, "out", 0, 1, stats, meter)
 	if err != nil {
@@ -125,7 +125,8 @@ func main() {
 	eng := engine.New()
 	eng.Add(fill, 2)
 	eng.Add(core0, 2)
-	eng.Add(link, 2)
+	eng.Add(linkTx, 2)
+	eng.Add(linkRx, 2)
 	eng.Add(core1, 2)
 	eng.Add(drain, 2)
 	baseCycles, err := eng.Run(1 << 24)

@@ -407,15 +407,16 @@ func TestLinkMovesDataAndCloses(t *testing.T) {
 	src, _ := NewBuffer(8, nil)
 	dst, _ := NewBuffer(8, nil)
 	rd := dst.AttachReader(0)
-	link := NewLink(src, dst, mesh, 0, 3, 8, stats)
+	tx, rx := NewLocalLink(src, dst, mesh, 0, 3, 8, stats)
 
 	for i := 0; i < 8; i++ {
 		src.Push(float64(i))
 	}
 	src.Close()
 	var got []float64
-	for now := int64(0); now < 1000 && !link.Done(); now++ {
-		link.Step(now)
+	for now := int64(0); now < 1000 && !(tx.Done() && rx.Done()); now++ {
+		tx.Step(now)
+		rx.Step(now)
 		for dst.CanPop(rd) {
 			got = append(got, dst.Pop(rd))
 		}
@@ -448,11 +449,12 @@ func TestLinkColocatedNoAATraffic(t *testing.T) {
 	src, _ := NewBuffer(4, nil)
 	dst, _ := NewBuffer(4, nil)
 	rd := dst.AttachReader(0)
-	link := NewLink(src, dst, mesh, 2, 2, 8, stats)
+	tx, rx := NewLocalLink(src, dst, mesh, 2, 2, 8, stats)
 	src.Push(42)
 	src.Close()
-	for now := int64(0); now < 100 && !link.Done(); now++ {
-		link.Step(now)
+	for now := int64(0); now < 100 && !(tx.Done() && rx.Done()); now++ {
+		tx.Step(now)
+		rx.Step(now)
 		for dst.CanPop(rd) {
 			dst.Pop(rd)
 		}
@@ -467,12 +469,13 @@ func TestLinkBackPressure(t *testing.T) {
 	stats := &Stats{}
 	src, _ := NewBuffer(64, nil)
 	dst, _ := NewBuffer(2, nil) // tiny consumer buffer
-	link := NewLink(src, dst, mesh, 0, 1, 8, stats)
+	tx, rx := NewLocalLink(src, dst, mesh, 0, 1, 8, stats)
 	for i := 0; i < 32; i++ {
 		src.Push(float64(i))
 	}
 	for now := int64(0); now < 50; now++ {
-		link.Step(now)
+		tx.Step(now)
+		rx.Step(now)
 	}
 	// Consumer never pops: at most cap(dst) may be delivered or in flight.
 	if dst.Occupancy() > 2 {

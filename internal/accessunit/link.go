@@ -5,112 +5,299 @@ import (
 	"distda/internal/noc"
 )
 
-// Link realizes one producer→consumer channel across access units (Fig. 4):
-// the producer's cp_produce lands in its local buffer; the link moves
-// elements over the NoC into the consumer-side buffer, respecting consumer
-// space (credit-based back-pressure); cp_consume pops locally. Co-located
-// endpoints still pay local buffer traffic but no NoC energy.
-type Link struct {
-	src       *Buffer
-	srcReader int
-	dst       *Buffer
-	mesh      *noc.Mesh
-	srcNode   int
-	dstNode   int
-	elemBytes int
+// This file realizes one producer→consumer channel across access units
+// (Fig. 4) as a pair of engine components — LinkTx at the producer's node,
+// LinkRx at the consumer's — exchanging timestamped messages over a Wire.
+// Every cross-half observation is message-mediated with at least one cycle
+// of latency: elements and end-of-stream travel Tx→Rx at the NoC transfer
+// latency, and buffer space comes back Rx→Tx as batched credit returns
+// (credit-based flow control, §IV-C). That discipline is what makes the
+// halves shardable: a conservative time-window coordinator may run the two
+// sides on different goroutines and exchange their wires' messages only at
+// window barriers, because neither side ever reads the other's state
+// directly. In a serial engine the same halves are joined by a LocalWire
+// and behave identically cycle for cycle.
 
-	pending []arrival
-	sent    int64
-	closed  bool
-	stats   *Stats
+// Message kinds carried on a link's wires.
+const (
+	// LinkElem carries one stream element (Val is the payload).
+	LinkElem = iota
+	// LinkClose signals end-of-stream; it follows the last element.
+	LinkClose
+	// LinkCredit returns buffer credits to the sender (Val is the count).
+	LinkCredit
+)
+
+// LinkMsg is one timestamped message between link halves. At is the base
+// cycle at which the receiver may observe it; a receiver holding a message
+// early (a window coordinator delivers conservatively early) must wait for
+// its own clock to reach At.
+type LinkMsg struct {
+	At   int64
+	Kind int
+	Val  float64
 }
 
-type arrival struct {
-	t int64
-	v float64
+// WireSend is the sending end of a one-directional wire between link
+// halves. Messages must be sent with nondecreasing At (the NoC route is
+// FIFO); senders enforce this by clamping.
+type WireSend interface {
+	Send(m LinkMsg)
 }
 
-// linkInflight bounds elements in flight (credit window).
-const linkInflight = 8
+// WireRecv is the receiving end: Head exposes the earliest visible message
+// without consuming it.
+type WireRecv interface {
+	Head() (LinkMsg, bool)
+	Pop()
+}
+
+// LocalWire joins two link halves registered in the same engine: a plain
+// FIFO the receiver drains by timestamp. It is the serial (and
+// intra-shard) wire.
+type LocalWire struct {
+	q []LinkMsg
+}
+
+// Send appends a message.
+func (w *LocalWire) Send(m LinkMsg) { w.q = append(w.q, m) }
+
+// Head returns the earliest message, if any.
+func (w *LocalWire) Head() (LinkMsg, bool) {
+	if len(w.q) == 0 {
+		return LinkMsg{}, false
+	}
+	return w.q[0], true
+}
+
+// Pop consumes the head message.
+func (w *LocalWire) Pop() { w.q = w.q[1:] }
+
+// linkCredits bounds elements in flight per channel: the sender's initial
+// credit grant (clamped to the consumer buffer's capacity). Large enough
+// to cover the credit-return round trip at one element per cycle across
+// the mesh diagonal.
+const linkCredits = 32
 
 // creditBatch: one 8-byte credit-return control message per this many
 // delivered elements.
 const creditBatch = 8
 
-// NewLink wires src (producer-side buffer) to dst (consumer-side buffer).
-func NewLink(src, dst *Buffer, mesh *noc.Mesh, srcNode, dstNode, elemBytes int, stats *Stats) *Link {
-	return &Link{
-		src: src, srcReader: src.AttachReader(0), dst: dst,
-		mesh: mesh, srcNode: srcNode, dstNode: dstNode,
-		elemBytes: elemBytes, stats: stats,
+// LinkTx is the producer half: it pops the producer-side buffer and sends
+// elements (then end-of-stream) down the wire, spending credits the
+// receiver returns.
+type LinkTx struct {
+	src       *Buffer
+	srcReader int
+	mesh      *noc.Mesh
+	srcNode   int
+	dstNode   int
+	elemBytes int
+
+	out     WireSend
+	credits WireRecv
+	avail   int
+	lastAt  int64
+	closed  bool
+	stats   *Stats
+}
+
+// NewLinkTx builds the producer half. dstCap is the consumer buffer's
+// capacity (the credit clamp); out carries elements and close, credits
+// carries returns.
+func NewLinkTx(src *Buffer, mesh *noc.Mesh, srcNode, dstNode, elemBytes, dstCap int, out WireSend, credits WireRecv, stats *Stats) *LinkTx {
+	avail := linkCredits
+	if dstCap < avail {
+		avail = dstCap
+	}
+	return &LinkTx{
+		src: src, srcReader: src.AttachReader(0), mesh: mesh,
+		srcNode: srcNode, dstNode: dstNode, elemBytes: elemBytes,
+		out: out, credits: credits, avail: avail, stats: stats,
 	}
 }
 
-// Done reports that the producer closed and everything was delivered.
-func (l *Link) Done() bool { return l.closed }
+// send stamps and forwards one message, keeping arrival times monotone
+// (same-route messages never overtake).
+func (l *LinkTx) send(now int64, lat int, kind int, v float64) {
+	at := now + int64(lat)
+	if at < l.lastAt {
+		at = l.lastAt
+	}
+	l.lastAt = at
+	l.out.Send(LinkMsg{At: at, Kind: kind, Val: v})
+}
 
-// NextEvent implements engine.Hinter: the link acts immediately when it
-// can deliver an arrived element, inject a new one within its credit
-// window, or propagate end-of-stream; otherwise its next self-scheduled
-// event is the head in-flight element's arrival, and with nothing in
-// flight it is blocked on its endpoints.
-func (l *Link) NextEvent(now int64) int64 {
+// Done reports that end-of-stream was sent; late credit returns are
+// ignored.
+func (l *LinkTx) Done() bool { return l.closed }
+
+// remote reports whether the endpoints are on different mesh nodes.
+func (l *LinkTx) remote() bool { return l.mesh != nil && l.srcNode != l.dstNode }
+
+// NextEvent implements engine.Hinter.
+func (l *LinkTx) NextEvent(now int64) int64 {
 	if l.closed {
 		return 0
 	}
-	if len(l.pending) > 0 && l.pending[0].t <= now && l.dst.CanPush() {
-		return 0 // deliver now
+	if m, ok := l.credits.Head(); ok && m.At <= now {
+		return 0 // credits to collect
 	}
-	if len(l.pending) < linkInflight && l.src.CanPop(l.srcReader) &&
-		l.dst.Occupancy()+int64(len(l.pending)) < int64(l.dst.Cap()) {
+	if l.avail > 0 && l.src.CanPop(l.srcReader) {
 		return 0 // inject now
 	}
-	if len(l.pending) == 0 && l.src.Drained(l.srcReader) {
-		return 0 // propagate end-of-stream now
+	if l.src.Drained(l.srcReader) {
+		return 0 // propagate end-of-stream
 	}
-	if len(l.pending) > 0 && l.pending[0].t > now {
-		return l.pending[0].t // element in flight
+	if m, ok := l.credits.Head(); ok && m.At > now {
+		return m.At // credit in flight
 	}
-	return engine.Never // blocked on producer pushes or consumer pops
+	return engine.Never // blocked on producer pushes or credit returns
 }
 
 // Step advances one uncore clock.
-func (l *Link) Step(now int64) bool {
+func (l *LinkTx) Step(now int64) bool {
 	if l.closed {
 		return false
 	}
 	progress := false
-	remote := l.mesh != nil && l.srcNode != l.dstNode
-	// Deliver arrivals.
-	for len(l.pending) > 0 && l.pending[0].t <= now && l.dst.CanPush() {
-		l.dst.Push(l.pending[0].v)
-		l.pending = l.pending[1:]
-		progress = true
-		if l.sent%creditBatch == 0 && remote {
-			l.mesh.Transfer(l.dstNode, l.srcNode, 8, noc.AccCtrl)
+	for {
+		m, ok := l.credits.Head()
+		if !ok || m.At > now {
+			if ok {
+				progress = true // credit timer running
+			}
+			break
 		}
+		l.credits.Pop()
+		l.avail += int(m.Val)
+		progress = true
 	}
-	if len(l.pending) > 0 && l.pending[0].t > now {
-		progress = true // in-flight timer
-	}
-	// Inject new elements while credits allow.
-	for len(l.pending) < linkInflight && l.src.CanPop(l.srcReader) &&
-		l.dst.Occupancy()+int64(len(l.pending)) < int64(l.dst.Cap()) {
+	for l.avail > 0 && l.src.CanPop(l.srcReader) {
 		v := l.src.Pop(l.srcReader)
 		lat := 1
-		if remote {
+		if l.remote() {
 			lat = l.mesh.Transfer(l.srcNode, l.dstNode, l.elemBytes, noc.AccData)
 			l.stats.AABytes += int64(l.elemBytes)
 		}
-		l.sent++
-		l.pending = append(l.pending, arrival{t: now + int64(lat), v: v})
+		l.send(now, lat, LinkElem, v)
+		l.avail--
 		progress = true
 	}
-	// Propagate end-of-stream.
-	if l.src.Drained(l.srcReader) && len(l.pending) == 0 {
+	if l.src.Drained(l.srcReader) {
+		lat := 1
+		if l.remote() {
+			lat = l.mesh.MinLatency(l.srcNode, l.dstNode)
+		}
+		l.send(now, lat, LinkClose, 0)
+		l.closed = true
+		progress = true
+	}
+	return progress
+}
+
+// LinkRx is the consumer half: it delivers arrived elements into the
+// consumer-side buffer, returns credits in batches, and closes the buffer
+// on end-of-stream.
+type LinkRx struct {
+	dst     *Buffer
+	mesh    *noc.Mesh
+	srcNode int
+	dstNode int
+
+	in      WireRecv
+	credits WireSend
+	batch   int
+	lastAt  int64
+	closed  bool
+}
+
+// NewLinkRx builds the consumer half. in carries elements and close from
+// the Tx; credits carries returns back.
+func NewLinkRx(dst *Buffer, mesh *noc.Mesh, srcNode, dstNode int, in WireRecv, credits WireSend) *LinkRx {
+	return &LinkRx{dst: dst, mesh: mesh, srcNode: srcNode, dstNode: dstNode, in: in, credits: credits}
+}
+
+// Done reports that end-of-stream was delivered.
+func (l *LinkRx) Done() bool { return l.closed }
+
+func (l *LinkRx) remote() bool { return l.mesh != nil && l.srcNode != l.dstNode }
+
+// NextEvent implements engine.Hinter.
+func (l *LinkRx) NextEvent(now int64) int64 {
+	if l.closed {
+		return 0
+	}
+	m, ok := l.in.Head()
+	if !ok {
+		return engine.Never // blocked on the sender
+	}
+	if m.At > now {
+		return m.At // in flight
+	}
+	if m.Kind != LinkElem || l.dst.CanPush() {
+		return 0 // deliver or close now
+	}
+	return engine.Never // blocked on consumer pops
+}
+
+// Step advances one uncore clock.
+func (l *LinkRx) Step(now int64) bool {
+	if l.closed {
+		return false
+	}
+	progress := false
+	for {
+		m, ok := l.in.Head()
+		if !ok {
+			break
+		}
+		if m.At > now {
+			progress = true // in-flight timer
+			break
+		}
+		if m.Kind == LinkElem {
+			if !l.dst.CanPush() {
+				break
+			}
+			l.dst.Push(m.Val)
+			l.in.Pop()
+			progress = true
+			l.batch++
+			if l.batch == creditBatch {
+				l.returnCredits(now, l.batch)
+				l.batch = 0
+			}
+			continue
+		}
+		// LinkClose: always last on the wire.
+		l.in.Pop()
 		l.dst.Close()
 		l.closed = true
 		progress = true
 	}
 	return progress
+}
+
+// returnCredits sends one batched credit-return control message.
+func (l *LinkRx) returnCredits(now int64, n int) {
+	lat := 1
+	if l.remote() {
+		lat = l.mesh.Transfer(l.dstNode, l.srcNode, 8, noc.AccCtrl)
+	}
+	at := now + int64(lat)
+	if at < l.lastAt {
+		at = l.lastAt
+	}
+	l.lastAt = at
+	l.credits.Send(LinkMsg{At: at, Kind: LinkCredit, Val: float64(n)})
+}
+
+// NewLocalLink wires a Tx/Rx pair over LocalWires — the serial form used
+// when both halves run in one engine.
+func NewLocalLink(src, dst *Buffer, mesh *noc.Mesh, srcNode, dstNode, elemBytes int, stats *Stats) (*LinkTx, *LinkRx) {
+	fwd, back := &LocalWire{}, &LocalWire{}
+	tx := NewLinkTx(src, mesh, srcNode, dstNode, elemBytes, dst.Cap(), fwd, back, stats)
+	rx := NewLinkRx(dst, mesh, srcNode, dstNode, fwd, back)
+	return tx, rx
 }

@@ -97,6 +97,10 @@ func (h *Hierarchy) HomeCluster(addr int64) int {
 // Clusters returns the cluster count.
 func (h *Hierarchy) Clusters() int { return h.cfg.Clusters }
 
+// ClusterSpan returns the address-range chunk size anchoring data to
+// clusters (HomeCluster changes every ClusterSpan bytes).
+func (h *Hierarchy) ClusterSpan() int64 { return h.cfg.ClusterSpanBytes }
+
 // HostNode returns the host's mesh node.
 func (h *Hierarchy) HostNode() int { return h.cfg.HostNode }
 
@@ -272,6 +276,21 @@ func (h *Hierarchy) InvalidateAcceleratorRange(base, bytes int64) {
 	h.l1.InvalidateRange(base, bytes)
 	h.l2.InvalidateRange(base, bytes)
 }
+
+// ShardView returns a hierarchy that shares this one's cache levels (tags,
+// LRU state and hit/miss counters stay common) but routes NoC transfers and
+// DRAM accesses through the given shard-private mesh and memory. It exists
+// for the accelerator-side ClusterAccess path only: a shard's view must be
+// used exclusively for addresses homed at L3 slices that shard has claimed,
+// and never for host-side accesses (HostAccess, FlushRange, prefetch),
+// which remain the original hierarchy's business between engine runs.
+func (h *Hierarchy) ShardView(mesh *noc.Mesh, mem *dram.Memory) *Hierarchy {
+	return &Hierarchy{cfg: h.cfg, l1: h.l1, l2: h.l2, l3: h.l3, mem: mem, mesh: mesh}
+}
+
+// L3Slice exposes one cluster's L3 slice (for the sharded launch path's
+// per-run meter redirection).
+func (h *Hierarchy) L3Slice(cluster int) *Level { return h.l3[cluster] }
 
 // Levels exposes the raw levels for tests and reports.
 func (h *Hierarchy) Levels() (l1, l2 *Level, l3 []*Level) { return h.l1, h.l2, h.l3 }

@@ -1,0 +1,120 @@
+// Package shard parallelizes one simulation across goroutines while keeping
+// results bit-identical to a serial run.
+//
+// Two layers:
+//
+//   - Partition + Runner: claims-based islanding. Units (in the simulator:
+//     the accelerators of one launch) declare the resource tokens they may
+//     touch — NUCA L3 slices by home cluster, channel peerings, a shared
+//     private cache. Units sharing any token land in one island; islands
+//     therefore share no mutable state and may advance on independent
+//     engines with unbounded lookahead. The Runner executes islands across
+//     a fixed worker pool with a deterministic island→worker assignment,
+//     so scheduling (and the race detector's interleavings) can vary while
+//     every merge the caller performs happens in canonical island order.
+//
+//   - Graph + Channel: conservative time-window synchronization for shards
+//     that do exchange messages. Every cross-shard channel carries a fixed
+//     minimum latency L (the lookahead: in a NUCA mesh, the minimum
+//     cross-region NoC traversal). All shards advance inside a window of
+//     W <= min L base cycles; messages sent during a window are stamped
+//     with their delivery cycle and drained at the barrier in canonical
+//     (delivery cycle, channel registration order, send order) — a message
+//     sent at cycle t in window [k, k+W) delivers at t+L >= k+L >= k+W, so
+//     it is always injected at a barrier before the receiving shard's clock
+//     passes it, making the parallel schedule observationally identical to
+//     the serial one at any window size and shard count.
+package shard
+
+import "sort"
+
+// Partition is a union-find over units claiming resource tokens: units that
+// share any token end up in the same island. Claims are conservative — a
+// unit must claim every token it may touch during a run; over-claiming only
+// costs parallelism, never correctness.
+type Partition struct {
+	parent []int
+	tokens map[string]int
+	// readers holds, per token that has only been read so far, the units
+	// reading it. A write claim on the token unions them all; reads alone
+	// never couple (immutable state is safely shared).
+	readers map[string][]int
+	written map[string]bool
+}
+
+// NewPartition returns a partition over n units, initially all separate.
+func NewPartition(n int) *Partition {
+	p := &Partition{
+		parent: make([]int, n), tokens: map[string]int{},
+		readers: map[string][]int{}, written: map[string]bool{},
+	}
+	for i := range p.parent {
+		p.parent[i] = i
+	}
+	return p
+}
+
+// Claim records that unit may mutate the named token, unioning it with
+// every unit that claimed (read or wrote) the token before.
+func (p *Partition) Claim(unit int, token string) {
+	for _, r := range p.readers[token] {
+		p.Union(unit, r)
+	}
+	delete(p.readers, token)
+	p.written[token] = true
+	if prev, ok := p.tokens[token]; ok {
+		p.Union(unit, prev)
+		return
+	}
+	p.tokens[token] = unit
+}
+
+// ClaimRead records that unit may read (but never mutate) the named token.
+// Readers union with any writer of the token, in either claim order, but
+// not with each other.
+func (p *Partition) ClaimRead(unit int, token string) {
+	if p.written[token] {
+		p.Union(unit, p.tokens[token])
+		return
+	}
+	p.readers[token] = append(p.readers[token], unit)
+}
+
+// Union merges the islands of units a and b.
+func (p *Partition) Union(a, b int) {
+	ra, rb := p.find(a), p.find(b)
+	if ra == rb {
+		return
+	}
+	// Smaller root wins, keeping representatives stable under claim order.
+	if rb < ra {
+		ra, rb = rb, ra
+	}
+	p.parent[rb] = ra
+}
+
+func (p *Partition) find(x int) int {
+	for p.parent[x] != x {
+		p.parent[x] = p.parent[p.parent[x]]
+		x = p.parent[x]
+	}
+	return x
+}
+
+// Islands returns the partition as unit-index lists, each sorted ascending,
+// ordered by their smallest member. The result is a pure function of the
+// claims, independent of claim order.
+func (p *Partition) Islands() [][]int {
+	byRoot := map[int][]int{}
+	for u := range p.parent {
+		r := p.find(u)
+		byRoot[r] = append(byRoot[r], u)
+	}
+	out := make([][]int, 0, len(byRoot))
+	for _, members := range byRoot {
+		sort.Ints(members)
+		out = append(out, members)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

@@ -1,0 +1,67 @@
+package shard
+
+import "sync"
+
+// Runner executes island tasks across a fixed pool of worker goroutines.
+// Island i is assigned to worker i % Workers; each worker runs its islands
+// in ascending index order. The assignment is a pure function of (island
+// count, Workers), so which goroutine runs which island never depends on
+// timing — only completion order varies, and the caller merges results in
+// island order, making the whole construction schedule-independent.
+type Runner struct {
+	// Workers is the goroutine count. Values below 1 (or above the island
+	// count) are clamped.
+	Workers int
+	// Jitter, when set, is called by each worker immediately before it runs
+	// an island. It exists for tests: a jitter that sleeps pseudo-randomly
+	// permutes goroutine completion order, proving that merge results do
+	// not depend on it.
+	Jitter func(worker, island int)
+}
+
+// Run executes the island tasks and returns their errors indexed by island
+// (nil entries for islands that succeeded). It always waits for every
+// island, even after failures.
+func (r *Runner) Run(islands []func() error) []error {
+	errs := make([]error, len(islands))
+	workers := r.Workers
+	if workers > len(islands) {
+		workers = len(islands)
+	}
+	if workers <= 1 {
+		for i, fn := range islands {
+			if r.Jitter != nil {
+				r.Jitter(0, i)
+			}
+			errs[i] = fn()
+		}
+		return errs
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(islands); i += workers {
+				if r.Jitter != nil {
+					r.Jitter(w, i)
+				}
+				errs[i] = islands[i]()
+			}
+		}(w)
+	}
+	wg.Wait()
+	return errs
+}
+
+// FirstError returns the first non-nil error in island order, or nil.
+// Reporting the lowest-indexed failure keeps error output deterministic
+// under any completion order.
+func FirstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

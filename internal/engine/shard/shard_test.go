@@ -1,0 +1,319 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+
+	"distda/internal/engine"
+)
+
+func TestPartitionIslands(t *testing.T) {
+	p := NewPartition(5)
+	p.Claim(0, "a")
+	p.Claim(1, "a") // 0-1 share a
+	p.Claim(2, "b")
+	p.Claim(3, "c")
+	p.Claim(3, "b") // 2-3 share b
+	got := p.Islands()
+	want := [][]int{{0, 1}, {2, 3}, {4}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("islands = %v, want %v", got, want)
+	}
+}
+
+// TestPartitionClaimOrderIrrelevant checks Islands is a pure function of
+// the claim set: reversing claim order yields the same partition.
+func TestPartitionClaimOrderIrrelevant(t *testing.T) {
+	claims := []struct {
+		unit  int
+		token string
+	}{{0, "x"}, {3, "y"}, {1, "x"}, {2, "y"}, {4, "z"}, {0, "z"}}
+	fwd, rev := NewPartition(5), NewPartition(5)
+	for _, c := range claims {
+		fwd.Claim(c.unit, c.token)
+	}
+	for i := len(claims) - 1; i >= 0; i-- {
+		rev.Claim(claims[i].unit, claims[i].token)
+	}
+	if !reflect.DeepEqual(fwd.Islands(), rev.Islands()) {
+		t.Fatalf("claim order changed islands: %v vs %v", fwd.Islands(), rev.Islands())
+	}
+}
+
+// TestPartitionReadClaims: readers of a token never couple with each other,
+// but a write claim unions every reader — regardless of whether the write
+// lands before or after the reads.
+func TestPartitionReadClaims(t *testing.T) {
+	p := NewPartition(4)
+	p.ClaimRead(0, "ro")
+	p.ClaimRead(1, "ro")
+	p.ClaimRead(2, "ro")
+	if got := len(p.Islands()); got != 4 {
+		t.Fatalf("read-only sharing merged islands: %d", got)
+	}
+
+	// Write after reads: everyone who read the token joins the writer.
+	p.Claim(3, "ro")
+	if got := p.Islands(); len(got) != 1 {
+		t.Fatalf("write-after-read islands = %v, want one", got)
+	}
+
+	// Write before reads: later readers join the writer.
+	q := NewPartition(3)
+	q.Claim(0, "rw")
+	q.ClaimRead(1, "rw")
+	q.ClaimRead(2, "rw")
+	if got := q.Islands(); len(got) != 1 {
+		t.Fatalf("read-after-write islands = %v, want one", got)
+	}
+}
+
+func TestRunnerAssignmentAndFirstError(t *testing.T) {
+	r := &Runner{Workers: 2}
+	var workers [5]int
+	r.Jitter = func(worker, island int) { workers[island] = worker }
+	errs := r.Run([]func() error{
+		func() error { return nil },
+		func() error { return errTest("one") },
+		func() error { return nil },
+		func() error { return errTest("three") },
+		func() error { return nil },
+	})
+	// Island i runs on worker i % Workers, independent of timing.
+	for i, w := range workers {
+		if w != i%2 {
+			t.Fatalf("island %d ran on worker %d, want %d", i, w, i%2)
+		}
+	}
+	if err := FirstError(errs); err == nil || err.Error() != "one" {
+		t.Fatalf("FirstError = %v, want the lowest-indexed failure", err)
+	}
+}
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }
+
+// --- synthetic windowed-pipeline identity ---
+//
+// producer and consumer mirror the simulator's link protocol in miniature:
+// every cross-component observation is a timestamped message the receiver
+// holds until its own clock reaches Msg.At. The same components run under
+// one serial engine (messages visible immediately, gated on At) and under
+// the windowed Graph (messages delivered at barriers, gated on At) — the
+// checksum folds the receive cycle in, so any timing drift changes it.
+
+type producer struct {
+	n      int
+	period int64
+	lat    int64
+	send   func(at int64, v float64)
+	next   int64
+	sent   int
+}
+
+func (p *producer) Done() bool { return p.sent >= p.n }
+
+func (p *producer) NextEvent(now int64) int64 {
+	if p.Done() {
+		return 0
+	}
+	return p.next
+}
+
+func (p *producer) Step(now int64) bool {
+	if p.Done() || now < p.next {
+		return !p.Done() // timer running
+	}
+	p.send(now+p.lat, float64(p.sent+1))
+	p.sent++
+	p.next = now + p.period
+	return true
+}
+
+type consumer struct {
+	n     int
+	inbox []Msg
+	got   int
+	sum   float64
+}
+
+func (c *consumer) deliver(m Msg) { c.inbox = append(c.inbox, m) }
+
+func (c *consumer) Done() bool { return c.got >= c.n }
+
+func (c *consumer) NextEvent(now int64) int64 {
+	if c.Done() {
+		return 0
+	}
+	if len(c.inbox) == 0 {
+		return engine.Never
+	}
+	if at := c.inbox[0].At; at > now {
+		return at
+	}
+	return 0
+}
+
+func (c *consumer) Step(now int64) bool {
+	progress := false
+	for !c.Done() && len(c.inbox) > 0 {
+		m := c.inbox[0]
+		if m.At > now {
+			return true // in-flight timer
+		}
+		c.inbox = c.inbox[1:]
+		c.got++
+		c.sum += m.Val * float64(now+1)
+		progress = true
+	}
+	return progress
+}
+
+// ring builds s producer→consumer pairs where pair i's producer feeds pair
+// (i+1)%s's consumer, returning the components pair-indexed.
+func ring(s, n int, period, lat int64) (prods []*producer, cons []*consumer) {
+	prods = make([]*producer, s)
+	cons = make([]*consumer, s)
+	for i := 0; i < s; i++ {
+		cons[i] = &consumer{n: n}
+		prods[i] = &producer{n: n, period: period, lat: lat}
+	}
+	return prods, cons
+}
+
+// runSerial executes the ring on one engine, the reference schedule.
+func runSerial(s, n int, period, lat int64) (int64, []float64, error) {
+	prods, cons := ring(s, n, period, lat)
+	eng := engine.New()
+	for i := 0; i < s; i++ {
+		dst := cons[(i+1)%s]
+		prods[i].send = func(at int64, v float64) { dst.deliver(Msg{At: at, Val: v}) }
+		eng.Add(prods[i], 1)
+		eng.Add(cons[i], 1)
+	}
+	elapsed, err := eng.Run(1 << 20)
+	sums := make([]float64, s)
+	for i, c := range cons {
+		sums[i] = c.sum
+	}
+	return elapsed, sums, err
+}
+
+// runSharded executes the ring with one engine per pair under the Graph.
+func runSharded(s, n int, period, lat, window int64, workers int, jitter func(int, int)) (int64, []float64, error) {
+	prods, cons := ring(s, n, period, lat)
+	g := &Graph{Window: window, Workers: workers, Jitter: jitter}
+	for i := 0; i < s; i++ {
+		ch := &Channel{Latency: lat, To: (i + 1) % s}
+		dst := cons[(i+1)%s]
+		ch.Deliver = dst.deliver
+		prods[i].send = func(at int64, v float64) { ch.SendAt(at, 0, v) }
+		g.AddChannel(ch)
+		eng := engine.New()
+		eng.Add(prods[i], 1)
+		eng.Add(cons[i], 1)
+		g.AddShard(eng)
+	}
+	elapsed, err := g.Run(1 << 20)
+	sums := make([]float64, s)
+	for i, c := range cons {
+		sums[i] = c.sum
+	}
+	return elapsed, sums, err
+}
+
+func TestGraphMatchesSerial(t *testing.T) {
+	for _, tc := range []struct {
+		s, n                int
+		period, lat, window int64
+		workers             int
+	}{
+		{2, 16, 1, 4, 4, 2},
+		{2, 16, 1, 4, 1, 2}, // smaller window, same result
+		{3, 9, 3, 2, 2, 1},  // workers < shards
+		{4, 25, 2, 7, 5, 8}, // workers > shards
+	} {
+		sElapsed, sSums, err := runSerial(tc.s, tc.n, tc.period, tc.lat)
+		if err != nil {
+			t.Fatalf("%+v: serial: %v", tc, err)
+		}
+		gElapsed, gSums, err := runSharded(tc.s, tc.n, tc.period, tc.lat, tc.window, tc.workers, nil)
+		if err != nil {
+			t.Fatalf("%+v: sharded: %v", tc, err)
+		}
+		if sElapsed != gElapsed || !reflect.DeepEqual(sSums, gSums) {
+			t.Errorf("%+v: diverged: serial (%d, %v) vs sharded (%d, %v)",
+				tc, sElapsed, sSums, gElapsed, gSums)
+		}
+	}
+}
+
+// TestGraphIdleFastForward regresses the idle-window handling: components
+// whose next internal event lies far beyond the window must not trip the
+// deadlock detector, and the coordinator must skip the dead windows rather
+// than crawl through them (bounded here by the cycle budget).
+func TestGraphIdleFastForward(t *testing.T) {
+	// Huge inter-send gaps relative to the 2-cycle window.
+	sElapsed, sSums, err := runSerial(2, 4, 50_000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gElapsed, gSums, err := runSharded(2, 4, 50_000, 2, 2, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sElapsed != gElapsed || !reflect.DeepEqual(sSums, gSums) {
+		t.Fatalf("diverged: serial (%d, %v) vs sharded (%d, %v)", sElapsed, sSums, gElapsed, gSums)
+	}
+}
+
+func TestGraphWindowExceedsLatency(t *testing.T) {
+	_, _, err := runSharded(2, 4, 1, 2, 3, 2, nil)
+	if err == nil {
+		t.Fatal("window > min latency accepted")
+	}
+}
+
+func TestGraphDeadlock(t *testing.T) {
+	// A lone consumer that never receives anything: blocked on a peer
+	// forever, nothing in flight.
+	c := &consumer{n: 1}
+	eng := engine.New()
+	eng.Add(c, 1)
+	g := &Graph{Window: 4}
+	g.AddShard(eng)
+	g.AddChannel(&Channel{Latency: 4, Deliver: c.deliver})
+	if _, err := g.Run(1 << 20); err == nil {
+		t.Fatal("deadlock undetected")
+	}
+}
+
+// FuzzShardSchedule drives the synthetic pipeline through fuzz-chosen
+// shard counts, window sizes, latencies and send cadences, requiring the
+// windowed parallel schedule to reproduce the serial engine bit for bit.
+func FuzzShardSchedule(f *testing.F) {
+	f.Add(uint8(2), uint8(8), uint8(1), uint8(4), uint8(4), uint8(2))
+	f.Add(uint8(4), uint8(16), uint8(3), uint8(7), uint8(2), uint8(8))
+	f.Add(uint8(3), uint8(1), uint8(10), uint8(1), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, s, n, period, lat, window, workers uint8) {
+		shards := 2 + int(s)%7      // 2..8
+		items := 1 + int(n)%32      // 1..32
+		per := 1 + int64(period)%16 // 1..16
+		l := 1 + int64(lat)%16      // 1..16
+		w := 1 + int64(window)%l    // 1..latency
+		wk := 1 + int(workers)%(shards+2)
+		sElapsed, sSums, err := runSerial(shards, items, per, l)
+		if err != nil {
+			t.Fatalf("serial: %v", err)
+		}
+		gElapsed, gSums, err := runSharded(shards, items, per, l, w, wk, nil)
+		if err != nil {
+			t.Fatalf("sharded: %v", err)
+		}
+		if sElapsed != gElapsed || !reflect.DeepEqual(sSums, gSums) {
+			t.Fatalf("shards=%d items=%d period=%d lat=%d window=%d workers=%d: serial (%d, %v) vs sharded (%d, %v)",
+				shards, items, per, l, w, wk, sElapsed, sSums, gElapsed, gSums)
+		}
+	})
+}

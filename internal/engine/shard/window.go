@@ -1,0 +1,361 @@
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+
+	"distda/internal/engine"
+)
+
+// Msg is one cross-shard message: its payload and the base cycle at which
+// it becomes visible to the receiving shard. Kind is opaque to the shard
+// layer — senders and receivers agree on its meaning.
+type Msg struct {
+	At   int64
+	Kind int
+	Val  float64
+}
+
+// Channel carries messages from components of one shard to another shard
+// with a fixed minimum latency — the lookahead that makes conservative
+// windowing sound. Send is called by source-shard components during their
+// Step (single-goroutine: one shard never runs on two workers at once);
+// Deliver is invoked only at window barriers, on the coordinator goroutine,
+// in canonical (delivery cycle, channel registration order, send order)
+// order. The receiving component must hold delivered messages until its own
+// clock reaches Msg.At — deliveries are conservative-early, never late.
+type Channel struct {
+	// Latency is the fixed delivery delay in base cycles (must be >= the
+	// window size). In the NUCA machine this is the minimum cross-region
+	// NoC traversal: hops × HopCycles.
+	Latency int64
+	// To is the receiving shard's index (registration order): a barrier
+	// delivery marks that shard dirty so its engine re-queries component
+	// claims on its next window.
+	To int
+	// Deliver injects one message into the receiving shard's state.
+	Deliver func(Msg)
+
+	pending []Msg
+}
+
+// Send enqueues a message sent at base cycle now; it will be delivered at
+// now + Latency.
+func (c *Channel) Send(now int64, v float64) {
+	c.pending = append(c.pending, Msg{At: now + c.Latency, Val: v})
+}
+
+// SendAt enqueues a message with an explicit arrival cycle computed by the
+// sender (e.g. a per-message NoC latency). The channel's Latency remains
+// the conservative lower bound: at must never precede it, and arrivals on
+// one channel must be nondecreasing (the route is FIFO) — senders clamp.
+func (c *Channel) SendAt(at int64, kind int, v float64) {
+	if n := len(c.pending); n > 0 && at < c.pending[n-1].At {
+		at = c.pending[n-1].At
+	}
+	c.pending = append(c.pending, Msg{At: at, Kind: kind, Val: v})
+}
+
+// Graph couples per-shard engines with the channels between them and
+// advances everything in conservative time windows.
+type Graph struct {
+	// Window is the synchronization window in base cycles. It must not
+	// exceed the minimum channel latency; 0 means "use exactly that
+	// minimum" (or run to completion in one window when there are no
+	// channels). Any legal window yields bit-identical results — smaller
+	// windows only add barriers.
+	Window int64
+	// Workers bounds the goroutines advancing shards inside a window
+	// (values < 1 mean one per shard). Results are identical at any
+	// worker count, so Run additionally clamps to GOMAXPROCS — workers
+	// beyond the CPUs that can host them only add scheduler switches at
+	// every barrier — unless Jitter is set: the concurrency tests install
+	// it precisely to force real goroutine interleavings.
+	Workers int
+	Jitter  func(worker, island int)
+
+	shards []*engine.Engine
+	chans  []*Channel
+
+	dues []due // drain's scratch buffer, reused across barriers
+}
+
+// AddShard registers one shard's engine. Shards are identified by
+// registration order.
+func (g *Graph) AddShard(e *engine.Engine) { g.shards = append(g.shards, e) }
+
+// AddChannel registers a cross-shard channel. Only one shard's components
+// may Send on a given channel.
+func (g *Graph) AddChannel(c *Channel) { g.chans = append(g.chans, c) }
+
+// Run advances every shard to completion and returns the completion base
+// cycle: the maximum over shards of the cycle at which each finished —
+// identical to the elapsed cycles a single serial engine over the same
+// components would report. It fails when maxBaseCycles elapses first or
+// when every live shard is blocked on a peer with nothing in flight
+// (global deadlock).
+//
+// Each round advances only the shards that can act — a shard parked on a
+// future event (or on its peers) with no fresh deliveries is skipped, and
+// rounds in which nothing can happen fast-forward to the earliest wake-up,
+// so synchronization cost scales with activity, not with simulated time.
+func (g *Graph) Run(maxBaseCycles int64) (int64, error) {
+	n := len(g.shards)
+	if n == 0 {
+		return 0, nil
+	}
+	minLat := int64(engine.Never)
+	for _, c := range g.chans {
+		if c.Latency < minLat {
+			minLat = c.Latency
+		}
+		if c.To < 0 || c.To >= n {
+			return 0, fmt.Errorf("shard: channel receiver %d out of range", c.To)
+		}
+	}
+	w := g.Window
+	if w <= 0 {
+		w = minLat // no channels: Never, clamped to the budget below
+	}
+	if w > minLat {
+		return 0, fmt.Errorf("shard: window %d exceeds minimum channel latency %d", w, minLat)
+	}
+	if w > maxBaseCycles {
+		w = maxBaseCycles
+	}
+	workers := g.Workers
+	if workers < 1 || workers > n {
+		workers = n
+	}
+	if p := runtime.GOMAXPROCS(0); g.Jitter == nil && workers > p {
+		workers = p
+	}
+
+	done := make([]bool, n)
+	doneAt := make([]int64, n)
+	progress := make([]bool, n)
+	next := make([]int64, n)
+	dirty := make([]bool, n)
+	for i := range dirty {
+		dirty[i] = true // first window: claims unknown
+	}
+
+	// One task closure per shard, built once; end and dirty are updated by
+	// the coordinator between rounds (the pool's channel handshake orders
+	// those writes before the workers' reads).
+	var end int64
+	tasks := make([]func(), n)
+	for i := range g.shards {
+		i := i
+		tasks[i] = func() {
+			d, p, nx := g.shards[i].RunUntil(end, dirty[i])
+			dirty[i] = false
+			progress[i], next[i] = p, nx
+			if d {
+				done[i] = true
+				doneAt[i] = g.shards[i].Now()
+			}
+		}
+	}
+	pool := newPool(workers, g.Jitter, tasks)
+	defer pool.close()
+	active := make([]int, 0, n)
+
+	var t int64
+	for {
+		finished := true
+		for i := range done {
+			if !done[i] {
+				finished = false
+				break
+			}
+		}
+		pending := 0
+		for _, c := range g.chans {
+			pending += len(c.pending)
+		}
+		if finished && pending == 0 {
+			var max int64
+			for _, at := range doneAt {
+				if at > max {
+					max = at
+				}
+			}
+			return max, nil
+		}
+		if t >= maxBaseCycles {
+			return t, fmt.Errorf("shard: exceeded %d base cycles", maxBaseCycles)
+		}
+		end = t + w
+		if end > maxBaseCycles {
+			end = maxBaseCycles
+		}
+
+		// A shard can act this round only if a barrier delivered into it
+		// since its last run, or its next internal event falls inside the
+		// window (events exactly at the boundary step next round). Skipped
+		// shards keep their parked state; their clocks catch up lazily.
+		active = active[:0]
+		for i := range g.shards {
+			if !done[i] && (dirty[i] || next[i] < end) {
+				active = append(active, i)
+			}
+		}
+		pool.run(active)
+		anyProgress := false
+		for _, i := range active {
+			if progress[i] || done[i] {
+				anyProgress = true
+			}
+		}
+
+		// Barrier: deliver every message that becomes visible before the
+		// next window's far edge, in canonical order. Messages sent during
+		// window [t, end) carry At >= t + Latency >= t + w = end, so the
+		// candidate set for (end, end+w] is complete here.
+		delivered := g.drain(end+w, dirty)
+
+		if !anyProgress && delivered == 0 && !finished {
+			// Nothing stepped and nothing arrived — but a shard may be
+			// parked on a future internal event (a DRAM access, a long
+			// fetch) or a message may still be in flight past the horizon.
+			// Only when every live shard is blocked on a peer (Never) with
+			// nothing pending is this a true deadlock; otherwise fast-
+			// forward the dead windows toward the earliest wake-up.
+			// Jumping is sound: shards hold parked state, all messages
+			// with At <= end+w are delivered, and the jump keeps the next
+			// window's far edge at or before the first cycle anything can
+			// happen.
+			wake := int64(engine.Never)
+			for i := range g.shards {
+				if !done[i] && next[i] < wake {
+					wake = next[i]
+				}
+			}
+			for _, c := range g.chans {
+				if len(c.pending) > 0 && c.pending[0].At < wake {
+					wake = c.pending[0].At
+				}
+			}
+			if wake == engine.Never {
+				return t, fmt.Errorf("shard: deadlock at base cycle %d (no shard progress, nothing in flight)", t)
+			}
+			if wake-w > end {
+				end = wake - w
+			}
+		}
+		t = end
+	}
+}
+
+type due struct {
+	m   Msg
+	ch  int
+	seq int
+}
+
+// drain delivers all pending messages with At <= horizon across channels in
+// canonical (At, channel registration order, send order) order, marks the
+// receiving shards dirty, and returns how many messages were delivered.
+func (g *Graph) drain(horizon int64, dirty []bool) int {
+	g.dues = g.dues[:0]
+	for ci, c := range g.chans {
+		if len(c.pending) == 0 {
+			continue
+		}
+		keep := c.pending[:0]
+		for si, m := range c.pending {
+			if m.At <= horizon {
+				g.dues = append(g.dues, due{m: m, ch: ci, seq: si})
+			} else {
+				keep = append(keep, m)
+			}
+		}
+		c.pending = keep
+	}
+	if len(g.dues) == 0 {
+		return 0
+	}
+	sort.Slice(g.dues, func(i, j int) bool {
+		if g.dues[i].m.At != g.dues[j].m.At {
+			return g.dues[i].m.At < g.dues[j].m.At
+		}
+		if g.dues[i].ch != g.dues[j].ch {
+			return g.dues[i].ch < g.dues[j].ch
+		}
+		return g.dues[i].seq < g.dues[j].seq
+	})
+	for _, d := range g.dues {
+		c := g.chans[d.ch]
+		c.Deliver(d.m)
+		dirty[c.To] = true
+	}
+	return len(g.dues)
+}
+
+// pool runs rounds of shard tasks on persistent worker goroutines. The
+// coordinator acts as worker 0 and runs its own stride inline; helpers
+// 1..workers-1 wake per round through their own channel and acknowledge
+// when their stride is finished, so a round costs two channel operations
+// per participating helper instead of goroutine spawns. Active shard index
+// idx is assigned to worker idx % workers — a pure function of the round's
+// active set, independent of timing.
+type pool struct {
+	workers int
+	jitter  func(worker, island int)
+	tasks   []func()
+	active  []int
+	start   []chan struct{} // per helper: round kickoff (nil entries unused)
+	ack     chan struct{}
+}
+
+func newPool(workers int, jitter func(int, int), tasks []func()) *pool {
+	p := &pool{workers: workers, jitter: jitter, tasks: tasks}
+	if workers > 1 {
+		p.start = make([]chan struct{}, workers-1)
+		p.ack = make(chan struct{}, workers-1)
+		for h := range p.start {
+			p.start[h] = make(chan struct{}, 1)
+			go p.helper(h + 1)
+		}
+	}
+	return p
+}
+
+func (p *pool) helper(w int) {
+	for range p.start[w-1] {
+		for idx := w; idx < len(p.active); idx += p.workers {
+			if p.jitter != nil {
+				p.jitter(w, idx)
+			}
+			p.tasks[p.active[idx]]()
+		}
+		p.ack <- struct{}{}
+	}
+}
+
+func (p *pool) run(active []int) {
+	p.active = active
+	// Helpers with an empty stride are not woken.
+	woken := 0
+	for w := 1; w < p.workers && w < len(active); w++ {
+		p.start[w-1] <- struct{}{}
+		woken++
+	}
+	for idx := 0; idx < len(active); idx += p.workers {
+		if p.jitter != nil {
+			p.jitter(0, idx)
+		}
+		p.tasks[active[idx]]()
+	}
+	for i := 0; i < woken; i++ {
+		<-p.ack
+	}
+}
+
+func (p *pool) close() {
+	for _, c := range p.start {
+		close(c)
+	}
+}

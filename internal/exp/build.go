@@ -44,6 +44,11 @@ type Options struct {
 	// Results are bit-identical across modes; this picks wall-clock only.
 	EngineMode engine.Mode
 
+	// Shards, when above 1, lets each offload launch in every cell execute
+	// across up to that many goroutine shards (one per independent NUCA
+	// island). Results are bit-identical at any setting.
+	Shards int
+
 	// Checkpoint, when non-empty, is the path of a JSON checkpoint that is
 	// rewritten (atomically) after every completed cell. If the file
 	// already holds cells for this scale, those cells are resumed (not
@@ -412,6 +417,7 @@ func (b *builder) attempt(ctx context.Context, w *workloads.Workload, cfg sim.Co
 		}
 	}
 	cfg.EngineMode = b.opts.EngineMode
+	cfg.Shards = b.opts.Shards
 	if cfg.ValidateEvery {
 		// Fetch the kernel's bytecode program for reference validation from
 		// the same (possibly disk-backed) cache as the offload artifact.

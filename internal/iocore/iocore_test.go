@@ -161,12 +161,13 @@ func TestTwoCorePipelineOverLink(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	link := accessunit.NewLink(chSrc, chDst, noc.New(noc.DefaultConfig(), meter), 0, 1, 8, stats)
+	linkTx, linkRx := accessunit.NewLocalLink(chSrc, chDst, noc.New(noc.DefaultConfig(), meter), 0, 1, 8, stats)
 
 	eng := engine.New()
 	eng.Add(fsmA, 2)
 	eng.Add(core0, 2)
-	eng.Add(link, 2)
+	eng.Add(linkTx, 2)
+	eng.Add(linkRx, 2)
 	eng.Add(core1, 2)
 	eng.Add(fsmB, 2)
 	if _, err := eng.Run(1 << 20); err != nil {

@@ -55,6 +55,7 @@ func (r *runner) runOne(ctx context.Context, p *plan, prog *profile.Progress) ([
 	prog.SetTotal(1)
 	cfg := p.cfg
 	cfg.EngineMode = p.mode
+	cfg.Shards = p.spec.Shards
 	cfg.Threads = p.spec.Threads
 	cfg.Cancel = ctx.Done()
 	kernel := sim.ThreadKernel(p.kernel, p.spec.Threads)
@@ -98,6 +99,7 @@ func (r *runner) runMatrix(ctx context.Context, p *plan, prog *profile.Progress)
 			Workers:     r.cellWorkers,
 			Cache:       r.cache,
 			EngineMode:  p.mode,
+			Shards:      p.spec.Shards,
 			CellTimeout: r.cellTimeout,
 			Retries:     r.retries,
 			Checkpoint:  r.checkpointPath(p),

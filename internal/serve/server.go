@@ -64,6 +64,10 @@ type Config struct {
 	// matrix jobs.
 	CellTimeout time.Duration
 	Retries     int
+	// Shards is the server-wide default for JobSpec.Shards: jobs that do
+	// not set shards execute each offload launch across up to this many
+	// goroutine shards. Wall-clock only — results stay bit-identical.
+	Shards int
 	// Logf, when non-nil, receives one line per job state change.
 	Logf func(format string, args ...any)
 	// Now is the rate limiter's clock (tests; nil = time.Now).
@@ -211,6 +215,9 @@ func (s *Server) logf(format string, args ...any) {
 // it completed instantly from the result cache. Errors: planning failures
 // (malformed spec), ErrRateLimited, ErrQueueFull, ErrShuttingDown.
 func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	if spec.Shards == 0 {
+		spec.Shards = s.cfg.Shards
+	}
 	p, err := planJob(spec)
 	if err != nil {
 		return nil, err

@@ -60,6 +60,19 @@ func TestBackendGolden(t *testing.T) {
 						t.Fatalf("%s on %s: %s mode diverges from adaptive", w.Name, cfg.Name, mode)
 					}
 				}
+				// Intra-run sharding is wall-clock only: any shard count
+				// must land on the same golden bytes as the serial run.
+				for _, shards := range []int{2, 4, 8} {
+					c := cfg
+					c.Shards = shards
+					r, err := Run(w.Kernel, w.Params, copyData(data), c)
+					if err != nil {
+						t.Fatalf("%s on %s (shards=%d): %v", w.Name, cfg.Name, shards, err)
+					}
+					if fmt.Sprintf("%+v", r) != fmt.Sprintf("%+v", first) {
+						t.Fatalf("%s on %s: shards=%d diverges from serial", w.Name, cfg.Name, shards)
+					}
+				}
 				got[cfg.Name] = first
 			}
 			raw, err := json.MarshalIndent(got, "", " ")

@@ -95,6 +95,18 @@ type Config struct {
 	// differential tests enforce it).
 	EngineMode engine.Mode
 
+	// Shards, when above 1, lets each offload launch execute across up to
+	// that many goroutines: the assembled components are partitioned by the
+	// NUCA resources they may touch (L3 home clusters, channel peerings)
+	// into islands that share no mutable state, and the islands advance on
+	// independent engines in parallel. Results — cycle counts, energy to the
+	// last bit, every counter — are bit-identical to a serial run at any
+	// shard count (the differential and golden tests sweep {1,2,4,8}).
+	// Launches whose components all land in one island, runs with a tracer
+	// attached, and the Mono-CA private-cache path fall back to serial
+	// execution. Zero or 1 means serial.
+	Shards int
+
 	// NaiveEngine drives every offload launch with the engine's reference
 	// one-tick-at-a-time scheduler instead of the event-driven fast-forward
 	// one. Results are bit-identical either way (the differential tests

@@ -47,6 +47,41 @@ func TestEngineSchedulerDifferential(t *testing.T) {
 	}
 }
 
+// TestEngineSchedulerDifferentialSharded crosses the scheduler sweep with
+// intra-run sharding: the default adaptive scheduler split across {2,4,8}
+// shard goroutines must reproduce the naive serial reference bit for bit.
+// The configurations cover both launch topologies that actually shard —
+// allocation-spread NUCA islands linked by windowed channels, and the
+// PIM-in-DRAM backend whose engines pin to memory controllers.
+func TestEngineSchedulerDifferentialSharded(t *testing.T) {
+	ws := workloads.All(workloads.ScaleTest)
+	ws = append(ws, workloads.SpMV(workloads.ScaleTest))
+	for _, w := range ws {
+		data := w.NewData()
+		for _, cfg := range []Config{DistDAFA(), DistDAPIM()} {
+			naiveCfg := cfg
+			naiveCfg.EngineMode = engine.ModeNaive
+			nRes, nErr := Run(w.Kernel, w.Params, copyData(data), naiveCfg)
+			if nErr != nil {
+				t.Fatalf("%s on %s: naive err=%v", w.Name, cfg.Name, nErr)
+			}
+			for _, shards := range []int{2, 4, 8} {
+				shardCfg := cfg
+				shardCfg.EngineMode = engine.ModeAdaptive
+				shardCfg.Shards = shards
+				sRes, sErr := Run(w.Kernel, w.Params, copyData(data), shardCfg)
+				if sErr != nil {
+					t.Fatalf("%s on %s (shards=%d): err=%v", w.Name, cfg.Name, shards, sErr)
+				}
+				if !reflect.DeepEqual(nRes, sRes) {
+					t.Errorf("%s on %s: results diverge between naive serial and adaptive shards=%d:\nnaive:   %+v\nsharded: %+v",
+						w.Name, cfg.Name, shards, nRes, sRes)
+				}
+			}
+		}
+	}
+}
+
 // TestEngineSchedulerDifferentialThreads covers the multithreaded
 // strip-mining path, where several accelerator launches interleave.
 func TestEngineSchedulerDifferentialThreads(t *testing.T) {

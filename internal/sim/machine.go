@@ -79,6 +79,11 @@ type machine struct {
 	hostLatH    *trace.Hist
 	clusterLatH *trace.Hist
 	combinedC   *trace.Counter
+
+	// logFree recycles island energy logs between sharded launches: event
+	// buffers reach tens of millions of entries, and regrowing them from
+	// scratch on every launch dominated the sharded allocation profile.
+	logFree []*energy.Log
 }
 
 // newMachine allocates the system and lays out the kernel's objects via the
@@ -252,11 +257,34 @@ func (m *machine) addrErr(obj string) error {
 	return fmt.Errorf("sim: undeclared object %q", obj)
 }
 
-// simMemory adapts the machine to accessunit.Memory.
-type simMemory struct{ m *machine }
+// simMemory adapts the machine's object store to accessunit.Memory. Each
+// instance carries its own MRU resolve cursor: access units on concurrent
+// shards share the machine's immutable object table, so the cursor — the
+// only mutable state — must be per-instance, not on the machine.
+type simMemory struct {
+	m    *machine
+	last *objInfo
+}
 
-func (s simMemory) Read(obj string, idx int64) (float64, error) {
-	o := s.m.resolve(obj)
+// newSimMemory returns a fresh adapter with a cold cursor.
+func newSimMemory(m *machine) *simMemory { return &simMemory{m: m} }
+
+// resolve is machine.resolve against the instance-local cursor.
+func (s *simMemory) resolve(obj string) *objInfo {
+	if o := s.last; o != nil && o.name == obj {
+		return o
+	}
+	for i := range s.m.objs {
+		if s.m.objs[i].name == obj {
+			s.last = &s.m.objs[i]
+			return s.last
+		}
+	}
+	return nil
+}
+
+func (s *simMemory) Read(obj string, idx int64) (float64, error) {
+	o := s.resolve(obj)
 	if o == nil {
 		return 0, s.m.addrErr(obj)
 	}
@@ -266,8 +294,8 @@ func (s simMemory) Read(obj string, idx int64) (float64, error) {
 	return o.data[idx], nil
 }
 
-func (s simMemory) Write(obj string, idx int64, v float64) error {
-	o := s.m.resolve(obj)
+func (s *simMemory) Write(obj string, idx int64, v float64) error {
+	o := s.resolve(obj)
 	if o == nil {
 		return s.m.addrErr(obj)
 	}
@@ -278,10 +306,19 @@ func (s simMemory) Write(obj string, idx int64, v float64) error {
 	return nil
 }
 
-func (s simMemory) AddrOf(obj string, idx int64) (int64, error) { return s.m.addr(obj, idx) }
+func (s *simMemory) AddrOf(obj string, idx int64) (int64, error) {
+	o := s.resolve(obj)
+	if o == nil {
+		return 0, s.m.addrErr(obj)
+	}
+	if idx < 0 || idx >= o.n {
+		return 0, fmt.Errorf("sim: index %d out of range for %q (len %d)", idx, obj, o.n)
+	}
+	return o.base + idx*o.elemBytes, nil
+}
 
-func (s simMemory) ElemBytes(obj string) (int, error) {
-	if o := s.m.resolve(obj); o != nil {
+func (s *simMemory) ElemBytes(obj string) (int, error) {
+	if o := s.resolve(obj); o != nil {
 		return int(o.elemBytes), nil
 	}
 	return 0, fmt.Errorf("sim: undeclared object %q", obj)
@@ -289,19 +326,24 @@ func (s simMemory) ElemBytes(obj string) (int, error) {
 
 // clusterFetcher adapts the hierarchy to accessunit.Fetcher, converting
 // host-cycle latencies to base cycles. prefetchHalve models Fig. 14's
-// software prefetching (latency of random loads largely hidden).
+// software prefetching (latency of random loads largely hidden). The
+// hierarchy/meter/histogram are the launch environment's: on a sharded
+// launch they are the island's private view, so concurrent fetchers never
+// share counters.
 type clusterFetcher struct {
-	m             *machine
+	hier          *cache.Hierarchy
+	meter         *energy.Meter
+	latH          *trace.Hist
 	prefetchHalve bool
 }
 
 func (f clusterFetcher) Access(cluster int, addr int64, write bool, bytes int) int {
-	lat, _ := f.m.hier.ClusterAccess(cluster, addr, write, bytes)
+	lat, _ := f.hier.ClusterAccess(cluster, addr, write, bytes)
 	if f.prefetchHalve && !write {
 		lat = lat/2 + 1
-		f.m.meter.Add(energy.CatAccel, f.m.meter.Table.PrefetchPJ)
+		f.meter.Add(energy.CatAccel, f.meter.Table.PrefetchPJ)
 	}
-	f.m.clusterLatH.Observe(float64(lat))
+	f.latH.Observe(float64(lat))
 	return lat * int(hostDiv)
 }
 
@@ -343,11 +385,12 @@ func (f *privFetcher) LineBytes() int { return 64 }
 
 // dramFetcher is the §VII off-chip extension path: an accelerator placed
 // at the memory controller reads and writes DRAM lines directly, paying
-// device latency but no NoC traversal and no L3 occupancy.
-type dramFetcher struct{ m *machine }
+// device latency but no NoC traversal and no L3 occupancy. The memory is
+// the launch environment's (an island-private counter view when sharded).
+type dramFetcher struct{ dmem *dram.Memory }
 
 func (f dramFetcher) Access(cluster int, addr int64, write bool, bytes int) int {
-	return f.m.dmem.AccessAt(addr, write) * int(hostDiv)
+	return f.dmem.AccessAt(addr, write) * int(hostDiv)
 }
 
 func (f dramFetcher) LineBytes() int { return 64 }
@@ -357,14 +400,16 @@ func (f dramFetcher) LineBytes() int { return 64 }
 // the timing model keeps its single aggregate latency).
 const profileDRAMChannels = 4
 
-// newBuffer creates and tracks a decoupling buffer, attaching an occupancy
-// histogram when profiling is on.
-func (m *machine) newBuffer() (*accessunit.Buffer, error) {
-	b, err := accessunit.NewBuffer(m.cfg.BufElems, m.meter)
+// newBuffer creates and tracks a decoupling buffer against the launch
+// environment's meter and profiler, attaching an occupancy histogram when
+// profiling is on. Buffer names stay global (machine-ordered) so sharded
+// and serial runs produce identical queue identities.
+func (m *machine) newBuffer(env *launchEnv) (*accessunit.Buffer, error) {
+	b, err := accessunit.NewBuffer(m.cfg.BufElems, env.meter)
 	if err != nil {
 		return nil, err
 	}
-	b.Occ = m.prof.Queue("buffer", fmt.Sprintf("buf%d", len(m.buffers))) // nil on nil profiler
+	b.Occ = env.prof.Queue("buffer", fmt.Sprintf("buf%d", len(m.buffers))) // nil on nil profiler
 	m.buffers = append(m.buffers, b)
 	return b, nil
 }

@@ -142,6 +142,9 @@ func (c Config) Validate() error {
 	if c.OffChip && c.OffChipThreshold <= 0 {
 		return fail("OffChip placement with non-positive threshold %d", c.OffChipThreshold)
 	}
+	if c.Shards < 0 {
+		return fail("Shards %d negative", c.Shards)
+	}
 	return nil
 }
 
@@ -251,6 +254,11 @@ func WithMetrics(m *trace.Metrics) Option { return func(c *Config) { c.Metrics =
 // WithProfile attaches a cycle/energy attribution profiler (observational
 // only).
 func WithProfile(p *profile.Profiler) Option { return func(c *Config) { c.Profile = p } }
+
+// WithShards lets each offload launch execute across up to n goroutines
+// (intra-run sharding). Results are bit-identical to serial at any shard
+// count; 0 or 1 means serial.
+func WithShards(n int) Option { return func(c *Config) { c.Shards = n } }
 
 // WithNaiveEngine selects the reference one-tick-at-a-time scheduler.
 func WithNaiveEngine() Option { return func(c *Config) { c.NaiveEngine = true } }

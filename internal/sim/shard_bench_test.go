@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"distda/internal/workloads"
+)
+
+// benchSharded measures one workload × configuration at a fixed shard
+// count. The serial/sharded sub-benchmark pairs below carry the wall-clock
+// claim for intra-run sharding; results are bit-identical at every count
+// (TestShardedBitIdentical), so only ns/op may move. On a single-CPU host
+// GOMAXPROCS pins every shard goroutine to one core and the sharded
+// variants mostly measure coordination overhead — compare the pair on a
+// multi-core machine for the real speedup (see docs/PERFORMANCE.md).
+func benchSharded(b *testing.B, w *workloads.Workload, cfg Config, shards int) {
+	b.ReportAllocs()
+	data := w.NewData()
+	cfg.Shards = shards
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(w.Kernel, w.Params, copyData(data), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardedDense: the dense disparity pipeline under the
+// allocation-spread config, whose four accelerators anchor on distinct
+// NUCA clusters and split into four islands linked by windowed channels.
+func BenchmarkShardedDense(b *testing.B) {
+	w := workloads.Disparity(workloads.ScaleBench)
+	for _, s := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", s), func(b *testing.B) {
+			benchSharded(b, w, DistDAFA(), s)
+		})
+	}
+}
+
+// BenchmarkShardedSparse: the irregular SpMV case study on the PIM-in-DRAM
+// backend, whose memory-controller-pinned engines partition by read/write
+// page claims instead of cluster homes.
+func BenchmarkShardedSparse(b *testing.B) {
+	w := workloads.SpMV(workloads.ScaleBench)
+	for _, s := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", s), func(b *testing.B) {
+			benchSharded(b, w, DistDAPIM(), s)
+		})
+	}
+}

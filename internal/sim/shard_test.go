@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"distda/internal/workloads"
+)
+
+// shardSweep is the shard-count sweep shared by the sharding tests: serial
+// plus the parallel counts the CI race matrix exercises.
+var shardSweep = []int{1, 2, 4, 8}
+
+// shardConfigs returns configurations that exercise the sharded launch path
+// across all three backends: distributed in-order and CGRA compute, the
+// allocation-spread variant (whose objects anchor on distinct clusters and
+// therefore reliably split into several islands), the §VII off-chip path
+// and the PIM-in-DRAM backend (memory-controller-pinned engines).
+func shardConfigs() []Config {
+	return []Config{DistDAIO(), DistDAF(), DistDAFA(), DistDAOffChip(), DistDAPIM()}
+}
+
+// TestShardedBitIdentical runs every workload under the sharding-relevant
+// configurations at shard counts {1,2,4,8} and requires results identical
+// to the serial run in every field — cycle counts, every counter, energy to
+// the last bit. It also asserts that the sweep was not vacuous: at least
+// one launch must actually have split into two or more islands.
+func TestShardedBitIdentical(t *testing.T) {
+	engaged := 0
+	maxIslands := 0
+	shardObserver = func(islands int) {
+		engaged++
+		if islands > maxIslands {
+			maxIslands = islands
+		}
+	}
+	defer func() { shardObserver = nil }()
+
+	ws := workloads.All(workloads.ScaleTest)
+	ws = append(ws, workloads.SpMV(workloads.ScaleTest))
+	for _, w := range ws {
+		data := w.NewData()
+		for _, cfg := range shardConfigs() {
+			var serial *Result
+			for _, shards := range shardSweep {
+				c := cfg
+				c.Shards = shards
+				r, err := Run(w.Kernel, w.Params, copyData(data), c)
+				if err != nil {
+					t.Fatalf("%s on %s shards=%d: %v", w.Name, cfg.Name, shards, err)
+				}
+				if shards == 1 {
+					serial = r
+					continue
+				}
+				if !reflect.DeepEqual(serial, r) {
+					t.Errorf("%s on %s: shards=%d diverges from serial:\nserial:  %+v\nsharded: %+v",
+						w.Name, cfg.Name, shards, serial, r)
+				}
+			}
+		}
+	}
+	if engaged == 0 {
+		t.Fatal("no launch took the sharded path; the sweep proved nothing")
+	}
+	if maxIslands < 2 {
+		t.Fatalf("max islands %d < 2", maxIslands)
+	}
+	t.Logf("sharded launches: %d (max islands %d)", engaged, maxIslands)
+}
+
+// TestShardedPermutation perturbs shard goroutine scheduling with
+// deterministic-but-staggered sleeps so islands complete in shuffled
+// orders, and requires the simulation bytes to stay identical to the
+// serial run. Two different jitter patterns guard against one pattern
+// accidentally reproducing the canonical completion order.
+func TestShardedPermutation(t *testing.T) {
+	w := workloads.Pathfinder(workloads.ScaleTest)
+	data := w.NewData()
+	cfg := DistDAFA() // alloc-spread: anchors land on distinct clusters
+	serialRes, err := Run(w.Kernel, w.Params, copyData(data), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pattern := 0; pattern < 2; pattern++ {
+		pattern := pattern
+		engaged := false
+		shardObserver = func(int) { engaged = true }
+		shardJitter = func(worker, island int) {
+			// Pseudo-random per (pattern, worker, island): reverses and
+			// staggers completion order without unbounded sleeping.
+			d := time.Duration((worker*7+island*13+pattern*29)%17) * 100 * time.Microsecond
+			time.Sleep(d)
+		}
+		c := cfg
+		c.Shards = 4
+		r, runErr := Run(w.Kernel, w.Params, copyData(data), c)
+		shardJitter = nil
+		shardObserver = nil
+		if runErr != nil {
+			t.Fatalf("pattern %d: %v", pattern, runErr)
+		}
+		if !engaged {
+			t.Fatalf("pattern %d: launch did not shard", pattern)
+		}
+		if !reflect.DeepEqual(serialRes, r) {
+			t.Errorf("pattern %d: jittered sharded run diverges from serial:\nserial:   %+v\njittered: %+v",
+				pattern, serialRes, r)
+		}
+	}
+}

@@ -1,92 +1,154 @@
 #!/bin/sh
-# verify.sh — the full pre-merge gate: build, tests, vet, race on the
-# packages that exercise parallelism, and gofmt cleanliness. Exits non-zero
-# on the first failure. Run from anywhere; operates on the repo root.
+# verify.sh — the pre-merge gate: build, tests, vet, race on the packages
+# that exercise parallelism, lint (when the pinned tools are installed),
+# and gofmt + layering cleanliness. Exits non-zero on the first failure.
+# Run from anywhere; operates on the repo root.
+#
+#   sh scripts/verify.sh            # every stage (the full local gate)
+#   sh scripts/verify.sh build      # one stage, as the CI matrix runs them
+#
+# Stages: build, test, race, lint, gates. The CI workflow fans these out
+# across jobs so a vet failure is reported independently of a race failure;
+# locally the no-argument form runs them all in order.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== go build ./..."
-go build ./...
+# Pinned lint tool versions — keep in sync with the Makefile lint target
+# and .github/workflows/ci.yml. Pinning makes lint failures reproducible:
+# a new staticcheck release cannot break CI until the pin moves.
+STATICCHECK_VERSION=2025.1.1
+GOVULNCHECK_VERSION=v1.1.4
 
-echo "== go test ./..."
-go test ./...
+stage_build() {
+    echo "== go build ./..."
+    go build ./...
 
-echo "== go vet ./..."
-go vet ./...
+    echo "== go vet ./..."
+    go vet ./...
 
-echo "== go test -race (parallel-heavy packages)"
-go test -race ./internal/exp/... ./internal/sim/... ./internal/serve/... \
-    ./internal/serveclient/... ./internal/backend/... ./internal/pimdram/...
+    echo "== gofmt -l"
+    fmt=$(gofmt -l cmd internal examples 2>/dev/null || gofmt -l cmd internal)
+    if [ -n "$fmt" ]; then
+        echo "gofmt needed on:" >&2
+        echo "$fmt" >&2
+        exit 1
+    fi
+}
 
-echo "== no sim.Config struct literals outside internal/sim"
-# Configs must come from the constructors + functional options so Validate
-# always runs; slices of constructor results ([]sim.Config{...}) are fine,
-# bare struct literals are not.
-viol=$(grep -rn 'sim\.Config{' cmd internal examples --include='*.go' \
-    | grep -v '^internal/sim/' \
-    | grep -v '\[\]sim\.Config{' || true)
-if [ -n "$viol" ]; then
-    echo "sim.Config struct literal outside internal/sim (use sim.NewConfig + options):" >&2
-    echo "$viol" >&2
-    exit 1
-fi
+stage_test() {
+    echo "== go test ./..."
+    go test ./...
+}
 
-echo "== no raw trace-event aggregation outside internal/profile"
-# internal/profile is the single aggregation layer over raw trace events:
-# everything else must consume profiles (or render Metrics tables), never
-# walk Tracer.VisitEvents itself — otherwise attribution logic fragments
-# across the tree and merge-order determinism stops being one proof.
-viol=$(grep -rn 'VisitEvents(' cmd internal examples --include='*.go' \
-    | grep -v '^internal/profile/' \
-    | grep -v '^internal/trace/' || true)
-if [ -n "$viol" ]; then
-    echo "raw trace span aggregation outside internal/profile (use profile.Profiler):" >&2
-    echo "$viol" >&2
-    exit 1
-fi
+stage_race() {
+    # GOMAXPROCS is left to the environment on purpose: the CI matrix runs
+    # this stage at 2 and 8 to shake out schedules a single setting hides
+    # (the sharded-execution tests are the main beneficiary).
+    echo "== go test -race (parallel-heavy packages, GOMAXPROCS=${GOMAXPROCS:-default})"
+    go test -race ./internal/engine/... ./internal/exp/... ./internal/sim/... \
+        ./internal/serve/... ./internal/serveclient/... ./internal/backend/... \
+        ./internal/pimdram/...
+}
 
-echo "== no tree-walk ir.Run on non-test hot paths"
-# The bytecode VM (ir.Program.Run, via ir.ProgramFor / the artifact program
-# cache) replaced the tree-walk interpreter everywhere results are produced;
-# ir.Run survives as the reference semantics for differential tests only.
-# Non-test code outside internal/ir must not call it, or the hot paths
-# silently regress to the slow executor.
-viol=$(grep -rn 'ir\.Run(' cmd internal examples --include='*.go' \
-    | grep -v '^internal/ir/' \
-    | grep -v '_test\.go:' || true)
-if [ -n "$viol" ]; then
-    echo "tree-walk ir.Run outside internal/ir or tests (use ir.ProgramFor(k).Run):" >&2
-    echo "$viol" >&2
-    exit 1
-fi
+stage_lint() {
+    # Both tools are gated on availability: the hermetic dev container does
+    # not ship them (and must not install anything), while CI installs the
+    # pinned versions before calling this stage.
+    if command -v staticcheck >/dev/null 2>&1; then
+        echo "== staticcheck ./... (pinned $STATICCHECK_VERSION in CI)"
+        staticcheck ./...
+    else
+        echo "== staticcheck not installed; skipping (CI runs $STATICCHECK_VERSION)"
+    fi
+    if command -v govulncheck >/dev/null 2>&1; then
+        echo "== govulncheck ./... (pinned $GOVULNCHECK_VERSION in CI)"
+        govulncheck ./...
+    else
+        echo "== govulncheck not installed; skipping (CI runs $GOVULNCHECK_VERSION)"
+    fi
+}
 
-echo "== no direct accelerator imports outside internal/backend"
-# The backend registry (internal/backend) is the only seam the rest of the
-# tree may reach accelerators through: sim, compiler, partition and profile
-# stay accelerator-agnostic, and new engines plug in by registering.
-# internal/sim/deprecated.go keeps the pre-registry option shims alive for
-# one release and is the single documented exemption; tests may import the
-# concrete packages to reach their own internals.
-viol=$(grep -rn '"distda/internal/\(iocore\|cgra\|pimdram\)"' cmd internal examples --include='*.go' \
-    | grep -v '^internal/backend/' \
-    | grep -v '^internal/iocore/' \
-    | grep -v '^internal/cgra/' \
-    | grep -v '^internal/pimdram/' \
-    | grep -v '^internal/sim/deprecated\.go:' \
-    | grep -v '_test\.go:' || true)
-if [ -n "$viol" ]; then
-    echo "direct accelerator import outside internal/backend (go through backend.Lookup):" >&2
-    echo "$viol" >&2
-    exit 1
-fi
+stage_gates() {
+    echo "== no sim.Config struct literals outside internal/sim"
+    # Configs must come from the constructors + functional options so Validate
+    # always runs; slices of constructor results ([]sim.Config{...}) are fine,
+    # bare struct literals are not.
+    viol=$(grep -rn 'sim\.Config{' cmd internal examples --include='*.go' \
+        | grep -v '^internal/sim/' \
+        | grep -v '\[\]sim\.Config{' || true)
+    if [ -n "$viol" ]; then
+        echo "sim.Config struct literal outside internal/sim (use sim.NewConfig + options):" >&2
+        echo "$viol" >&2
+        exit 1
+    fi
 
-echo "== gofmt -l"
-fmt=$(gofmt -l cmd internal examples 2>/dev/null || gofmt -l cmd internal)
-if [ -n "$fmt" ]; then
-    echo "gofmt needed on:" >&2
-    echo "$fmt" >&2
-    exit 1
-fi
+    echo "== no raw trace-event aggregation outside internal/profile"
+    # internal/profile is the single aggregation layer over raw trace events:
+    # everything else must consume profiles (or render Metrics tables), never
+    # walk Tracer.VisitEvents itself — otherwise attribution logic fragments
+    # across the tree and merge-order determinism stops being one proof.
+    viol=$(grep -rn 'VisitEvents(' cmd internal examples --include='*.go' \
+        | grep -v '^internal/profile/' \
+        | grep -v '^internal/trace/' || true)
+    if [ -n "$viol" ]; then
+        echo "raw trace span aggregation outside internal/profile (use profile.Profiler):" >&2
+        echo "$viol" >&2
+        exit 1
+    fi
 
-echo "verify: OK"
+    echo "== no tree-walk ir.Run on non-test hot paths"
+    # The bytecode VM (ir.Program.Run, via ir.ProgramFor / the artifact program
+    # cache) replaced the tree-walk interpreter everywhere results are produced;
+    # ir.Run survives as the reference semantics for differential tests only.
+    # Non-test code outside internal/ir must not call it, or the hot paths
+    # silently regress to the slow executor.
+    viol=$(grep -rn 'ir\.Run(' cmd internal examples --include='*.go' \
+        | grep -v '^internal/ir/' \
+        | grep -v '_test\.go:' || true)
+    if [ -n "$viol" ]; then
+        echo "tree-walk ir.Run outside internal/ir or tests (use ir.ProgramFor(k).Run):" >&2
+        echo "$viol" >&2
+        exit 1
+    fi
+
+    echo "== no direct accelerator imports outside internal/backend"
+    # The backend registry (internal/backend) is the only seam the rest of the
+    # tree may reach accelerators through: sim, compiler, partition and profile
+    # stay accelerator-agnostic, and new engines plug in by registering.
+    # internal/sim/deprecated.go keeps the pre-registry option shims alive for
+    # one release and is the single documented exemption; tests may import the
+    # concrete packages to reach their own internals.
+    viol=$(grep -rn '"distda/internal/\(iocore\|cgra\|pimdram\)"' cmd internal examples --include='*.go' \
+        | grep -v '^internal/backend/' \
+        | grep -v '^internal/iocore/' \
+        | grep -v '^internal/cgra/' \
+        | grep -v '^internal/pimdram/' \
+        | grep -v '^internal/sim/deprecated\.go:' \
+        | grep -v '_test\.go:' || true)
+    if [ -n "$viol" ]; then
+        echo "direct accelerator import outside internal/backend (go through backend.Lookup):" >&2
+        echo "$viol" >&2
+        exit 1
+    fi
+}
+
+case "${1:-all}" in
+build) stage_build ;;
+test) stage_test ;;
+race) stage_race ;;
+lint) stage_lint ;;
+gates) stage_gates ;;
+all)
+    stage_build
+    stage_test
+    stage_race
+    stage_lint
+    stage_gates
+    echo "verify: OK"
+    ;;
+*)
+    echo "usage: sh scripts/verify.sh [build|test|race|lint|gates]" >&2
+    exit 2
+    ;;
+esac
