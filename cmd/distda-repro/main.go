@@ -26,7 +26,9 @@ import (
 
 	"distda/internal/cliutil"
 	"distda/internal/engine"
+	"distda/internal/engine/shard"
 	"distda/internal/exp"
+	"distda/internal/obs"
 	"distda/internal/profile"
 	"distda/internal/trace"
 )
@@ -58,6 +60,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	statsPath := fs.String("stats", "", "write the matrix's merged gem5-style stats dump (cycle/energy attribution) to this file")
 	foldedPath := fs.String("folded", "", "write the matrix's folded stacks of simulated time (FlameGraph/speedscope input) to this file")
 	breakdown := fs.Bool("breakdown", false, "print the offload latency breakdown table (dispatch/queue/execute/writeback)")
+	shardStats := fs.Bool("shard-stats", false, "print the matrix's merged per-island shard attribution (busy/barrier-wait wall-clock, window counts)")
 	httpAddr := fs.String("http", "", "serve live run introspection on this address (/progress JSON + expvar + pprof), e.g. localhost:6060")
 	traceDir := fs.String("trace-dir", "", "write one Chrome trace JSON per matrix cell into this directory")
 	cacheDir := fs.String("cache-dir", "", "content-addressed compile cache directory; reused across runs (empty = in-memory only)")
@@ -101,16 +104,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// Observability: per-cell tracers are drawn serially in cell order and
 	// written out (deterministically named) once the matrix is built, so
 	// -parallel never changes file names or contents.
-	obs := exp.Observe{}
+	observe := exp.Observe{}
 	var met *trace.Metrics
 	if *metrics {
 		met = trace.NewMetrics()
-		obs.Metrics = met
+		observe.Metrics = met
 	}
 	var prof *profile.Profiler
 	if *statsPath != "" || *foldedPath != "" || *breakdown {
 		prof = profile.New()
-		obs.Profile = prof
+		observe.Profile = prof
+	}
+	var shStats *shard.Stats
+	if *shardStats {
+		shStats = &shard.Stats{}
 	}
 	type cellTrace struct {
 		path string
@@ -122,7 +129,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 		dir := *traceDir
-		obs.Tracer = func(workload, config string) *trace.Tracer {
+		observe.Tracer = func(workload, config string) *trace.Tracer {
 			tr := trace.New()
 			cellTraces = append(cellTraces, cellTrace{
 				path: filepath.Join(dir, fmt.Sprintf("%s-%s.trace.json", workload, config)),
@@ -141,24 +148,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	buildOpts := exp.Options{
 		Scale:       scale,
 		Workers:     *parallel,
-		Observe:     obs,
+		Observe:     observe,
 		Cache:       cliutil.OpenCache(*cacheDir),
 		Checkpoint:  *checkpoint,
 		CellTimeout: *cellTimeout,
 		Retries:     *retries,
 		EngineMode:  emode,
 		Shards:      *shards,
+		ShardStats:  shStats,
 	}
 	// Live introspection: the /progress view is fed per-cell completion
 	// events from exp.Build; expvar and pprof expose the host process.
+	var reg *obs.Registry
 	if *httpAddr != "" {
+		reg = obs.New()
 		prog := profile.NewProgress(0)
-		intro, err := cliutil.ServeIntrospection(*httpAddr, prog)
+		intro, err := cliutil.ServeIntrospection(*httpAddr, prog, reg)
 		if err != nil {
 			return fail(err)
 		}
 		defer intro.Shutdown(context.Background())
-		fmt.Fprintf(stderr, "distda-repro: introspection on http://%s (/progress, /debug/vars, /debug/pprof/)\n", intro.Addr())
+		fmt.Fprintf(stderr, "distda-repro: introspection on http://%s (/progress, /metrics, /debug/vars, /debug/pprof/)\n", intro.Addr())
 		buildOpts.Progress = func(ev exp.ProgressEvent) {
 			prog.SetTotal(ev.Total)
 			prog.Record(profile.CellStatus{
@@ -228,6 +238,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "distda-repro: -metrics set but no matrix-backed output was selected; nothing collected")
 		} else {
 			fmt.Fprintln(stdout, met.Table().Render())
+		}
+	}
+	if shStats != nil {
+		if matrix == nil {
+			fmt.Fprintln(stderr, "distda-repro: -shard-stats set but no matrix-backed output was selected; nothing collected")
+		} else {
+			shStats.Record(reg) // nil registry no-ops
+			shStats.Extern(func(name, desc string, v float64) {
+				prof.Extern(name, desc, v) // nil profiler no-ops
+			})
+			shStats.WriteReport(stdout)
 		}
 	}
 	if prof != nil {

@@ -22,6 +22,8 @@ import (
 	"distda/internal/cliutil"
 	"distda/internal/compiler"
 	"distda/internal/engine"
+	"distda/internal/engine/shard"
+	"distda/internal/obs"
 	"distda/internal/profile"
 	"distda/internal/sim"
 	"distda/internal/trace"
@@ -55,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	statsPath := fs.String("stats", "", "write a gem5-style stats.txt profile dump to this path")
 	foldedPath := fs.String("folded", "", "write folded stacks (FlameGraph/speedscope input) to this path")
 	breakdown := fs.Bool("breakdown", false, "print the offload latency breakdown table (dispatch/queue/execute/writeback)")
+	shardStats := fs.Bool("shard-stats", false, "print per-island shard attribution (busy/barrier-wait wall-clock, window counts) after the result")
 	httpAddr := fs.String("http", "", "serve live introspection (expvar, pprof) on this address, e.g. localhost:6060")
 	cacheDir := fs.String("cache-dir", "", "content-addressed compile cache directory (shared with distda-repro; empty = in-memory only)")
 	list := fs.Bool("list", false, "list workloads and exit")
@@ -120,13 +123,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		prof = profile.New()
 		cfg.Profile = prof
 	}
+	var shStats *shard.Stats
+	var reg *obs.Registry
+	if *shardStats {
+		shStats = &shard.Stats{}
+		cfg.ShardStats = shStats
+	}
 	if *httpAddr != "" {
-		intro, err := cliutil.ServeIntrospection(*httpAddr, nil)
+		reg = obs.New()
+		intro, err := cliutil.ServeIntrospection(*httpAddr, nil, reg)
 		if err != nil {
 			return fail(err)
 		}
 		defer intro.Shutdown(context.Background())
-		fmt.Fprintf(stderr, "distda-run: introspection on http://%s (/debug/vars, /debug/pprof/)\n", intro.Addr())
+		fmt.Fprintf(stderr, "distda-run: introspection on http://%s (/metrics, /debug/vars, /debug/pprof/)\n", intro.Addr())
 	}
 
 	// Compile through the content-addressed cache (disk-backed under
@@ -158,6 +168,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if met != nil {
 		fmt.Fprintln(stdout)
 		fmt.Fprintln(stdout, met.Table().Render())
+	}
+	if shStats != nil {
+		shStats.Record(reg) // nil registry no-ops
+		shStats.Extern(func(name, desc string, v float64) {
+			prof.Extern(name, desc, v) // nil profiler no-ops
+		})
+		fmt.Fprintln(stdout)
+		shStats.WriteReport(stdout)
 	}
 	if prof != nil {
 		if *breakdown {

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -29,6 +30,7 @@ import (
 
 	"distda/internal/artifact"
 	"distda/internal/cliutil"
+	"distda/internal/obs"
 	"distda/internal/serve"
 )
 
@@ -56,10 +58,20 @@ func run(args []string, stderr io.Writer, ready chan<- string) int {
 	if err := fs.Parse(args); err != nil {
 		return cliutil.ExitUsage
 	}
+	logger := slog.New(slog.NewTextHandler(stderr, nil))
 	fail := func(err error) int {
-		fmt.Fprintln(stderr, "distda-serve:", err)
+		logger.Error("fatal", "err", err)
 		return cliutil.ExitError
 	}
+
+	// The effective startup configuration, in one queryable line: what the
+	// defaults resolved to matters when diagnosing backpressure or resume
+	// behavior after the fact.
+	logger.Info("starting",
+		"addr", *addr, "workers", *workers, "cell_workers", *cellWorkers,
+		"queue_depth", *queueDepth, "rate", *rate, "burst", *burst,
+		"shards_default", *shards, "cache_dir", *cacheDir, "state_dir", *stateDir,
+		"cell_timeout", *cellTimeout, "retries", *retries, "drain_timeout", *drain)
 
 	srv, err := serve.NewServer(serve.Config{
 		Workers:     *workers,
@@ -72,12 +84,14 @@ func run(args []string, stderr io.Writer, ready chan<- string) int {
 		CellTimeout: *cellTimeout,
 		Retries:     *retries,
 		Shards:      *shards,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(stderr, format+"\n", args...)
-		},
+		Obs:         obs.New(),
+		Logger:      logger,
 	})
 	if err != nil {
 		return fail(err)
+	}
+	if restored := srv.Stats().Restored; restored > 0 {
+		logger.Info("journal restored", "jobs", restored)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -100,19 +114,38 @@ func run(args []string, stderr io.Writer, ready chan<- string) int {
 		srv.Shutdown(context.Background())
 		return fail(err)
 	case got := <-sig:
-		fmt.Fprintf(stderr, "distda-serve: %s — draining (up to %s)\n", got, *drain)
+		logger.Info("signal received, draining", "signal", got.String(), "timeout", *drain)
 	}
 
-	// Stop accepting HTTP first, then drain the job queue: running jobs
-	// get the drain budget, everything else lands in the journal.
+	// Flip readiness first (GET /readyz → 503) so load balancers stop
+	// routing here, then stop accepting HTTP, then drain the job queue:
+	// running jobs get the drain budget, everything else lands in the
+	// journal.
+	srv.StartDrain()
 	httpCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	_ = httpSrv.Shutdown(httpCtx)
 	cancel()
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	if err := srv.Shutdown(drainCtx); err != nil {
+	progress := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-progress:
+				return
+			case <-tick.C:
+				st := srv.Stats()
+				logger.Info("drain progress", "queued", st.QueueLen, "running", st.Running)
+			}
+		}
+	}()
+	err = srv.Shutdown(drainCtx)
+	close(progress)
+	if err != nil {
 		return fail(err)
 	}
-	fmt.Fprintln(stderr, "distda-serve: drained")
+	logger.Info("drained")
 	return cliutil.ExitOK
 }

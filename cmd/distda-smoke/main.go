@@ -4,7 +4,9 @@
 // asserts the served bytes are identical to reference files produced by
 // the batch CLIs (the serving layer's core guarantee). It then resubmits
 // the run job and checks the result cache answered, and verifies the
-// per-backend submission counters in /api/v1/stats.
+// per-backend submission counters in /api/v1/stats. It also scrapes
+// GET /metrics before and after the run job and asserts the exposition
+// parses and the per-tenant job counters moved.
 //
 // scripts/serve_smoke.sh builds the binaries, generates the reference
 // files, starts the server and invokes this tool; run it standalone with:
@@ -55,6 +57,15 @@ func run(args []string, stderr io.Writer) int {
 	if err := c.Health(ctx); err != nil {
 		return fail("health check: %v", err)
 	}
+	if err := c.Ready(ctx); err != nil {
+		return fail("readiness check: %v", err)
+	}
+
+	fmt.Fprintln(stderr, "== metrics (before)")
+	mBefore, err := c.Metrics(ctx)
+	if err != nil {
+		return fail("metrics scrape: %v", err)
+	}
 
 	// submit-wait-fetch runs one job to completion, streaming progress.
 	fetch := func(spec serve.JobSpec) (serve.JobStatus, []byte, error) {
@@ -103,6 +114,29 @@ func run(args []string, stderr io.Writer) int {
 	if err := compare(out, *runWant, "run"); err != nil {
 		return fail("%v", err)
 	}
+
+	// The wall-clock telemetry must have seen the job: the per-tenant done
+	// counter moves, and the queue/stage series exist in a valid exposition.
+	fmt.Fprintln(stderr, "== metrics (after run job)")
+	mAfter, err := c.Metrics(ctx)
+	if err != nil {
+		return fail("metrics scrape: %v", err)
+	}
+	doneKey := fmt.Sprintf("distda_jobs_total{outcome=%q,tenant=%q}", "done", "anonymous")
+	if mAfter[doneKey] <= mBefore[doneKey] {
+		return fail("%s did not increase (%v -> %v)", doneKey, mBefore[doneKey], mAfter[doneKey])
+	}
+	for _, key := range []string{
+		"distda_queue_depth",
+		"distda_running_jobs",
+		fmt.Sprintf("distda_job_stage_seconds_count{stage=%q}", "executing"),
+		fmt.Sprintf("distda_job_queue_wait_seconds_count{tenant=%q}", "anonymous"),
+	} {
+		if _, ok := mAfter[key]; !ok {
+			return fail("metrics scrape missing %s", key)
+		}
+	}
+	fmt.Fprintf(stderr, "   %d series, %s = %v\n", len(mAfter), doneKey, mAfter[doneKey])
 
 	fmt.Fprintln(stderr, "== matrix job")
 	_, out, err = fetch(serve.JobSpec{Kind: serve.KindMatrix, Scale: "test",

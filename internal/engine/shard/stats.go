@@ -1,0 +1,139 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"distda/internal/obs"
+)
+
+// IslandStats is one shard's (island's) share of a sharded run.
+type IslandStats struct {
+	// Busy is wall-clock time the island's engine spent advancing inside
+	// windows (the RunUntil calls).
+	Busy time.Duration `json:"busy"`
+	// BarrierWait is wall-clock time between the island finishing its
+	// window and the round's barrier completing — time spent waiting for
+	// slower islands. Only rounds where the island ran count.
+	BarrierWait time.Duration `json:"barrier_wait"`
+	// Windows is the number of rounds the island actually ran in.
+	Windows int64 `json:"windows"`
+	// Skipped is the number of rounds the island sat out (parked on a
+	// future event with no fresh deliveries).
+	Skipped int64 `json:"skipped"`
+}
+
+// Stats is wall-clock attribution for sharded execution, collected by
+// Graph.Run when Graph.Stats is set. The count fields (Windows,
+// IdleFastForwards, Deliveries, per-island Windows/Skipped) are
+// deterministic — the window algorithm's round structure is bit-identical
+// at any worker count — while Busy and BarrierWait are host wall-clock
+// measurements. Collection is observational only: it never changes
+// simulated results.
+type Stats struct {
+	Islands []IslandStats `json:"islands"`
+	// Windows is the total number of barrier rounds.
+	Windows int64 `json:"windows"`
+	// IdleFastForwards counts rounds where nothing stepped and the graph
+	// jumped ahead to the earliest wake-up instead of sweeping dead
+	// windows.
+	IdleFastForwards int64 `json:"idle_fast_forwards"`
+	// Deliveries is the total number of cross-shard messages delivered at
+	// barriers.
+	Deliveries int64 `json:"deliveries"`
+	// Launches is the number of sharded Graph.Run calls accumulated here
+	// (a simulation performs one per kernel launch).
+	Launches int64 `json:"launches"`
+}
+
+// Add accumulates o into s, padding the island list as needed. Used to
+// merge per-cell collectors in serial cell order, which keeps the
+// deterministic count fields independent of -parallel.
+func (s *Stats) Add(o *Stats) {
+	if o == nil {
+		return
+	}
+	for len(s.Islands) < len(o.Islands) {
+		s.Islands = append(s.Islands, IslandStats{})
+	}
+	for i, is := range o.Islands {
+		s.Islands[i].Busy += is.Busy
+		s.Islands[i].BarrierWait += is.BarrierWait
+		s.Islands[i].Windows += is.Windows
+		s.Islands[i].Skipped += is.Skipped
+	}
+	s.Windows += o.Windows
+	s.IdleFastForwards += o.IdleFastForwards
+	s.Deliveries += o.Deliveries
+	s.Launches += o.Launches
+}
+
+// Empty reports whether nothing was recorded (no sharded launches ran).
+func (s *Stats) Empty() bool {
+	return s == nil || (s.Launches == 0 && s.Windows == 0 && len(s.Islands) == 0)
+}
+
+// WriteReport renders a human-readable shard attribution report.
+func (s *Stats) WriteReport(w io.Writer) {
+	fmt.Fprintf(w, "shard execution: %d launch(es), %d window(s), %d idle fast-forward(s), %d cross-shard deliveries\n",
+		s.Launches, s.Windows, s.IdleFastForwards, s.Deliveries)
+	for i, is := range s.Islands {
+		fmt.Fprintf(w, "  island %d: busy %v, barrier-wait %v, ran %d window(s), skipped %d\n",
+			i, is.Busy.Round(time.Microsecond), is.BarrierWait.Round(time.Microsecond),
+			is.Windows, is.Skipped)
+	}
+}
+
+// Record publishes the stats into an obs registry (no-op on a nil
+// registry). Counter values are Stored, not Added: callers scrape the
+// accumulated totals.
+func (s *Stats) Record(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("distda_shard_windows_total",
+		"Barrier rounds executed by sharded runs.").With().Store(s.Windows)
+	reg.Counter("distda_shard_idle_fastforwards_total",
+		"Rounds fast-forwarded past dead windows.").With().Store(s.IdleFastForwards)
+	reg.Counter("distda_shard_deliveries_total",
+		"Cross-shard messages delivered at barriers.").With().Store(s.Deliveries)
+	reg.Counter("distda_shard_launches_total",
+		"Sharded kernel launches executed.").With().Store(s.Launches)
+	busy := reg.SecondsCounter("distda_shard_busy_seconds_total",
+		"Wall-clock time each island spent advancing.", "island")
+	wait := reg.SecondsCounter("distda_shard_barrier_wait_seconds_total",
+		"Wall-clock time each island waited at window barriers.", "island")
+	ran := reg.Counter("distda_shard_active_windows_total",
+		"Windows each island actually ran in.", "island")
+	skip := reg.Counter("distda_shard_skipped_windows_total",
+		"Windows each island sat out.", "island")
+	for i, is := range s.Islands {
+		l := fmt.Sprint(i)
+		busy.With(l).Store(int64(is.Busy))
+		wait.With(l).Store(int64(is.BarrierWait))
+		ran.With(l).Store(is.Windows)
+		skip.With(l).Store(is.Skipped)
+	}
+}
+
+// Extern feeds the stats to an external stats sink (the profiler's extern
+// section) without this package importing it: add is called once per
+// statistic with a dotted name, a description, and the value (durations in
+// seconds).
+func (s *Stats) Extern(add func(name, desc string, v float64)) {
+	add("shard.launches", "Sharded kernel launches executed", float64(s.Launches))
+	add("shard.windows", "Barrier rounds executed", float64(s.Windows))
+	add("shard.idleFastForwards", "Rounds fast-forwarded past dead windows", float64(s.IdleFastForwards))
+	add("shard.deliveries", "Cross-shard messages delivered", float64(s.Deliveries))
+	for i, is := range s.Islands {
+		add(fmt.Sprintf("shard.island%02d.busySeconds", i),
+			fmt.Sprintf("Island %d wall-clock busy time (s)", i), is.Busy.Seconds())
+		add(fmt.Sprintf("shard.island%02d.barrierWaitSeconds", i),
+			fmt.Sprintf("Island %d wall-clock barrier wait (s)", i), is.BarrierWait.Seconds())
+		add(fmt.Sprintf("shard.island%02d.windows", i),
+			fmt.Sprintf("Island %d windows ran", i), float64(is.Windows))
+		add(fmt.Sprintf("shard.island%02d.skipped", i),
+			fmt.Sprintf("Island %d windows skipped", i), float64(is.Skipped))
+	}
+}

@@ -1,0 +1,197 @@
+package shard
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"distda/internal/engine"
+	"distda/internal/obs"
+)
+
+// runShardedStats is runSharded with a stats collector attached.
+func runShardedStats(s, n int, period, lat, window int64, workers int) (int64, []float64, *Stats, error) {
+	prods, cons := ring(s, n, period, lat)
+	st := &Stats{}
+	g := &Graph{Window: window, Workers: workers, Stats: st}
+	for i := 0; i < s; i++ {
+		ch := &Channel{Latency: lat, To: (i + 1) % s}
+		dst := cons[(i+1)%s]
+		ch.Deliver = dst.deliver
+		prods[i].send = func(at int64, v float64) { ch.SendAt(at, 0, v) }
+		g.AddChannel(ch)
+		eng := engine.New()
+		eng.Add(prods[i], 1)
+		eng.Add(cons[i], 1)
+		g.AddShard(eng)
+	}
+	elapsed, err := g.Run(1 << 20)
+	sums := make([]float64, s)
+	for i, c := range cons {
+		sums[i] = c.sum
+	}
+	return elapsed, sums, st, err
+}
+
+// TestStatsObservationalOnly: enabling stats must not change the
+// simulated result.
+func TestStatsObservationalOnly(t *testing.T) {
+	plainElapsed, plainSums, err := runSharded(3, 9, 3, 2, 2, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed, sums, st, err := runShardedStats(3, 9, 3, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed != plainElapsed || !reflect.DeepEqual(sums, plainSums) {
+		t.Fatalf("stats changed the result: (%d, %v) vs (%d, %v)",
+			elapsed, sums, plainElapsed, plainSums)
+	}
+	if st.Empty() || st.Launches != 1 || st.Windows == 0 || len(st.Islands) != 3 {
+		t.Fatalf("stats not collected: %+v", st)
+	}
+	var ran int64
+	for _, is := range st.Islands {
+		ran += is.Windows
+	}
+	if ran == 0 {
+		t.Fatalf("no island windows recorded: %+v", st)
+	}
+}
+
+// TestStatsCountsDeterministic: the deterministic fields (windows,
+// deliveries, idle fast-forwards, per-island windows/skipped) must be
+// identical at any worker count, because the round structure is.
+func TestStatsCountsDeterministic(t *testing.T) {
+	strip := func(st *Stats) *Stats {
+		out := &Stats{
+			Windows:          st.Windows,
+			IdleFastForwards: st.IdleFastForwards,
+			Deliveries:       st.Deliveries,
+			Launches:         st.Launches,
+		}
+		for _, is := range st.Islands {
+			out.Islands = append(out.Islands, IslandStats{Windows: is.Windows, Skipped: is.Skipped})
+		}
+		return out
+	}
+	_, _, base, err := runShardedStats(4, 25, 2, 7, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		_, _, st, err := runShardedStats(4, 25, 2, 7, 5, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(strip(st), strip(base)) {
+			t.Fatalf("counts differ at %d workers:\n%+v\nvs 1 worker:\n%+v", workers, st, base)
+		}
+	}
+	if base.Deliveries == 0 {
+		t.Fatalf("ring run delivered nothing: %+v", base)
+	}
+}
+
+// TestStatsIdleFastForwardCounted: the sparse ring from
+// TestGraphIdleFastForward must report fast-forwarded windows.
+func TestStatsIdleFastForwards(t *testing.T) {
+	_, _, st, err := runShardedStats(2, 4, 50_000, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IdleFastForwards == 0 {
+		t.Fatalf("sparse run recorded no idle fast-forwards: %+v", st)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := &Stats{
+		Islands:  []IslandStats{{Busy: time.Second, Windows: 2}},
+		Windows:  2,
+		Launches: 1,
+	}
+	b := &Stats{
+		Islands: []IslandStats{
+			{BarrierWait: time.Second, Windows: 1, Skipped: 1},
+			{Busy: 2 * time.Second, Windows: 3},
+		},
+		Windows:          3,
+		IdleFastForwards: 1,
+		Deliveries:       5,
+		Launches:         1,
+	}
+	a.Add(b)
+	a.Add(nil)
+	want := &Stats{
+		Islands: []IslandStats{
+			{Busy: time.Second, BarrierWait: time.Second, Windows: 3, Skipped: 1},
+			{Busy: 2 * time.Second, Windows: 3},
+		},
+		Windows:          5,
+		IdleFastForwards: 1,
+		Deliveries:       5,
+		Launches:         2,
+	}
+	if !reflect.DeepEqual(a, want) {
+		t.Fatalf("Add merged wrong:\n%+v\nwant\n%+v", a, want)
+	}
+	if a.Empty() {
+		t.Fatal("merged stats reported empty")
+	}
+	if !(&Stats{}).Empty() {
+		t.Fatal("zero stats not empty")
+	}
+}
+
+func TestStatsReportAndRecord(t *testing.T) {
+	_, _, st, err := runShardedStats(2, 16, 1, 4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	st.WriteReport(&buf)
+	out := buf.String()
+	for _, want := range []string{"shard execution:", "island 0:", "island 1:", "busy", "barrier-wait"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+
+	reg := obs.New()
+	st.Record(reg)
+	st.Record(nil) // no-op
+	buf.Reset()
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m, err := obs.ParseText(&buf)
+	if err != nil {
+		t.Fatalf("shard metrics not valid exposition: %v", err)
+	}
+	if got := m["distda_shard_windows_total"]; got != float64(st.Windows) {
+		t.Fatalf("windows_total = %v, want %d", got, st.Windows)
+	}
+	for _, k := range []string{
+		`distda_shard_busy_seconds_total{island="0"}`,
+		`distda_shard_barrier_wait_seconds_total{island="1"}`,
+		`distda_shard_active_windows_total{island="0"}`,
+		`distda_shard_launches_total`,
+	} {
+		if _, ok := m[k]; !ok {
+			t.Fatalf("series %s missing; have %v", k, m)
+		}
+	}
+
+	ext := map[string]float64{}
+	st.Extern(func(name, desc string, v float64) { ext[name] = v })
+	if ext["shard.windows"] != float64(st.Windows) || ext["shard.launches"] != 1 {
+		t.Fatalf("extern stats wrong: %v", ext)
+	}
+	if _, ok := ext["shard.island00.busySeconds"]; !ok {
+		t.Fatalf("extern missing island stats: %v", ext)
+	}
+}

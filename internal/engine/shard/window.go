@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"time"
 
 	"distda/internal/engine"
 )
@@ -75,6 +76,13 @@ type Graph struct {
 	Workers int
 	Jitter  func(worker, island int)
 
+	// Stats, when non-nil, accumulates wall-clock attribution for each Run:
+	// per-island busy and barrier-wait time, window counts, idle
+	// fast-forwards, deliveries. Collection is observational only — it
+	// never changes the round structure or the simulated result — and adds
+	// two clock reads per island-window when enabled, nothing when nil.
+	Stats *Stats
+
 	shards []*engine.Engine
 	chans  []*Channel
 
@@ -141,6 +149,19 @@ func (g *Graph) Run(maxBaseCycles int64) (int64, error) {
 		dirty[i] = true // first window: claims unknown
 	}
 
+	// Wall-clock attribution, active only when g.Stats is set. busyNS and
+	// finNS are written by whichever worker runs island i's task and read
+	// by the coordinator after the round — the pool's channel handshake
+	// orders those accesses.
+	var rec *Stats
+	var busyNS, finNS []int64
+	if g.Stats != nil {
+		rec = &Stats{Islands: make([]IslandStats, n), Launches: 1}
+		busyNS = make([]int64, n)
+		finNS = make([]int64, n)
+		defer g.Stats.Add(rec)
+	}
+
 	// One task closure per shard, built once; end and dirty are updated by
 	// the coordinator between rounds (the pool's channel handshake orders
 	// those writes before the workers' reads).
@@ -149,7 +170,16 @@ func (g *Graph) Run(maxBaseCycles int64) (int64, error) {
 	for i := range g.shards {
 		i := i
 		tasks[i] = func() {
+			var t0 int64
+			if rec != nil {
+				t0 = time.Now().UnixNano()
+			}
 			d, p, nx := g.shards[i].RunUntil(end, dirty[i])
+			if rec != nil {
+				now := time.Now().UnixNano()
+				busyNS[i] += now - t0
+				finNS[i] = now
+			}
 			dirty[i] = false
 			progress[i], next[i] = p, nx
 			if d {
@@ -203,6 +233,29 @@ func (g *Graph) Run(maxBaseCycles int64) (int64, error) {
 			}
 		}
 		pool.run(active)
+		if rec != nil {
+			// Barrier wait: from each active island's own finish to the
+			// round's barrier (the slowest island's finish), i.e. time spent
+			// waiting for slower peers.
+			rec.Windows++
+			barrier := time.Now().UnixNano()
+			for _, i := range active {
+				rec.Islands[i].Busy += time.Duration(busyNS[i])
+				busyNS[i] = 0
+				rec.Islands[i].BarrierWait += time.Duration(barrier - finNS[i])
+				rec.Islands[i].Windows++
+			}
+			for i := range g.shards {
+				if !done[i] {
+					rec.Islands[i].Skipped++
+				}
+			}
+			for _, i := range active {
+				if !done[i] {
+					rec.Islands[i].Skipped-- // ran, not skipped
+				}
+			}
+		}
 		anyProgress := false
 		for _, i := range active {
 			if progress[i] || done[i] {
@@ -215,6 +268,9 @@ func (g *Graph) Run(maxBaseCycles int64) (int64, error) {
 		// window [t, end) carry At >= t + Latency >= t + w = end, so the
 		// candidate set for (end, end+w] is complete here.
 		delivered := g.drain(end+w, dirty)
+		if rec != nil {
+			rec.Deliveries += int64(delivered)
+		}
 
 		if !anyProgress && delivered == 0 && !finished {
 			// Nothing stepped and nothing arrived — but a shard may be
@@ -243,6 +299,9 @@ func (g *Graph) Run(maxBaseCycles int64) (int64, error) {
 			}
 			if wake-w > end {
 				end = wake - w
+				if rec != nil {
+					rec.IdleFastForwards++
+				}
 			}
 		}
 		t = end

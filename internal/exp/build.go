@@ -15,6 +15,7 @@ import (
 	"distda/internal/artifact"
 	"distda/internal/compiler"
 	"distda/internal/engine"
+	"distda/internal/engine/shard"
 	"distda/internal/profile"
 	"distda/internal/sim"
 	"distda/internal/trace"
@@ -48,6 +49,13 @@ type Options struct {
 	// across up to that many goroutine shards (one per independent NUCA
 	// island). Results are bit-identical at any setting.
 	Shards int
+
+	// ShardStats, when non-nil, accumulates wall-clock shard attribution
+	// (per-island busy/barrier-wait time, window and delivery counts)
+	// across every cell. Per-cell collectors merge in serial cell order,
+	// so the deterministic count fields are identical at any Workers
+	// setting. Observational only.
+	ShardStats *shard.Stats
 
 	// Checkpoint, when non-empty, is the path of a JSON checkpoint that is
 	// rewritten (atomically) after every completed cell. If the file
@@ -187,10 +195,12 @@ func Build(ctx context.Context, opts Options) (*Matrix, error) {
 	tracers := make([][]*trace.Tracer, nw)
 	cellMet := make([][]*trace.Metrics, nw)
 	cellProf := make([][]*profile.Profiler, nw)
+	cellShard := make([][]*shard.Stats, nw)
 	for i, w := range m.Workloads {
 		tracers[i] = make([]*trace.Tracer, nc)
 		cellMet[i] = make([]*trace.Metrics, nc)
 		cellProf[i] = make([]*profile.Profiler, nc)
+		cellShard[i] = make([]*shard.Stats, nc)
 		for j, cfg := range m.Configs {
 			if resumed[i*nc+j] != nil {
 				continue
@@ -203,6 +213,9 @@ func Build(ctx context.Context, opts Options) (*Matrix, error) {
 			}
 			if opts.Observe.Profile != nil {
 				cellProf[i][j] = profile.New()
+			}
+			if opts.ShardStats != nil {
+				cellShard[i][j] = &shard.Stats{}
 			}
 		}
 	}
@@ -252,6 +265,7 @@ func Build(ctx context.Context, opts Options) (*Matrix, error) {
 				cfg.Trace = tracers[c.i][c.j]
 				cfg.Metrics = cellMet[c.i][c.j]
 				cfg.Profile = cellProf[c.i][c.j]
+				cfg.ShardStats = cellShard[c.i][c.j]
 				t0 := time.Now()
 				res, degraded, err := b.runCell(ctx, m.Workloads[c.i], cfg, data[c.i][c.j])
 				out[c.i][c.j] = outcome{res: res, err: err, degraded: degraded}
@@ -311,6 +325,16 @@ func Build(ctx context.Context, opts Options) (*Matrix, error) {
 		for i := range m.Workloads {
 			for j := range m.Configs {
 				prof.Merge(cellProf[i][j]) // nil cells no-op
+			}
+		}
+	}
+
+	// Fold per-cell shard attribution in serial cell order: the
+	// deterministic count fields end up identical at any worker count.
+	if opts.ShardStats != nil {
+		for i := range m.Workloads {
+			for j := range m.Configs {
+				opts.ShardStats.Add(cellShard[i][j])
 			}
 		}
 	}

@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"distda/internal/engine/shard"
+	"distda/internal/workloads"
+)
+
+// TestBuildShardStatsDeterministic builds the matrix with a shard
+// attribution collector at several -parallel worker counts and requires
+// (a) the rendered tables stay byte-identical to a run without the
+// collector, and (b) the deterministic count fields (windows, deliveries,
+// idle fast-forwards, per-island windows/skipped) are identical at any
+// worker count — per-cell collectors merge in serial cell order.
+func TestBuildShardStatsDeterministic(t *testing.T) {
+	ref, err := Build(context.Background(), Options{
+		Scale:   workloads.ScaleTest,
+		Workers: 1,
+		Shards:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderAll(ref)
+
+	strip := func(st *shard.Stats) *shard.Stats {
+		out := &shard.Stats{
+			Windows:          st.Windows,
+			IdleFastForwards: st.IdleFastForwards,
+			Deliveries:       st.Deliveries,
+			Launches:         st.Launches,
+		}
+		for _, is := range st.Islands {
+			out.Islands = append(out.Islands, shard.IslandStats{Windows: is.Windows, Skipped: is.Skipped})
+		}
+		return out
+	}
+
+	var base *shard.Stats
+	for _, workers := range []int{1, 4} {
+		st := &shard.Stats{}
+		m, err := Build(context.Background(), Options{
+			Scale:      workloads.ScaleTest,
+			Workers:    workers,
+			Shards:     2,
+			ShardStats: st,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := renderAll(m); got != want {
+			t.Fatalf("workers=%d: shard stats changed rendered tables", workers)
+		}
+		if st.Empty() {
+			t.Fatalf("workers=%d: no shard attribution collected (Shards=2 matrix)", workers)
+		}
+		if base == nil {
+			base = st
+			continue
+		}
+		if !reflect.DeepEqual(strip(st), strip(base)) {
+			t.Fatalf("deterministic counts differ at workers=%d:\n%+v\nvs workers=1:\n%+v",
+				workers, strip(st), strip(base))
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The workload stands in for the serve hot path: stages of real work with
+// telemetry calls between them, exactly as the job path makes them with
+// telemetry disabled (nil counter Inc, nil histogram Observe, nil span
+// list Open/Close). Instrumentation density matches the real path — per
+// stage, not per instruction.
+const (
+	workStages   = 4_000
+	workPerStage = 512
+)
+
+//go:noinline
+func stageWork(seed uint64) uint64 {
+	acc := seed
+	for i := 0; i < workPerStage; i++ {
+		acc = acc*2654435761 + uint64(i)
+	}
+	return acc
+}
+
+//go:noinline
+func plainLoop() uint64 {
+	var acc uint64 = 1
+	for i := 0; i < workStages; i++ {
+		acc = stageWork(acc)
+	}
+	return acc
+}
+
+//go:noinline
+func instrumentedLoop(c *Counter, h *Histogram, l *SpanList) uint64 {
+	var acc uint64 = 1
+	for i := 0; i < workStages; i++ {
+		sp := l.Open("stage")
+		acc = stageWork(acc)
+		l.Close(sp)
+		c.Inc()
+		h.Observe(float64(i))
+	}
+	return acc
+}
+
+var sinkU64 uint64
+
+// TestDisabledObsOverhead asserts the disabled (nil-registry) recording
+// path stays within 2% of the uninstrumented loop — the obs analogue of
+// the engine's TestDisabledTracerOverhead, same methodology: interleaved
+// trials, best-of-N, retry on marginal results, skipped under -short.
+func TestDisabledObsOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock comparison; skipped under -short")
+	}
+	const (
+		trials = 11
+		reps   = 6
+		budget = 1.02 // acceptance: <= 2% disabled-path overhead
+	)
+	var r *Registry // disabled
+	c := r.Counter("jobs_total", "Jobs.").With()
+	h := r.Histogram("lat", "Lat.", nil).With()
+	var l *SpanList
+
+	timePlain := func() time.Duration {
+		t0 := time.Now()
+		for i := 0; i < reps; i++ {
+			sinkU64 += plainLoop()
+		}
+		return time.Since(t0)
+	}
+	timeInstrumented := func() time.Duration {
+		t0 := time.Now()
+		for i := 0; i < reps; i++ {
+			sinkU64 += instrumentedLoop(c, h, l)
+		}
+		return time.Since(t0)
+	}
+
+	measure := func() (base, cur time.Duration) {
+		base, cur = time.Duration(1<<62), time.Duration(1<<62)
+		timePlain()
+		timeInstrumented()
+		for i := 0; i < trials; i++ {
+			if d := timePlain(); d < base {
+				base = d
+			}
+			if d := timeInstrumented(); d < cur {
+				cur = d
+			}
+		}
+		return base, cur
+	}
+
+	var ratio float64
+	for attempt := 0; attempt < 3; attempt++ {
+		base, cur := measure()
+		ratio = float64(cur) / float64(base)
+		t.Logf("attempt %d: plain %v, instrumented %v, ratio %.4f", attempt, base, cur, ratio)
+		if ratio <= budget {
+			return
+		}
+	}
+	t.Errorf("disabled-obs overhead %.2f%% exceeds 2%% budget", 100*(ratio-1))
+}
+
+func BenchmarkDisabledCounterInc(b *testing.B) {
+	var r *Registry
+	c := r.Counter("x", "X.").With()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkEnabledCounterInc(b *testing.B) {
+	r := New()
+	c := r.Counter("x", "X.").With()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkEnabledHistogramObserve(b *testing.B) {
+	r := New()
+	h := r.Histogram("x", "X.", nil).With()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.01)
+	}
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden pins the full text format: HELP/TYPE lines, family
+// ordering by name, series ordering by label values, escaping, histogram
+// cumulative buckets.
+func TestExpositionGolden(t *testing.T) {
+	r := New()
+	c := r.Counter("b_jobs_total", `Jobs with a back\slash and
+newline.`, "outcome")
+	c.With("do\"ne").Add(2)
+	c.With("a\\b\nc").Inc()
+	g := r.Gauge("a_depth", "Depth.")
+	g.With().Set(1.5)
+	h := r.Histogram("c_lat_seconds", "Latency.", []float64{0.5, 2})
+	h.With().Observe(0.25)
+	h.With().Observe(1)
+	h.With().Observe(10)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP a_depth Depth.
+# TYPE a_depth gauge
+a_depth 1.5
+# HELP b_jobs_total Jobs with a back\\slash and\nnewline.
+# TYPE b_jobs_total counter
+b_jobs_total{outcome="a\\b\nc"} 1
+b_jobs_total{outcome="do\"ne"} 2
+# HELP c_lat_seconds Latency.
+# TYPE c_lat_seconds histogram
+c_lat_seconds_bucket{le="0.5"} 1
+c_lat_seconds_bucket{le="2"} 2
+c_lat_seconds_bucket{le="+Inf"} 3
+c_lat_seconds_sum 11.25
+c_lat_seconds_count 3
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionOrderingDeterminism registers series in two different
+// orders and asserts identical bytes.
+func TestExpositionOrderingDeterminism(t *testing.T) {
+	build := func(rev bool) string {
+		r := New()
+		c := r.Counter("jobs_total", "Jobs.", "outcome", "tenant")
+		pairs := [][2]string{{"done", "a"}, {"done", "b"}, {"failed", "a"}, {"cache_hit", "z"}}
+		if rev {
+			for i, j := 0, len(pairs)-1; i < j; i, j = i+1, j-1 {
+				pairs[i], pairs[j] = pairs[j], pairs[i]
+			}
+		}
+		for _, p := range pairs {
+			c.With(p[0], p[1]).Inc()
+		}
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if a, b := build(false), build(true); a != b {
+		t.Fatalf("series creation order changed exposition:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestParseTextRoundTrip(t *testing.T) {
+	r := New()
+	c := r.Counter("jobs_total", "Jobs.", "outcome", "tenant")
+	c.With("done", "a").Add(3)
+	c.With("fail\"ed", "b\\c").Inc()
+	g := r.Gauge("depth", "Depth.")
+	g.With().Set(2.5)
+	h := r.Histogram("lat_seconds", "Lat.", []float64{1})
+	h.With().Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseText(&buf)
+	if err != nil {
+		t.Fatalf("ParseText on own exposition: %v", err)
+	}
+	checks := map[string]float64{
+		`jobs_total{outcome="done",tenant="a"}`:        3,
+		`jobs_total{outcome="fail\"ed",tenant="b\\c"}`: 1,
+		`depth`:                         2.5,
+		`lat_seconds_bucket{le="1"}`:    1,
+		`lat_seconds_bucket{le="+Inf"}`: 1,
+		`lat_seconds_sum`:               0.5,
+		`lat_seconds_count`:             1,
+	}
+	for k, want := range checks {
+		got, ok := m[k]
+		if !ok {
+			t.Fatalf("series %s missing; have %v", k, m)
+		}
+		if got != want {
+			t.Fatalf("%s = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestParseTextMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad name":            "9bad 1\n",
+		"no value":            "metric_only\n",
+		"bad value":           "m notanumber\n",
+		"unterminated labels": `m{a="x" 1` + "\n",
+		"unquoted label":      "m{a=x} 1\n",
+		"bad label name":      `m{9a="x"} 1` + "\n",
+		"colon label name":    `m{a:b="x"} 1` + "\n",
+		"duplicate series":    "m 1\nm 2\n",
+		"bad TYPE":            "# TYPE m frobnicator\n",
+		"short TYPE":          "# TYPE m\n",
+		"duplicate TYPE":      "# TYPE m counter\n# TYPE m counter\n",
+		"bad HELP name":       "# HELP 9bad text\n",
+		"extra fields":        "m 1 2 3\n",
+		"bad timestamp":       "m 1 notatime\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseText(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: ParseText accepted %q", name, text)
+		}
+	}
+}
+
+func TestParseTextAcceptsComments(t *testing.T) {
+	text := "# just a comment\n\n# HELP m Help text here.\n# TYPE m counter\nm 4 1700000000000\n"
+	m, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["m"] != 4 {
+		t.Fatalf("m = %v, want 4", m["m"])
+	}
+}

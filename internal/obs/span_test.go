@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestSpanListLifecycle(t *testing.T) {
+	var l SpanList
+	h := l.Open("queued")
+	time.Sleep(time.Millisecond)
+	l.Close(h)
+	l.Mark("cache_hit")
+	l.Add("executing", time.Unix(1, 0), time.Unix(2, 0))
+
+	got := l.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("snapshot len = %d, want 3", len(got))
+	}
+	if got[0].Name != "queued" || got[0].End.IsZero() || got[0].Duration() <= 0 {
+		t.Fatalf("queued span not closed: %+v", got[0])
+	}
+	if got[1].Name != "cache_hit" || got[1].Duration() != 0 {
+		t.Fatalf("mark span not instantaneous: %+v", got[1])
+	}
+	if got[2].Duration() != time.Second {
+		t.Fatalf("explicit span duration = %v, want 1s", got[2].Duration())
+	}
+
+	// Close is idempotent and tolerates bad handles.
+	end := got[0].End
+	l.Close(h)
+	l.Close(-1)
+	l.Close(99)
+	if got2 := l.Snapshot(); !got2[0].End.Equal(end) {
+		t.Fatal("re-Close moved the span end")
+	}
+}
+
+func TestNilSpanListSafe(t *testing.T) {
+	var l *SpanList
+	h := l.Open("x")
+	l.Close(h)
+	l.Mark("y")
+	l.Add("z", time.Now(), time.Now())
+	if l.Snapshot() != nil {
+		t.Fatal("nil SpanList snapshot not nil")
+	}
+}
+
+func TestOpenSpanHasZeroEnd(t *testing.T) {
+	var l SpanList
+	l.Open("executing")
+	s := l.Snapshot()[0]
+	if !s.End.IsZero() || s.Duration() != 0 {
+		t.Fatalf("open span should have zero End: %+v", s)
+	}
+	// The zero End must serialize away so clients see open vs closed.
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(b, []byte(`"end"`)) {
+		t.Fatalf("open span serialized an end time: %s", b)
+	}
+}
+
+func TestWriteTraceEvents(t *testing.T) {
+	epoch := time.Unix(100, 0)
+	spans := []Span{
+		{Name: "queued", Start: epoch, End: epoch.Add(2 * time.Millisecond)},
+		{Name: "executing", Start: epoch.Add(2 * time.Millisecond), End: epoch.Add(10 * time.Millisecond)},
+		{Name: "open", Start: epoch.Add(3 * time.Millisecond)},
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, "job-1", spans); err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+		Ts   int64  `json:"ts"`
+		Dur  int64  `json:"dur"`
+		Pid  string `json:"pid"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3", len(events))
+	}
+	if events[0].Ph != "X" || events[0].Ts != 0 || events[0].Dur != 2000 || events[0].Pid != "job-1" {
+		t.Fatalf("first event wrong: %+v", events[0])
+	}
+	if events[1].Ts != 2000 || events[1].Dur != 8000 {
+		t.Fatalf("second event wrong: %+v", events[1])
+	}
+	if events[2].Dur != 0 {
+		t.Fatalf("open span should export zero duration: %+v", events[2])
+	}
+}
+
+func TestWriteTraceEventsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, "p", nil); err != nil {
+		t.Fatal(err)
+	}
+	var events []any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil || len(events) != 0 {
+		t.Fatalf("empty export not an empty JSON array: %q (%v)", buf.String(), err)
+	}
+}

@@ -36,9 +36,17 @@ type Profiler struct {
 	regions map[regKey]*Region
 	queues  map[compKey]*Queue
 	spans   map[spanKey]*SpanAgg
+	extern  map[string]*externStat
 
 	totalBase int64 // simulated base cycles across absorbed runs
 	runs      int64
+}
+
+// externStat is one statistic contributed by another subsystem (shard
+// attribution, for example) through Extern.
+type externStat struct {
+	desc string
+	v    float64
 }
 
 type compKey struct{ kind, name string }
@@ -52,6 +60,7 @@ func New() *Profiler {
 		regions: map[regKey]*Region{},
 		queues:  map[compKey]*Queue{},
 		spans:   map[spanKey]*SpanAgg{},
+		extern:  map[string]*externStat{},
 	}
 }
 
@@ -337,6 +346,32 @@ func (p *Profiler) Merge(other *Profiler) {
 		a.Cycles += os.Cycles
 		a.Instants += os.Instants
 	}
+	for k, oe := range other.extern {
+		e, ok := p.extern[k]
+		if !ok {
+			e = &externStat{desc: oe.desc}
+			p.extern[k] = e
+		}
+		e.v += oe.v
+	}
+}
+
+// Extern accumulates one externally-computed statistic under the given
+// dotted name — the hook other subsystems (shard attribution) use to land
+// their numbers in the stats dump without this package importing them.
+// Values with the same name sum; Merge sums across profilers. No-op on nil.
+func (p *Profiler) Extern(name, desc string, v float64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.extern[name]
+	if !ok {
+		e = &externStat{desc: desc}
+		p.extern[name] = e
+	}
+	e.v += v
 }
 
 // Components returns every component sorted by (kind, name).

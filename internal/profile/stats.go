@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // WriteStats writes the profile as a gem5-style stats dump: one
@@ -95,6 +96,19 @@ func (p *Profiler) WriteStats(w io.Writer) error {
 			iv(prefix+".instants", a.Instants, "instant events")
 		}
 	}
+
+	// External statistics (shard attribution and friends), sorted by name.
+	p.mu.Lock()
+	names := make([]string, 0, len(p.extern))
+	for name := range p.extern {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := p.extern[name]
+		fv(name, e.v, e.desc)
+	}
+	p.mu.Unlock()
 
 	if _, err := fmt.Fprintln(bw, "---------- End Simulation Statistics   ----------"); err != nil {
 		return err

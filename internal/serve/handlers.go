@@ -8,18 +8,22 @@ import (
 	"time"
 
 	"distda/internal/cliutil"
+	"distda/internal/obs"
 )
 
 // Handler returns the server's HTTP API.
 //
 //	POST   /api/v1/jobs             submit a JobSpec, returns 202 + JobStatus
 //	GET    /api/v1/jobs             list all jobs (submission order)
-//	GET    /api/v1/jobs/{id}        job status (state, progress, timings)
+//	GET    /api/v1/jobs/{id}        job status (state, progress, timings, spans)
 //	GET    /api/v1/jobs/{id}/result rendered output once done (text/plain)
 //	GET    /api/v1/jobs/{id}/events server-sent progress events until terminal
+//	GET    /api/v1/jobs/{id}/trace  lifecycle spans as a Chrome trace_event file
 //	DELETE /api/v1/jobs/{id}        cancel a queued or running job
 //	GET    /api/v1/stats            server counters + cache statistics
+//	GET    /metrics                 Prometheus text exposition (wall-clock)
 //	GET    /healthz                 liveness probe
+//	GET    /readyz                  readiness probe (503 once draining)
 //	/progress, /debug/vars, /debug/pprof/*  live introspection (cliutil mux)
 //
 // Backpressure surfaces as HTTP 429 (queue full or tenant rate limit,
@@ -32,11 +36,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	intro := cliutil.NewIntrospectionMux(nil)
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	intro := cliutil.NewIntrospectionMux(nil, s.obsReg)
 	mux.Handle("/progress", intro)
 	mux.Handle("/debug/", intro)
 	return mux
@@ -180,4 +187,40 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleMetrics renders the wall-clock telemetry registry in Prometheus
+// text exposition format. Scrape-time mirrors (queue gauges, cache
+// counters, shard attribution) are refreshed first.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.obsReg == nil {
+		http.Error(w, "telemetry disabled (Config.Obs is nil)", http.StatusNotFound)
+		return
+	}
+	s.syncObs()
+	w.Header().Set("Content-Type", obs.ContentType)
+	_ = s.obsReg.WritePrometheus(w)
+}
+
+// handleReady reports readiness: 200 while accepting jobs, 503 once a
+// graceful drain has begun — load balancers stop routing new work while
+// in-flight jobs finish.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// handleTrace exports a job's lifecycle spans as a Chrome trace_event
+// JSON file (load in chrome://tracing or Perfetto).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	st := s.Status(j)
+	w.Header().Set("Content-Type", "application/json")
+	_ = obs.WriteTraceEvents(w, st.ID, st.Spans)
 }

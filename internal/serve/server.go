@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -12,6 +13,8 @@ import (
 	"time"
 
 	"distda/internal/artifact"
+	"distda/internal/engine/shard"
+	"distda/internal/obs"
 	"distda/internal/profile"
 )
 
@@ -68,7 +71,17 @@ type Config struct {
 	// not set shards execute each offload launch across up to this many
 	// goroutine shards. Wall-clock only — results stay bit-identical.
 	Shards int
-	// Logf, when non-nil, receives one line per job state change.
+	// Obs, when non-nil, receives wall-clock telemetry: per-tenant ×
+	// per-outcome job counts, queue depth/wait, per-stage latency
+	// histograms, cache hit mirrors and shard attribution — rendered by
+	// the /metrics endpoint. Observational only: served bytes are
+	// bit-identical with it on or off.
+	Obs *obs.Registry
+	// Logger, when non-nil, receives structured request logs keyed by job
+	// ID. It takes precedence over Logf.
+	Logger *slog.Logger
+	// Logf, when non-nil (and Logger is nil), receives one rendered line
+	// per job state change.
 	Logf func(format string, args ...any)
 	// Now is the rate limiter's clock (tests; nil = time.Now).
 	Now func() time.Time
@@ -90,6 +103,7 @@ type Job struct {
 	started   time.Time
 	finished  time.Time
 	exec      *execution
+	spans     []obs.Span // job-local lifecycle spans (markers, short-circuits)
 	done      chan struct{}
 }
 
@@ -105,6 +119,14 @@ type execution struct {
 	cancel   context.CancelFunc
 	jobs     []*Job // attached jobs; guarded by Server.mu
 	userStop bool   // canceled because the last attached job was canceled
+
+	// Observability (wall-clock only, never feeds the simulation): the
+	// lifecycle span list shared by every attached job, the handle of the
+	// open "queued" span, and the shard attribution collector (nil unless
+	// an obs registry is configured).
+	spans      *obs.SpanList
+	queuedSpan int
+	shardStats *shard.Stats
 }
 
 // Stats are the server's cumulative counters plus current queue state.
@@ -136,7 +158,11 @@ type Server struct {
 	cache   *artifact.Cache
 	queue   *queue
 	limiter *limiter
-	run     func(ctx context.Context, p *plan, prog *profile.Progress) ([]byte, error)
+	run     func(ctx context.Context, p *plan, prog *profile.Progress, o *runObs) ([]byte, error)
+
+	obsReg *obs.Registry
+	met    *serveMetrics
+	logger *slog.Logger
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -150,7 +176,9 @@ type Server struct {
 	running  int
 	closed   bool
 	draining bool
+	shutdown bool
 	stats    Stats
+	shardAgg shard.Stats // accumulated shard attribution across executions
 }
 
 // NewServer builds a server, starts its worker pool, and — when
@@ -189,6 +217,9 @@ func NewServer(cfg Config) (*Server, error) {
 		queue:      newQueue(cfg.QueueDepth),
 		limiter:    newLimiter(cfg.Rate, cfg.Burst, cfg.Now),
 		run:        r.run,
+		obsReg:     cfg.Obs,
+		met:        newServeMetrics(cfg.Obs),
+		logger:     cfg.Logger,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
@@ -203,12 +234,6 @@ func NewServer(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	return s, nil
-}
-
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
-	}
 }
 
 // Submit plans, admits and enqueues a job. It returns the job even when
@@ -235,6 +260,7 @@ func (s *Server) admit(p *plan, id string, limit bool) (*Job, error) {
 	}
 	if limit && !s.limiter.allow(p.tenant) {
 		s.stats.RejectedRate++
+		s.met.jobs.With(outcomeRejectedRate, p.tenant).Inc()
 		return nil, ErrRateLimited
 	}
 	if id == "" {
@@ -249,16 +275,21 @@ func (s *Server) admit(p *plan, id string, limit bool) (*Job, error) {
 		done:      make(chan struct{}),
 	}
 
+	j.spans = append(j.spans, obs.Span{Name: "received", Start: j.submitted, End: j.submitted})
+
 	// Fast path: an identical job already ran to completion.
 	if env, ok := s.cache.GetResult(p.key); ok {
 		j.state = StateDone
 		j.cached = true
 		j.output = env.Body
 		j.finished = j.submitted
+		now := time.Now()
+		j.spans = append(j.spans, obs.Span{Name: "cache_hit", Start: now, End: now})
 		close(j.done)
 		s.register(j)
 		s.stats.CacheHits++
-		s.logf("serve: job %s done (result cache hit, key %.12s…)", id, p.key)
+		s.met.jobs.With(outcomeCacheHit, p.tenant).Inc()
+		s.logkv("job done (result cache hit)", "job", id, "tenant", p.tenant, "key", short(p.key))
 		return j, nil
 	}
 
@@ -272,10 +303,13 @@ func (s *Server) admit(p *plan, id string, limit bool) (*Job, error) {
 			j.state = StateRunning
 			j.started = e.jobs[0].started
 		}
+		now := time.Now()
+		j.spans = append(j.spans, obs.Span{Name: "coalesced", Start: now, End: now})
 		e.jobs = append(e.jobs, j)
 		s.register(j)
 		s.stats.Coalesced++
-		s.logf("serve: job %s coalesced onto execution %.12s…", id, p.key)
+		s.met.jobs.With(outcomeCoalesced, p.tenant).Inc()
+		s.logkv("job coalesced onto in-flight execution", "job", id, "tenant", p.tenant, "key", short(p.key))
 		return j, nil
 	}
 
@@ -287,20 +321,34 @@ func (s *Server) admit(p *plan, id string, limit bool) (*Job, error) {
 		progress: profile.NewProgress(0),
 		ctx:      ctx,
 		cancel:   cancel,
+		spans:    &obs.SpanList{},
+	}
+	if s.obsReg != nil {
+		e.shardStats = &shard.Stats{}
 	}
 	e.jobs = []*Job{j}
 	j.exec = e
+	e.queuedSpan = e.spans.Open("queued")
 	if err := s.queue.push(e); err != nil {
 		cancel()
 		if errors.Is(err, ErrQueueFull) {
 			s.stats.RejectedFull++
+			s.met.jobs.With(outcomeRejectedFull, p.tenant).Inc()
 		}
 		return nil, err
 	}
 	s.execs[p.key] = e
 	s.register(j)
-	s.logf("serve: job %s queued (%s, tenant %s, key %.12s…)", id, p.kind, p.tenant, p.key)
+	s.logkv("job queued", "job", id, "kind", p.kind, "tenant", p.tenant, "key", short(p.key))
 	return j, nil
+}
+
+// short truncates a content-address key for log lines.
+func short(key string) string {
+	if len(key) > 12 {
+		return key[:12] + "…"
+	}
+	return key
 }
 
 // register indexes the job. Caller holds s.mu.
@@ -308,6 +356,7 @@ func (s *Server) register(j *Job) {
 	s.jobs[j.id] = j
 	s.byID = append(s.byID, j.id)
 	s.stats.Submitted++
+	s.met.jobs.With(outcomeSubmitted, j.plan.tenant).Inc()
 	if j.plan.kind == KindRun {
 		name := j.plan.Backend()
 		if name == "" {
@@ -347,15 +396,21 @@ func (s *Server) execute(e *execution) {
 	for _, j := range e.jobs {
 		j.state = StateRunning
 		j.started = now
+		s.met.queueWait.With(j.plan.tenant).ObserveDuration(now.Sub(j.submitted))
 	}
 	s.running++
 	s.mu.Unlock()
 
-	out, err := s.run(e.ctx, e.plan, e.progress)
+	e.spans.Close(e.queuedSpan)
+	execSpan := e.spans.Open("executing")
+	out, err := s.run(e.ctx, e.plan, e.progress, &runObs{spans: e.spans, shard: e.shardStats})
+	e.spans.Close(execSpan)
+	s.met.observeStages(e.spans.Snapshot())
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.running--
+	s.shardAgg.Add(e.shardStats) // nil no-ops
 	if s.execs[e.key] == e {
 		delete(s.execs, e.key)
 	}
@@ -371,7 +426,7 @@ func (s *Server) execute(e *execution) {
 			"kind":       e.plan.kind,
 			"equivalent": e.plan.Equivalent(),
 		}, out); cerr != nil {
-			s.logf("serve: result cache store failed for %.12s…: %v", e.key, cerr)
+			s.logkv("result cache store failed", "key", short(e.key), "err", cerr)
 		}
 	}
 	for _, j := range e.jobs {
@@ -381,25 +436,30 @@ func (s *Server) execute(e *execution) {
 			j.output = out
 			j.degraded = degraded
 			s.stats.Completed++
+			s.met.jobs.With(outcomeDone, j.plan.tenant).Inc()
 		case e.ctx.Err() != nil && e.userStop:
 			j.state = StateCanceled
 			j.errMsg = "canceled"
 			s.stats.Canceled++
+			s.met.jobs.With(outcomeCanceled, j.plan.tenant).Inc()
 		case e.ctx.Err() != nil && s.draining:
 			// Interrupted by shutdown: back to queued so the journal
 			// resubmits it; the matrix checkpoint keeps the finished
 			// cells.
 			j.state = StateQueued
 			j.exec = nil
+			s.logkv("job requeued for journal (drain interrupted it)", "job", j.id)
 			continue
 		default:
 			j.state = StateFailed
 			j.errMsg = err.Error()
 			s.stats.Failed++
+			s.met.jobs.With(outcomeFailed, j.plan.tenant).Inc()
 		}
 		j.finished = time.Now()
 		close(j.done)
-		s.logf("serve: job %s %s", j.id, j.state)
+		s.logkv("job "+string(j.state), "job", j.id, "tenant", j.plan.tenant,
+			"state", j.state, "wall", j.finished.Sub(j.submitted).Round(time.Millisecond))
 	}
 }
 
@@ -441,7 +501,8 @@ func (s *Server) Cancel(id string) error {
 	j.exec = nil
 	close(j.done)
 	s.stats.Canceled++
-	s.logf("serve: job %s canceled", id)
+	s.met.jobs.With(outcomeCanceled, j.plan.tenant).Inc()
+	s.logkv("job canceled", "job", id, "tenant", j.plan.tenant)
 	return nil
 }
 
@@ -493,7 +554,11 @@ type JobStatus struct {
 	Started    *time.Time       `json:"started,omitempty"`
 	Finished   *time.Time       `json:"finished,omitempty"`
 	Progress   profile.Snapshot `json:"progress"`
-	Spec       JobSpec          `json:"spec"`
+	// Spans are the job's wall-clock lifecycle spans (received, queued,
+	// executing, per-stage, cache_hit/coalesced markers). Open spans have
+	// no "end" field. Exportable as a Chrome trace via /api/v1/jobs/{id}/trace.
+	Spans []obs.Span `json:"spans,omitempty"`
+	Spec  JobSpec    `json:"spec"`
 }
 
 // Status snapshots the job for the API.
@@ -523,8 +588,10 @@ func (s *Server) Status(j *Job) JobStatus {
 		t := j.finished
 		st.Finished = &t
 	}
+	st.Spans = append(st.Spans, j.spans...)
 	if j.exec != nil {
 		st.Progress = j.exec.progress.Snapshot()
+		st.Spans = append(st.Spans, j.exec.spans.Snapshot()...)
 	}
 	return st
 }
@@ -553,18 +620,40 @@ func (s *Server) List() []JobStatus {
 	return out
 }
 
+// StartDrain stops accepting new jobs: submissions return ErrShuttingDown
+// and readiness probes (GET /readyz) flip to 503, while queued and running
+// work proceeds. Idempotent; Shutdown calls it first.
+func (s *Server) StartDrain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.draining = true
+	s.logkv("drain started: rejecting new submissions",
+		"queued", s.queue.len(), "running", s.running)
+}
+
+// Draining reports whether the server has stopped accepting jobs.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
 // Shutdown stops accepting jobs, waits for running executions until ctx
 // expires (then cancels them), and journals every unfinished job to
 // StateDir so a restarted server resumes it — byte-identically, thanks to
 // the result cache and the per-job matrix checkpoints.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.StartDrain()
 	s.mu.Lock()
-	if s.closed {
+	if s.shutdown {
 		s.mu.Unlock()
 		return nil
 	}
-	s.closed = true
-	s.draining = true
+	s.shutdown = true
 	s.mu.Unlock()
 
 	s.queue.close() // queued executions stay in s.jobs as StateQueued
@@ -653,12 +742,14 @@ func (s *Server) restore() error {
 	for _, ent := range jf.Jobs {
 		p, err := planJob(ent.Spec)
 		if err != nil {
-			s.logf("serve: dropping journaled job %s: %v", ent.ID, err)
+			s.logkv("dropping journaled job", "job", ent.ID, "err", err)
 			continue
 		}
 		if _, err := s.admit(p, ent.ID, false); err != nil {
 			return fmt.Errorf("serve: restoring job %s: %w", ent.ID, err)
 		}
+		s.met.jobs.With(outcomeRestored, p.tenant).Inc()
+		s.logkv("journaled job restored", "job", ent.ID, "tenant", p.tenant)
 		s.mu.Lock()
 		s.stats.Restored++
 		s.stats.Submitted-- // restored, not newly submitted

@@ -1,0 +1,80 @@
+package serveclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"distda/internal/obs"
+	"distda/internal/serve"
+)
+
+// TestMetricsReadyTrace drives a job and checks the observability helpers:
+// Ready flips to ErrUnavailable on drain, Metrics parses the exposition
+// and shows the job counters moving, Trace returns a Chrome trace file.
+func TestMetricsReadyTrace(t *testing.T) {
+	s, c := newPair(t, serve.Config{Workers: 1, Obs: obs.New()})
+	ctx := context.Background()
+
+	if err := c.Ready(ctx); err != nil {
+		t.Fatalf("ready: %v", err)
+	}
+	before, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	doneKey := `distda_jobs_total{outcome="done",tenant="anonymous"}`
+	if before[doneKey] != 0 {
+		t.Fatalf("fresh server: %s = %v", doneKey, before[doneKey])
+	}
+
+	st, err := c.Submit(ctx, serve.JobSpec{Workload: "bfs", Scale: "test"})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	fin, err := c.Wait(ctx, st.ID, nil)
+	if err != nil || fin.State != serve.StateDone {
+		t.Fatalf("wait: %v (state %s %s)", err, fin.State, fin.Error)
+	}
+
+	after, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if after[doneKey] != 1 {
+		t.Errorf("%s = %v, want 1", doneKey, after[doneKey])
+	}
+	if after[`distda_job_stage_seconds_count{stage="executing"}`] != 1 {
+		t.Errorf("no executing-stage latency recorded: %v", after)
+	}
+	if _, ok := after["distda_queue_depth"]; !ok {
+		t.Error("no queue depth gauge in scrape")
+	}
+
+	raw, err := c.Trace(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("trace is not a JSON array: %v\n%s", err, raw)
+	}
+	if len(events) == 0 {
+		t.Error("trace has no events")
+	}
+
+	s.StartDrain()
+	if err := c.Ready(ctx); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("ready while draining = %v, want ErrUnavailable", err)
+	}
+}
+
+// TestMetricsDisabledServer: a server without a registry 404s the scrape
+// and the client surfaces it as ErrNotFound.
+func TestMetricsDisabledServer(t *testing.T) {
+	_, c := newPair(t, serve.Config{Workers: 1})
+	if _, err := c.Metrics(context.Background()); !errors.Is(err, ErrNotFound) {
+		t.Errorf("metrics on obs-less server = %v, want ErrNotFound", err)
+	}
+}

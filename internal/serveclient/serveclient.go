@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"distda/internal/obs"
 	"distda/internal/profile"
 	"distda/internal/serve"
 )
@@ -186,6 +187,32 @@ func (c *Client) List(ctx context.Context) ([]serve.JobStatus, error) {
 func (c *Client) Stats(ctx context.Context) (serve.Stats, error) {
 	var st serve.Stats
 	return st, c.getJSON(ctx, "/api/v1/stats", &st)
+}
+
+// Ready checks the readiness probe: nil while the server accepts jobs, an
+// error satisfying errors.Is(err, ErrUnavailable) once it is draining.
+func (c *Client) Ready(ctx context.Context) error {
+	_, _, err := c.do(ctx, http.MethodGet, "/readyz", nil)
+	return err
+}
+
+// Metrics scrapes GET /metrics and parses the Prometheus text exposition
+// into a flat map keyed "name" or "name{label=\"value\",...}" (labels as
+// the server rendered them). Gauges and counters map to their value;
+// histograms contribute their _bucket/_sum/_count series.
+func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
+	_, body, err := c.do(ctx, http.MethodGet, "/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	return obs.ParseText(bytes.NewReader(body))
+}
+
+// Trace fetches a job's lifecycle spans as a Chrome trace_event JSON file
+// (load in chrome://tracing or Perfetto).
+func (c *Client) Trace(ctx context.Context, id string) ([]byte, error) {
+	_, body, err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+id+"/trace", nil)
+	return body, err
 }
 
 // Result returns the rendered output bytes of a finished job. A job that

@@ -11,6 +11,7 @@ import (
 	"distda/internal/backend"
 	"distda/internal/compiler"
 	"distda/internal/engine"
+	"distda/internal/engine/shard"
 	"distda/internal/ir"
 	"distda/internal/profile"
 	"distda/internal/trace"
@@ -106,6 +107,13 @@ type Config struct {
 	// attached, and the Mono-CA private-cache path fall back to serial
 	// execution. Zero or 1 means serial.
 	Shards int
+
+	// ShardStats, when non-nil, accumulates wall-clock shard attribution
+	// (per-island busy/barrier-wait time, window counts, idle
+	// fast-forwards) across every sharded launch of the run. Observational
+	// only: results are bit-identical with it on or off. Serial launches
+	// (Shards <= 1, single-island partitions, traced runs) record nothing.
+	ShardStats *shard.Stats
 
 	// NaiveEngine drives every offload launch with the engine's reference
 	// one-tick-at-a-time scheduler instead of the event-driven fast-forward

@@ -8,6 +8,7 @@ import (
 	"distda/internal/backend"
 	"distda/internal/compiler"
 	"distda/internal/engine"
+	"distda/internal/engine/shard"
 	"distda/internal/ir"
 	"distda/internal/profile"
 	"distda/internal/trace"
@@ -259,6 +260,11 @@ func WithProfile(p *profile.Profiler) Option { return func(c *Config) { c.Profil
 // (intra-run sharding). Results are bit-identical to serial at any shard
 // count; 0 or 1 means serial.
 func WithShards(n int) Option { return func(c *Config) { c.Shards = n } }
+
+// WithShardStats attaches a wall-clock shard attribution collector
+// (observational only): every sharded launch accumulates per-island
+// busy/barrier-wait time, window counts and idle fast-forwards into st.
+func WithShardStats(st *shard.Stats) Option { return func(c *Config) { c.ShardStats = st } }
 
 // WithNaiveEngine selects the reference one-tick-at-a-time scheduler.
 func WithNaiveEngine() Option { return func(c *Config) { c.NaiveEngine = true } }

@@ -394,7 +394,7 @@ func (h *host) runShardEngines(envs []*launchEnv, clusters [][]int, chans []*sha
 			}
 		}
 	}()
-	g := &shard.Graph{Workers: m.cfg.Shards, Jitter: shardJitter}
+	g := &shard.Graph{Workers: m.cfg.Shards, Jitter: shardJitter, Stats: m.cfg.ShardStats}
 	for _, env := range envs {
 		g.AddShard(env.eng)
 	}

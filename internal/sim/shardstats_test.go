@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"distda/internal/engine/shard"
+	"distda/internal/workloads"
+)
+
+// TestShardStatsObservationalOnly runs a sharding workload with and
+// without a ShardStats collector attached and requires bit-identical
+// results — wall-clock attribution must never leak into the simulation —
+// while the collector itself must have recorded the sharded launches.
+func TestShardStatsObservationalOnly(t *testing.T) {
+	w := workloads.Pathfinder(workloads.ScaleTest)
+	data := w.NewData()
+	cfg := DistDAFA() // alloc-spread: reliably splits into several islands
+	cfg.Shards = 4
+
+	plain, err := Run(w.Kernel, w.Params, copyData(data), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := &shard.Stats{}
+	c := cfg
+	c.ShardStats = st
+	observed, err := Run(w.Kernel, w.Params, copyData(data), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, observed) {
+		t.Errorf("shard stats changed the result:\nplain:    %+v\nobserved: %+v", plain, observed)
+	}
+	if st.Empty() || st.Launches == 0 || st.Windows == 0 || len(st.Islands) < 2 {
+		t.Fatalf("sharded run recorded no attribution: %+v", st)
+	}
+}
+
+// TestShardStatsCountsShardCountStable asserts the deterministic count
+// fields that do not depend on the island partition (launches) accumulate
+// consistently, and that a serial run records nothing.
+func TestShardStatsSerialRecordsNothing(t *testing.T) {
+	w := workloads.Pathfinder(workloads.ScaleTest)
+	data := w.NewData()
+	cfg := DistDAFA()
+	cfg.Shards = 1 // serial: the sharded path is never taken
+	st := &shard.Stats{}
+	cfg.ShardStats = st
+	if _, err := Run(w.Kernel, w.Params, copyData(data), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Empty() {
+		t.Fatalf("serial run recorded shard stats: %+v", st)
+	}
+}

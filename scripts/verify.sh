@@ -112,6 +112,19 @@ stage_gates() {
         exit 1
     fi
 
+    echo "== structured logging only in internal/serve"
+    # The job server logs through Config.Logger (slog) / Config.Logf — one
+    # structured line per event, keyed by job ID. Raw log.Print or stderr
+    # writes would bypass the embedder's logger and desynchronize the
+    # request log from the job lifecycle.
+    viol=$(grep -rn 'log\.Print\|fmt\.Fprint[a-z]*(os\.Stderr' internal/serve --include='*.go' \
+        | grep -v '_test\.go:' || true)
+    if [ -n "$viol" ]; then
+        echo "raw logging in internal/serve (use the structured logger via Server.logkv):" >&2
+        echo "$viol" >&2
+        exit 1
+    fi
+
     echo "== no direct accelerator imports outside internal/backend"
     # The backend registry (internal/backend) is the only seam the rest of the
     # tree may reach accelerators through: sim, compiler, partition and profile
